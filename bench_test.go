@@ -1,0 +1,106 @@
+package netclus
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§8), one testing.B benchmark per artifact, plus the ablation benches
+// called out in DESIGN.md §5. Each bench runs the corresponding registry
+// experiment from internal/bench at quick scale; run cmd/topsbench for the
+// full-scale paper-style tables.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig5 -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"netclus/internal/bench"
+)
+
+var (
+	benchOnce sync.Once
+	benchH    *bench.Harness
+)
+
+// harness shares one quick-scale harness (and its cached datasets/indexes)
+// across all benchmarks in the binary.
+func harness() *bench.Harness {
+	benchOnce.Do(func() {
+		benchH = bench.NewHarness(bench.Config{Quick: true, Seed: 42})
+	})
+	return benchH
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := harness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// Fig. 4: comparison with the exact optimum on Beijing-Small.
+func BenchmarkFig4_Optimal(b *testing.B) { runExperiment(b, "fig4") }
+
+// Fig. 5a/5b: solution quality versus k and τ.
+func BenchmarkFig5a_QualityVsK(b *testing.B)   { runExperiment(b, "fig5a") }
+func BenchmarkFig5b_QualityVsTau(b *testing.B) { runExperiment(b, "fig5b") }
+
+// Fig. 6a/6b: running time versus k and τ.
+func BenchmarkFig6a_TimeVsK(b *testing.B)   { runExperiment(b, "fig6a") }
+func BenchmarkFig6b_TimeVsTau(b *testing.B) { runExperiment(b, "fig6b") }
+
+// Fig. 7a/7b: cost- and capacity-constrained TOPS.
+func BenchmarkFig7a_Cost(b *testing.B)     { runExperiment(b, "fig7a") }
+func BenchmarkFig7b_Capacity(b *testing.B) { runExperiment(b, "fig7b") }
+
+// Fig. 8: the TOPS2 convex-preference variant.
+func BenchmarkFig8_TOPS2(b *testing.B) { runExperiment(b, "fig8") }
+
+// Fig. 9: cost-constrained site counts and runtimes.
+func BenchmarkFig9_CostSitesTime(b *testing.B) { runExperiment(b, "fig9") }
+
+// Fig. 10a/10b: scalability in |S| and |T|.
+func BenchmarkFig10a_ScaleSites(b *testing.B) { runExperiment(b, "fig10a") }
+func BenchmarkFig10b_ScaleTrajs(b *testing.B) { runExperiment(b, "fig10b") }
+
+// Fig. 11: city geometries.
+func BenchmarkFig11_Geometry(b *testing.B) { runExperiment(b, "fig11") }
+
+// Fig. 12: trajectory length classes.
+func BenchmarkFig12_Length(b *testing.B) { runExperiment(b, "fig12") }
+
+// Table 7: resolution parameter γ sweep.
+func BenchmarkTable7_GammaSweep(b *testing.B) { runExperiment(b, "table7") }
+
+// Table 8: FM sketch count sweep.
+func BenchmarkTable8_FMSweep(b *testing.B) { runExperiment(b, "table8") }
+
+// Table 9: memory footprints versus τ.
+func BenchmarkTable9_Memory(b *testing.B) { runExperiment(b, "table9") }
+
+// Table 10: dynamic update cost.
+func BenchmarkTable10_Updates(b *testing.B) { runExperiment(b, "table10") }
+
+// Table 11: per-radius index construction statistics.
+func BenchmarkTable11_IndexConstruction(b *testing.B) { runExperiment(b, "table11") }
+
+// Table 12: Jaccard-similarity clustering baseline.
+func BenchmarkTable12_Jaccard(b *testing.B) { runExperiment(b, "table12") }
+
+// Ablations called out in DESIGN.md §5.
+func BenchmarkAblationRepresentative(b *testing.B) { runExperiment(b, "ablation-rep") }
+func BenchmarkAblationLazyGreedy(b *testing.B)     { runExperiment(b, "ablation-lazy") }
+func BenchmarkAblationCompression(b *testing.B)    { runExperiment(b, "ablation-compression") }
+func BenchmarkAblationFMPruning(b *testing.B)      { runExperiment(b, "ablation-fmprune") }
+func BenchmarkAblationUpdateCost(b *testing.B)     { runExperiment(b, "ablation-updatecost") }

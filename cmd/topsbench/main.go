@@ -1,0 +1,74 @@
+// Command topsbench reproduces the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	topsbench -list
+//	topsbench -exp fig5a
+//	topsbench -exp fig4,table9 -scale 0.08
+//	topsbench -exp all -quick
+//
+// Each experiment prints a paper-style table plus a note describing the
+// shape the paper reports, so measured output can be compared directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"netclus/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 0, "dataset scale as a fraction of paper sizes (default 0.04, quick 0.012)")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		quick    = flag.Bool("quick", false, "trimmed grids and smaller datasets")
+		listOnly = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range bench.List() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	h := bench.NewHarness(bench.Config{Scale: *scale, Seed: *seed, Quick: *quick})
+	cfg := h.Config()
+	fmt.Printf("netclus topsbench: scale=%.3f seed=%d quick=%v\n\n", cfg.Scale, cfg.Seed, cfg.Quick)
+
+	var exps []bench.Experiment
+	if *expFlag == "all" {
+		exps = bench.List()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := bench.Get(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.Run(h)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(tbl.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

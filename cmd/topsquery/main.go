@@ -1,0 +1,168 @@
+// Command topsquery answers interactive TOPS queries over a dataset: it
+// generates (or loads) a dataset, builds the NETCLUS index once, and then
+// answers (k, τ, ψ) queries, demonstrating the interactive usage pattern
+// the paper motivates ("OL queries are typically used in an interactive
+// fashion by varying the various parameters such as k and τ").
+//
+// Usage:
+//
+//	topsquery -preset beijing -scale 0.02 -k 5 -tau 0.8
+//	topsquery -preset atlanta -k 10 -tau 1.6 -pref convex -compare
+//	topsquery -graph data/bj.graph -trajs data/bj.trajs -k 5 -tau 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/dataset"
+	"netclus/internal/gen"
+	"netclus/internal/geojson"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		preset    = flag.String("preset", "beijing", "dataset preset to generate")
+		scale     = flag.Float64("scale", 0.02, "dataset scale")
+		seed      = flag.Int64("seed", 42, "generation seed")
+		graphPath = flag.String("graph", "", "load road network from this .graph file instead of generating")
+		trajPath  = flag.String("trajs", "", "load trajectories from this .trajs file")
+		k         = flag.Int("k", 5, "number of sites to place")
+		tau       = flag.Float64("tau", 0.8, "coverage threshold τ in km")
+		prefName  = flag.String("pref", "binary", "preference function: binary, linear, convex, exp")
+		useFM     = flag.Bool("fm", false, "use FM-NETCLUS (binary only)")
+		compare   = flag.Bool("compare", false, "also run INC-GREEDY and report the quality gap")
+		geoOut    = flag.String("geojson", "", "write the network, a trajectory sample and the answer to this GeoJSON file")
+	)
+	flag.Parse()
+
+	var inst *tops.Instance
+	if *graphPath != "" && *trajPath != "" {
+		gf, err := os.Open(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := roadnet.ReadGraph(gf)
+		gf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		tf, err := os.Open(*trajPath)
+		if err != nil {
+			fatal(err)
+		}
+		trajs, err := trajectory.ReadStore(tf)
+		tf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sites, err := gen.SampleSites(g, gen.SiteConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		inst, err = tops.NewInstance(g, trajs, sites)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d nodes, %d trajectories\n", g.NumNodes(), trajs.Len())
+	} else {
+		d, err := dataset.Load(dataset.Preset(*preset), dataset.Config{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		inst = d.Instance
+		fmt.Println(d.Summary())
+	}
+
+	var pref tops.Preference
+	switch *prefName {
+	case "binary":
+		pref = tops.Binary(*tau)
+	case "linear":
+		pref = tops.Linear(*tau)
+	case "convex":
+		pref = tops.ConvexQuadratic(*tau)
+	case "exp":
+		pref = tops.ExpDecay(*tau, 1)
+	default:
+		fatal(fmt.Errorf("unknown preference %q", *prefName))
+	}
+
+	fmt.Print("building NETCLUS index (offline phase)… ")
+	t0 := time.Now()
+	idx, err := core.Build(inst, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done in %.1fs (%d instances, %.1f MB)\n",
+		time.Since(t0).Seconds(), len(idx.Instances), float64(idx.MemoryBytes())/(1<<20))
+
+	t1 := time.Now()
+	res, err := idx.Query(core.QueryOptions{K: *k, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
+	if err != nil {
+		fatal(err)
+	}
+	qSec := time.Since(t1).Seconds()
+	fmt.Printf("\nTOPS(k=%d, τ=%.2f km, ψ=%s) via instance %d (%d representatives) in %.0f ms\n",
+		*k, *tau, pref.Name, res.InstanceUsed, res.NumRepresentatives, qSec*1000)
+	fmt.Printf("estimated utility: %.1f (%.1f%% of %d trajectories)\n",
+		res.EstimatedUtility, 100*res.EstimatedUtility/float64(inst.M()), inst.M())
+	for i, node := range res.Sites {
+		p := inst.G.Point(node)
+		fmt.Printf("  site %d: node %d at %s\n", i+1, node, p)
+	}
+
+	if *geoOut != "" {
+		fc := geojson.NewCollection()
+		fc.AddNetwork(inst.G, 4) // thin the edges for viewability
+		for i := 0; i < inst.M() && i < 100; i++ {
+			fc.AddTrajectory(inst.G, trajectory.ID(i), inst.Trajs.Get(trajectory.ID(i)))
+		}
+		fc.AddSites(inst.G, res.Sites)
+		f, err := os.Create(*geoOut)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := fc.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *geoOut)
+	}
+
+	if *compare {
+		fmt.Print("\nrunning INC-GREEDY baseline… ")
+		horizon := *tau * 1.5
+		if horizon < 2 {
+			horizon = 2
+		}
+		t2 := time.Now()
+		distIdx, err := tops.BuildDistanceIndex(inst, horizon)
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := tops.BuildCoverSets(distIdx, pref)
+		if err != nil {
+			fatal(err)
+		}
+		incg, err := tops.IncGreedy(cs, tops.GreedyOptions{K: *k})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("done in %.1fs\n", time.Since(t2).Seconds())
+		exactU, covered := idx.EvaluateExact(distIdx, pref, res.Sites)
+		fmt.Printf("INCG utility: %.1f | NETCLUS exact utility: %.1f (%d covered) | ratio %.3f\n",
+			incg.Utility, exactU, covered, exactU/incg.Utility)
+	}
+}

@@ -1,0 +1,30 @@
+// Package netclus is a Go reproduction of "NetClus: A Scalable Framework
+// for Locating Top-K Sites for Placement of Trajectory-Aware Services"
+// (Mitra, Saraf, Sharma, Bhattacharya, Ranu — ICDE 2017).
+//
+// The library answers TOPS queries — given a road network, a set of user
+// trajectories and candidate sites, report the k sites maximizing total
+// trajectory utility under a distance-decaying preference function — using
+// the paper's NETCLUS multi-resolution clustering index, with the exact
+// branch-and-bound optimum, the INC-GREEDY baseline and its FM-sketch
+// acceleration, the cost/capacity/existing-services variants, and dynamic
+// updates.
+//
+// Layout:
+//
+//	internal/roadnet     directed road networks, Dijkstra/A*, SCC
+//	internal/trajectory  trajectories and GPS traces
+//	internal/spatial     grid spatial index
+//	internal/mapmatch    HMM map matcher (raw trace -> node sequence)
+//	internal/fm          Flajolet–Martin sketches
+//	internal/gen         synthetic cities, trajectories, GPS noise
+//	internal/dataset     Table-6-style dataset presets
+//	internal/tops        the TOPS problem and all non-indexed algorithms
+//	internal/core        the NETCLUS index (paper's contribution)
+//	internal/bench       one experiment per paper table/figure
+//	cmd/...              topsbench, topsgen, topsquery
+//	examples/...         runnable scenario walkthroughs
+//
+// See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure.
+package netclus

@@ -1,0 +1,131 @@
+// Mobile ATM van placement with live trajectory updates (§6 of the paper).
+//
+// The paper motivates dynamic updates with mobile ATM van deployments:
+// vans are re-positioned during the day as traffic patterns shift, so the
+// index must absorb trajectory churn and answer fresh queries in real time
+// — rebuilding from scratch is not an option.
+//
+// This example simulates a morning/evening commute shift on a star-topology
+// city: morning trips flow inbound to the core, evening trips flow outbound.
+// The index is built once; between the two query rounds the morning
+// trajectories are deleted and the evening ones added through the dynamic
+// update path. Capacity constraints (each van serves a bounded number of
+// customers, §7.2) decide the final assignment.
+//
+// Run with: go run ./examples/atmvans
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+func main() {
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.Star,
+		Nodes:    2200,
+		SpanKm:   16,
+		Jitter:   0.2,
+		Seed:     21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Morning rush: 1200 trips.
+	morning, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 1200, Seed: 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, morning, sites)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("star city: %d nodes; morning rush: %d trips\n", city.Graph.NumNodes(), morning.Len())
+	idx, err := core.Build(inst, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := func(label string) []roadnet.NodeID {
+		start := time.Now()
+		res, err := idx.Query(core.QueryOptions{K: 4, Pref: tops.Binary(0.6)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: vans at %v — %.1f%% of live trips served (answered in %.0f ms)\n",
+			label, res.Sites,
+			100*float64(res.EstimatedCovered)/float64(idx.NumAlive()),
+			time.Since(start).Seconds()*1000)
+		return res.Sites
+	}
+	morningSites := query("08:00 morning deployment")
+
+	// Midday shift: morning trips age out, evening trips arrive.
+	evening, err := gen.GenerateTrajectories(city, gen.TrajConfig{
+		Count: 1200, Seed: 23, HotspotProb: 0.8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The index appends additions to the same store, so snapshot the
+	// morning count before mutating.
+	morningCount := morning.Len()
+	start := time.Now()
+	for tid := 0; tid < morningCount; tid++ {
+		if err := idx.DeleteTrajectory(trajectory.ID(tid)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deleted := time.Since(start)
+	start = time.Now()
+	added := 0
+	for i := 0; i < evening.Len(); i++ {
+		if _, err := idx.AddTrajectory(evening.Get(trajectory.ID(i))); err != nil {
+			log.Fatal(err)
+		}
+		added++
+	}
+	fmt.Printf("16:00 pattern shift: %d trips retired in %.0f ms, %d added in %.0f ms (no rebuild)\n",
+		morningCount, deleted.Seconds()*1000, added, time.Since(start).Seconds()*1000)
+
+	eveningSites := query("17:00 evening deployment")
+
+	moved := 0
+	morningSet := map[roadnet.NodeID]bool{}
+	for _, s := range morningSites {
+		morningSet[s] = true
+	}
+	for _, s := range eveningSites {
+		if !morningSet[s] {
+			moved++
+		}
+	}
+	fmt.Printf("%d of %d vans re-positioned for the evening pattern\n\n", moved, len(eveningSites))
+
+	// Capacity-constrained assignment: each van stocks cash for 150
+	// customers (TOPS-CAPACITY, §7.2).
+	p := idx.InstanceFor(0.6)
+	cs, repClusters := idx.RepCover(p, tops.Binary(0.6))
+	caps := make([]int, len(repClusters))
+	for i := range caps {
+		caps[i] = 150
+	}
+	capRes, err := tops.CapacityGreedy(cs, tops.CapacityOptions{K: 4, Caps: caps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capacity-aware plan (150 customers/van): %.0f customers served by %d vans\n",
+		capRes.Utility, len(capRes.Selected))
+}

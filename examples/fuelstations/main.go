@@ -1,0 +1,115 @@
+// Fuel-station planning under a budget (TOPS-COST, §7.1 of the paper).
+//
+// A fuel retailer wants to enter a polycentric city. Land prices differ
+// wildly between the dense centers and the periphery, and the total budget
+// is fixed. The planner must choose sites that maximize the number of
+// commuter trajectories passing within τ of a station, subject to the
+// budget — more cheap peripheral stations versus fewer prime downtown
+// locations.
+//
+// Run with: go run ./examples/fuelstations
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netclus/internal/core"
+	"netclus/internal/gen"
+	"netclus/internal/tops"
+)
+
+func main() {
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.Polycentric,
+		Nodes:    2500,
+		SpanKm:   18,
+		Jitter:   0.2,
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trajs, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 1500, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, trajs, sites)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("polycentric city: %d nodes, %d trajectories\n", city.Graph.NumNodes(), trajs.Len())
+
+	// Land price model: cost grows toward each center (prime locations),
+	// with noise. Mean ≈ 1 unit.
+	rng := rand.New(rand.NewSource(13))
+	costs := make([]float64, len(sites))
+	for i, s := range sites {
+		p := city.Graph.Point(s)
+		// Distance to the nearest hotspot center.
+		nearest := 1e18
+		for _, h := range city.Hotspots {
+			if d := p.Dist(h); d < nearest {
+				nearest = d
+			}
+		}
+		c := 1.8 - nearest/12 + rng.NormFloat64()*0.2
+		if c < 0.1 {
+			c = 0.1
+		}
+		costs[i] = c
+	}
+
+	idx, err := core.Build(inst, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pref := tops.Binary(0.8)
+	p := idx.InstanceFor(pref.Tau)
+	cs, repClusters := idx.RepCover(p, pref)
+
+	// Price each cluster representative with its real site cost.
+	repCosts := make([]float64, len(repClusters))
+	for ri, ci := range repClusters {
+		node := idx.Instances[p].Clusters[ci].Rep
+		if sid, ok := inst.SiteIDOf(node); ok {
+			repCosts[ri] = costs[sid]
+		} else {
+			repCosts[ri] = 1
+		}
+	}
+
+	for _, budget := range []float64{2, 5, 10, 20} {
+		res, err := tops.CostGreedy(cs, tops.CostOptions{Costs: repCosts, Budget: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var spent float64
+		for _, ri := range res.Selected {
+			spent += repCosts[ri]
+		}
+		fmt.Printf("budget %5.1f -> %2d stations, spent %5.2f, coverage %5.1f%%\n",
+			budget, len(res.Selected), spent,
+			100*res.Utility/float64(trajs.Len()))
+	}
+
+	// Compare against the unconstrained TOPS answer with the same number
+	// of stations the largest budget bought.
+	res, err := tops.CostGreedy(cs, tops.CostOptions{Costs: repCosts, Budget: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	unconstrained, err := idx.Query(core.QueryOptions{K: len(res.Selected), Pref: pref})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith %d stations, ignoring prices the best coverage is %.1f%% — the budget costs %.1f points of coverage\n",
+		len(res.Selected),
+		100*float64(unconstrained.EstimatedCovered)/float64(trajs.Len()),
+		100*(float64(unconstrained.EstimatedCovered)-res.Utility)/float64(trajs.Len()))
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickHarness shares one tiny harness across the experiment smoke tests.
+var quickH = NewHarness(Config{Quick: true, Seed: 7})
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must have an experiment (DESIGN.md §4).
+	want := []string{
+		"fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
+		"fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12",
+		"table7", "table8", "table9", "table10", "table11", "table12",
+		"ablation-rep", "ablation-lazy", "ablation-compression", "ablation-fmprune",
+		"ablation-updatecost",
+	}
+	have := map[string]bool{}
+	for _, e := range List() {
+		have[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := Get("fig4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(quickH)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Fatalf("%s: row width %d != header width %d", e.ID, len(row), len(tbl.Headers))
+				}
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s: render missing id", e.ID)
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Headers: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("hello %d", 5)
+	out := tbl.Render()
+	for _, want := range []string{"== x — t ==", "333", "note: hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHarnessCaching(t *testing.T) {
+	h := NewHarness(Config{Quick: true, Seed: 3})
+	a, err := h.Dataset("beijing-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Dataset("beijing-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset not cached")
+	}
+	i1, err := h.DistIndex("beijing-small", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := h.DistIndex("beijing-small", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 != i2 {
+		t.Error("distance index not cached")
+	}
+	i3, err := h.DistIndex("beijing-small", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 == i3 {
+		t.Error("different horizon shared a cache entry")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale <= 0 || c.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.Scale >= c.Scale {
+		t.Error("quick scale should be smaller")
+	}
+}

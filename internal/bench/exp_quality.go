@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"netclus/internal/dataset"
+	"netclus/internal/tops"
+)
+
+// Fig. 4: comparison with the exact optimum on Beijing-Small.
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Comparison with optimal on Beijing-Small (utility % and time vs k, τ=0.8)",
+		Run: func(h *Harness) (*Table, error) {
+			d, err := h.Dataset(dataset.BeijingSmall)
+			if err != nil {
+				return nil, err
+			}
+			distIdx, err := h.DistIndex(dataset.BeijingSmall, stdDmax)
+			if err != nil {
+				return nil, err
+			}
+			pref := tops.Binary(defaultTau)
+			cs, err := tops.BuildCoverSets(distIdx, pref)
+			if err != nil {
+				return nil, err
+			}
+			ks := []int{1, 3, 5, 7, 9, 11, 13, 15}
+			maxNodes := int64(3_000_000)
+			if h.cfg.Quick {
+				ks = []int{1, 3, 5}
+				maxNodes = 100_000
+			}
+			tbl := &Table{
+				ID:    "fig4",
+				Title: "OPT vs INCG vs FMG vs NETCLUS vs FMNETCLUS, Beijing-Small",
+				Headers: []string{"k", "OPT util%", "INCG util%", "FMG util%", "NC util%", "FMNC util%",
+					"OPT ms", "INCG ms", "NC ms", "exact?"},
+			}
+			m := float64(d.Instance.M())
+			for _, k := range ks {
+				t0 := time.Now()
+				opt, err := tops.Optimal(cs, tops.OptimalOptions{K: k, MaxNodes: maxNodes})
+				if err != nil {
+					return nil, err
+				}
+				optSec := time.Since(t0).Seconds()
+				incg, fmg, nc, fmnc, err := h.runAll(dataset.BeijingSmall, pref, k)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmt.Sprint(k),
+					fmtPct(opt.Utility/m), fmtPct(incg.UtilityPct), fmtPct(fmg.UtilityPct),
+					fmtPct(nc.UtilityPct), fmtPct(fmnc.UtilityPct),
+					fmtMs(optSec), fmtMs(incg.Seconds), fmtMs(nc.Seconds),
+					fmt.Sprint(opt.Exact))
+			}
+			tbl.AddNote("paper shape: all heuristics within a few %% of OPT; OPT orders of magnitude slower")
+			return tbl, nil
+		},
+	})
+}
+
+// Fig. 5a: utility vs k at τ=0.8.
+func init() {
+	register(Experiment{
+		ID:    "fig5a",
+		Title: "Quality: utility % vs k (τ=0.8, Beijing)",
+		Run: func(h *Harness) (*Table, error) {
+			tbl := &Table{
+				ID:      "fig5a",
+				Title:   "Utility vs k",
+				Headers: []string{"k", "INCG util%", "FMG util%", "NC util%", "FMNC util%"},
+			}
+			pref := tops.Binary(defaultTau)
+			for _, k := range h.kGrid() {
+				incg, fmg, nc, fmnc, err := h.runAll(dataset.Beijing, pref, k)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmt.Sprint(k), fmtPct(incg.UtilityPct), fmtPct(fmg.UtilityPct),
+					fmtPct(nc.UtilityPct), fmtPct(fmnc.UtilityPct))
+			}
+			tbl.AddNote("paper shape: NETCLUS within ~7%% of INCG on average; all curves concave increasing")
+			return tbl, nil
+		},
+	})
+}
+
+// Fig. 5b: utility vs τ at k=5.
+func init() {
+	register(Experiment{
+		ID:    "fig5b",
+		Title: "Quality: utility % vs τ (k=5, Beijing)",
+		Run: func(h *Harness) (*Table, error) {
+			tbl := &Table{
+				ID:      "fig5b",
+				Title:   "Utility vs τ",
+				Headers: []string{"tau km", "INCG util%", "FMG util%", "NC util%", "FMNC util%"},
+			}
+			for _, tau := range h.tauGrid() {
+				pref := tops.Binary(tau)
+				incg, fmg, nc, fmnc, err := h.runAll(dataset.Beijing, pref, defaultK)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmtF(tau), fmtPct(incg.UtilityPct), fmtPct(fmg.UtilityPct),
+					fmtPct(nc.UtilityPct), fmtPct(fmnc.UtilityPct))
+			}
+			tbl.AddNote("paper shape: utility grows with τ toward 100%%; INCG OOMs beyond τ=1.2 at paper scale")
+			return tbl, nil
+		},
+	})
+}
+
+// Fig. 6a: running time vs k.
+func init() {
+	register(Experiment{
+		ID:    "fig6a",
+		Title: "Performance: running time vs k (τ=0.8, Beijing)",
+		Run: func(h *Harness) (*Table, error) {
+			tbl := &Table{
+				ID:      "fig6a",
+				Title:   "Running time vs k",
+				Headers: []string{"k", "INCG ms", "FMG ms", "NC ms", "FMNC ms", "NC speedup"},
+			}
+			pref := tops.Binary(defaultTau)
+			for _, k := range h.kGrid() {
+				incg, fmg, nc, fmnc, err := h.runAll(dataset.Beijing, pref, k)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmt.Sprint(k), fmtMs(incg.Seconds), fmtMs(fmg.Seconds),
+					fmtMs(nc.Seconds), fmtMs(fmnc.Seconds), mustRatio(nc.Seconds, incg.Seconds))
+			}
+			tbl.AddNote("paper shape: NETCLUS up to ~36x faster than INCG; curves near-flat in k (covering-set cost dominates)")
+			return tbl, nil
+		},
+	})
+}
+
+// Fig. 6b: running time vs τ.
+func init() {
+	register(Experiment{
+		ID:    "fig6b",
+		Title: "Performance: running time vs τ (k=5, Beijing)",
+		Run: func(h *Harness) (*Table, error) {
+			tbl := &Table{
+				ID:      "fig6b",
+				Title:   "Running time vs τ",
+				Headers: []string{"tau km", "INCG ms", "FMG ms", "NC ms", "FMNC ms", "NC speedup"},
+			}
+			for _, tau := range h.tauGrid() {
+				pref := tops.Binary(tau)
+				incg, fmg, nc, fmnc, err := h.runAll(dataset.Beijing, pref, defaultK)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmtF(tau), fmtMs(incg.Seconds), fmtMs(fmg.Seconds),
+					fmtMs(nc.Seconds), fmtMs(fmnc.Seconds), mustRatio(nc.Seconds, incg.Seconds))
+			}
+			tbl.AddNote("paper shape: INCG cost grows sharply with τ (covering sets); NETCLUS flat-to-falling (coarser instances)")
+			return tbl, nil
+		},
+	})
+}
+
+// Table 9: memory footprint vs τ.
+func init() {
+	register(Experiment{
+		ID:    "table9",
+		Title: "Memory footprint of query structures vs τ (k=5, Beijing)",
+		Run: func(h *Harness) (*Table, error) {
+			tbl := &Table{
+				ID:      "table9",
+				Title:   "Memory footprint (MB)",
+				Headers: []string{"tau km", "INCG MB", "FMG MB", "NC MB", "FMNC MB"},
+			}
+			taus := []float64{0.1, 0.2, 0.4, 0.8, 1.2, 1.6}
+			if h.cfg.Quick {
+				taus = []float64{0.2, 0.8}
+			}
+			for _, tau := range taus {
+				pref := tops.Binary(tau)
+				incg, fmg, nc, fmnc, err := h.runAll(dataset.Beijing, pref, defaultK)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmtF(tau), fmtMB(incg.MemBytes), fmtMB(fmg.MemBytes),
+					fmtMB(nc.MemBytes), fmtMB(fmnc.MemBytes))
+			}
+			tbl.AddNote("paper shape: INCG/FMG grow sharply with τ and OOM beyond 1.2 km at paper scale; NETCLUS flat or falling")
+			return tbl, nil
+		},
+	})
+}

@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/dataset"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// subsetInstance builds a TOPS instance over the dataset with only a
+// fraction of the candidate sites / trajectories, for the scalability
+// sweeps of Fig. 10.
+func subsetInstance(d *dataset.Dataset, siteFrac, trajFrac float64, seed int64) (*tops.Instance, error) {
+	sites := d.Instance.Sites
+	if siteFrac < 1 {
+		n := int(float64(len(sites)) * siteFrac)
+		if n < 10 {
+			n = 10
+		}
+		sub, err := gen.SampleSites(d.Instance.G, gen.SiteConfig{Count: n, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		sites = sub
+	}
+	trajs := d.Instance.Trajs
+	if trajFrac < 1 {
+		n := int(float64(trajs.Len()) * trajFrac)
+		if n < 10 {
+			n = 10
+		}
+		ids := d.SampleTrajectoryIDs(n)
+		trajs = trajs.Sample(ids)
+	}
+	return tops.NewInstance(d.Instance.G, trajs, sites)
+}
+
+// runScalePoint measures INCG and NETCLUS query times on a derived
+// instance. Both structures are rebuilt per point (the sweep varies the
+// offline inputs); only the online phase is timed.
+func runScalePoint(inst *tops.Instance, seed int64) (incgSec, ncSec float64, err error) {
+	distIdx, err := tops.BuildDistanceIndex(inst, stdDmax)
+	if err != nil {
+		return
+	}
+	pref := tops.Binary(defaultTau)
+	t0 := time.Now()
+	cs, err := tops.BuildCoverSets(distIdx, pref)
+	if err != nil {
+		return
+	}
+	if _, err = tops.IncGreedy(cs, tops.GreedyOptions{K: defaultK}); err != nil {
+		return
+	}
+	incgSec = time.Since(t0).Seconds()
+
+	idx, err := core.Build(inst, core.Options{
+		Gamma: stdGamma, TauMin: stdTauMin, TauMax: stdTauMax,
+		GDSP: core.GDSPOptions{UseFM: true, F: 16, Seed: uint64(seed)},
+	})
+	if err != nil {
+		return
+	}
+	t1 := time.Now()
+	if _, err = idx.Query(core.QueryOptions{K: defaultK, Pref: pref}); err != nil {
+		return
+	}
+	ncSec = time.Since(t1).Seconds()
+	return
+}
+
+// Fig. 10a: runtime vs number of candidate sites.
+func init() {
+	register(Experiment{
+		ID:    "fig10a",
+		Title: "Scalability: runtime vs number of candidate sites (k=5, τ=0.8)",
+		Run: func(h *Harness) (*Table, error) {
+			d, err := h.Dataset(dataset.Beijing)
+			if err != nil {
+				return nil, err
+			}
+			fracs := []float64{0.4, 0.6, 0.8, 1.0}
+			if h.cfg.Quick {
+				fracs = []float64{0.5, 1.0}
+			}
+			tbl := &Table{
+				ID:      "fig10a",
+				Title:   "Runtime vs |S|",
+				Headers: []string{"sites", "INCG ms", "NC ms", "NC speedup"},
+			}
+			for _, f := range fracs {
+				inst, err := subsetInstance(d, f, 1, h.cfg.Seed+11)
+				if err != nil {
+					return nil, err
+				}
+				incgSec, ncSec, err := runScalePoint(inst, h.cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmt.Sprint(inst.N()), fmtMs(incgSec), fmtMs(ncSec), mustRatio(ncSec, incgSec))
+			}
+			tbl.AddNote("paper shape: both grow with |S|; NETCLUS about an order of magnitude faster throughout")
+			return tbl, nil
+		},
+	})
+}
+
+// Fig. 10b: runtime vs number of trajectories.
+func init() {
+	register(Experiment{
+		ID:    "fig10b",
+		Title: "Scalability: runtime vs number of trajectories (k=5, τ=0.8)",
+		Run: func(h *Harness) (*Table, error) {
+			d, err := h.Dataset(dataset.Beijing)
+			if err != nil {
+				return nil, err
+			}
+			fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+			if h.cfg.Quick {
+				fracs = []float64{0.5, 1.0}
+			}
+			tbl := &Table{
+				ID:      "fig10b",
+				Title:   "Runtime vs |T|",
+				Headers: []string{"trajectories", "INCG ms", "NC ms", "NC speedup"},
+			}
+			for _, f := range fracs {
+				inst, err := subsetInstance(d, 1, f, h.cfg.Seed+13)
+				if err != nil {
+					return nil, err
+				}
+				incgSec, ncSec, err := runScalePoint(inst, h.cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(fmt.Sprint(inst.M()), fmtMs(incgSec), fmtMs(ncSec), mustRatio(ncSec, incgSec))
+			}
+			tbl.AddNote("paper shape: near-linear growth in m for INCG; NETCLUS much flatter")
+			return tbl, nil
+		},
+	})
+}
+
+// Fig. 11: city geometries.
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "City geometries: utility and time on star/mesh/polycentric (k=5, τ=0.8)",
+		Run: func(h *Harness) (*Table, error) {
+			tbl := &Table{
+				ID:      "fig11",
+				Title:   "Effect of topology",
+				Headers: []string{"city", "topology", "INCG util%", "NC util%", "INCG ms", "NC ms"},
+			}
+			pref := tops.Binary(defaultTau)
+			for _, name := range []dataset.Preset{dataset.NewYork, dataset.Atlanta, dataset.Bangalore} {
+				d, err := h.Dataset(name)
+				if err != nil {
+					return nil, err
+				}
+				incg, err := h.runINCG(name, pref, defaultK, false)
+				if err != nil {
+					return nil, err
+				}
+				nc, err := h.runNetClus(name, pref, defaultK, false)
+				if err != nil {
+					return nil, err
+				}
+				tbl.AddRow(string(name), d.City.Config.Topology.String(),
+					fmtPct(incg.UtilityPct), fmtPct(nc.UtilityPct),
+					fmtMs(incg.Seconds), fmtMs(nc.Seconds))
+			}
+			tbl.AddNote("paper shape: polycentric Bangalore highest utility; meshy Atlanta lowest (diffuse trajectories); times comparable")
+			return tbl, nil
+		},
+	})
+}
+
+// Fig. 12: trajectory length classes.
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Trajectory length classes: utility and time per class (k=5, τ=0.8)",
+		Run: func(h *Harness) (*Table, error) {
+			d, err := h.Dataset(dataset.Beijing)
+			if err != nil {
+				return nil, err
+			}
+			stats := d.Instance.Trajs.ComputeStats()
+			// Four equal-width length classes between the 10th and 90th
+			// percentile span (the paper uses fixed km bands on Beijing).
+			lo, hi := stats.MinLength, stats.MaxLength
+			width := (hi - lo) / 4
+			var bounds [][2]float64
+			for i := 0; i < 4; i++ {
+				bounds = append(bounds, [2]float64{lo + float64(i)*width, lo + float64(i+1)*width + 1e-9})
+			}
+			classes := d.Instance.Trajs.ClassifyByLength(bounds)
+			tbl := &Table{
+				ID:      "fig12",
+				Title:   "Effect of trajectory length",
+				Headers: []string{"class km", "count", "INCG util%", "NC util%", "INCG ms", "NC ms"},
+			}
+			for _, cl := range classes {
+				if len(cl.IDs) < 5 {
+					continue
+				}
+				sub := d.Instance.Trajs.Sample(cl.IDs)
+				inst, err := tops.NewInstance(d.Instance.G, sub, d.Instance.Sites)
+				if err != nil {
+					return nil, err
+				}
+				distIdx, err := tops.BuildDistanceIndex(inst, stdDmax)
+				if err != nil {
+					return nil, err
+				}
+				pref := tops.Binary(defaultTau)
+				t0 := time.Now()
+				cs, err := tops.BuildCoverSets(distIdx, pref)
+				if err != nil {
+					return nil, err
+				}
+				incg, err := tops.IncGreedy(cs, tops.GreedyOptions{K: defaultK})
+				if err != nil {
+					return nil, err
+				}
+				incgSec := time.Since(t0).Seconds()
+				idx, err := core.Build(inst, core.Options{
+					Gamma: stdGamma, TauMin: stdTauMin, TauMax: stdTauMax,
+					GDSP: core.GDSPOptions{UseFM: true, F: 16, Seed: uint64(h.cfg.Seed)},
+				})
+				if err != nil {
+					return nil, err
+				}
+				t1 := time.Now()
+				qr, err := idx.Query(core.QueryOptions{K: defaultK, Pref: pref})
+				if err != nil {
+					return nil, err
+				}
+				ncSec := time.Since(t1).Seconds()
+				ncU, _ := idx.EvaluateExact(distIdx, pref, qr.Sites)
+				m := float64(inst.M())
+				tbl.AddRow(fmt.Sprintf("%.1f-%.1f", cl.MinKm, cl.MaxKm), fmt.Sprint(len(cl.IDs)),
+					fmtPct(incg.Utility/m), fmtPct(ncU/m), fmtMs(incgSec), fmtMs(ncSec))
+			}
+			tbl.AddNote("paper shape: longer trajectories are easier to cover (higher utility) and cost more update time")
+			return tbl, nil
+		},
+	})
+}
+
+// Table 10: dynamic update cost.
+func init() {
+	register(Experiment{
+		ID:    "table10",
+		Title: "Index update cost: batched trajectory and site additions",
+		Run: func(h *Harness) (*Table, error) {
+			d, err := h.Dataset(dataset.Beijing)
+			if err != nil {
+				return nil, err
+			}
+			// Build a dedicated index over 70% of sites so site additions
+			// have room, and a trajectory store the updates extend.
+			inst, err := subsetInstance(d, 0.7, 1, h.cfg.Seed+17)
+			if err != nil {
+				return nil, err
+			}
+			// Re-wrap with a private store so added trajectories don't leak
+			// into the harness's cached dataset.
+			privStore := trajectory.NewStore(inst.M())
+			inst.Trajs.ForEach(func(_ trajectory.ID, tr *trajectory.Trajectory) { privStore.Add(tr) })
+			inst, err = tops.NewInstance(inst.G, privStore, inst.Sites)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := core.Build(inst, core.Options{
+				Gamma: stdGamma, TauMin: stdTauMin, TauMax: stdTauMax,
+				GDSP: core.GDSPOptions{UseFM: true, F: 16, Seed: uint64(h.cfg.Seed)},
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Fresh trajectories to add, generated over the same city.
+			batchSizes := []int{1000, 2000, 3000, 4000, 5000}
+			if h.cfg.Quick {
+				batchSizes = []int{100, 200}
+			}
+			total := 0
+			for _, b := range batchSizes {
+				total += b
+			}
+			fresh, err := gen.GenerateTrajectories(d.City, gen.TrajConfig{Count: total, Seed: h.cfg.Seed + 19})
+			if err != nil {
+				return nil, err
+			}
+			// Non-site nodes to add as sites.
+			siteSet := map[int32]bool{}
+			for _, s := range inst.Sites {
+				siteSet[int32(s)] = true
+			}
+			tbl := &Table{
+				ID:      "table10",
+				Title:   "Index update cost",
+				Headers: []string{"batch", "add-traj s", "add-site s"},
+			}
+			next := 0
+			nextNode := int32(0)
+			for _, b := range batchSizes {
+				t0 := time.Now()
+				for i := 0; i < b && next < fresh.Len(); i++ {
+					tr := fresh.Get(trajectory.ID(next))
+					next++
+					if _, err := idx.AddTrajectory(tr); err != nil {
+						return nil, err
+					}
+				}
+				trajSec := time.Since(t0).Seconds()
+				t1 := time.Now()
+				added := 0
+				for added < b && int(nextNode) < inst.G.NumNodes() {
+					if !siteSet[nextNode] {
+						if err := idx.AddSite(roadnet.NodeID(nextNode)); err == nil {
+							siteSet[nextNode] = true
+							added++
+						}
+					}
+					nextNode++
+				}
+				siteSec := time.Since(t1).Seconds()
+				tbl.AddRow(fmt.Sprint(b), fmtF(trajSec), fmtF(siteSec))
+			}
+			tbl.AddNote("paper shape: trajectory adds cost more than site adds (multiple clusters touched per trajectory); both scale linearly")
+			return tbl, nil
+		},
+	})
+}

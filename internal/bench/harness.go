@@ -1,0 +1,258 @@
+// Package bench reproduces every table and figure of the paper's evaluation
+// (§8). Each experiment is a named entry in the registry; cmd/topsbench and
+// the root-level testing.B benchmarks drive the same code.
+//
+// Absolute numbers differ from the paper — the datasets are synthetic
+// stand-ins at reduced scale and the hardware differs — but each experiment
+// reports the same rows/series so the *shape* (who wins, by what factor,
+// where crossovers fall) can be compared. EXPERIMENTS.md records that
+// comparison.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"netclus/internal/core"
+	"netclus/internal/dataset"
+	"netclus/internal/tops"
+)
+
+// Config scales and seeds a harness run.
+type Config struct {
+	// Scale is the fraction of the paper's dataset sizes (default 0.04).
+	Scale float64
+	// Seed drives all synthetic generation.
+	Seed int64
+	// Quick trims parameter grids and shrinks datasets so the whole
+	// registry runs in CI time; results keep their shape but are noisier.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		if c.Quick {
+			c.Scale = 0.012
+		} else {
+			c.Scale = 0.02
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Harness lazily builds and caches the expensive shared artifacts
+// (datasets, distance indexes, NETCLUS indexes) across experiments in one
+// process. All methods are safe for concurrent use.
+type Harness struct {
+	cfg Config
+
+	mu       sync.Mutex
+	datasets map[string]*dataset.Dataset
+	distIdxs map[string]*tops.DistanceIndex
+	ncIdxs   map[string]*core.Index
+}
+
+// NewHarness returns a harness for the config.
+func NewHarness(cfg Config) *Harness {
+	return &Harness{
+		cfg:      cfg.withDefaults(),
+		datasets: map[string]*dataset.Dataset{},
+		distIdxs: map[string]*tops.DistanceIndex{},
+		ncIdxs:   map[string]*core.Index{},
+	}
+}
+
+// Config returns the effective configuration.
+func (h *Harness) Config() Config { return h.cfg }
+
+// Dataset returns the named preset at the harness scale, cached.
+func (h *Harness) Dataset(name dataset.Preset) (*dataset.Dataset, error) {
+	key := string(name)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if d, ok := h.datasets[key]; ok {
+		return d, nil
+	}
+	d, err := dataset.Load(name, dataset.Config{Scale: h.cfg.Scale, Seed: h.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	h.datasets[key] = d
+	return d, nil
+}
+
+// DistIndex returns the distance index of the named dataset with the given
+// horizon, cached by (dataset, horizon).
+func (h *Harness) DistIndex(name dataset.Preset, maxDetourKm float64) (*tops.DistanceIndex, error) {
+	d, err := h.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%.3f", name, maxDetourKm)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx, ok := h.distIdxs[key]; ok {
+		return idx, nil
+	}
+	idx, err := tops.BuildDistanceIndex(d.Instance, maxDetourKm)
+	if err != nil {
+		return nil, err
+	}
+	h.distIdxs[key] = idx
+	return idx, nil
+}
+
+// NetClus returns the NETCLUS index of the named dataset built with the
+// given γ and τ ladder, cached.
+func (h *Harness) NetClus(name dataset.Preset, gamma, tauMin, tauMax float64) (*core.Index, error) {
+	d, err := h.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%.3f|%.3f|%.3f", name, gamma, tauMin, tauMax)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx, ok := h.ncIdxs[key]; ok {
+		return idx, nil
+	}
+	idx, err := core.Build(d.Instance, core.Options{
+		Gamma: gamma, TauMin: tauMin, TauMax: tauMax,
+		GDSP: core.GDSPOptions{UseFM: true, F: 16, Seed: uint64(h.cfg.Seed)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.ncIdxs[key] = idx
+	return idx, nil
+}
+
+// Standard ladder used by most experiments: serves τ in [0.2, 6.4).
+// The distance-index horizon covers the τ grids below; like the paper's
+// 10 km pre-computation horizon it bounds the INCG baseline's reach. At
+// the scaled-down city spans, 2.6 km plays the role the paper's 10 km
+// plays on full Beijing.
+const (
+	stdTauMin = 0.2
+	stdTauMax = 6.4
+	stdGamma  = 0.75
+	stdDmax   = 2.6
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render returns an aligned ASCII rendering.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, hd := range t.Headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(h *Harness) (*Table, error)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Experiment{}
+)
+
+func register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (use List)", id)
+	}
+	return e, nil
+}
+
+// List returns all experiments sorted by id.
+func List() []Experiment {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// fmtMs renders seconds as milliseconds.
+func fmtMs(sec float64) string { return fmt.Sprintf("%.1f", sec*1000) }
+
+// fmtMB renders bytes as megabytes.
+func fmtMB(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }

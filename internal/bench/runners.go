@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/dataset"
+	"netclus/internal/tops"
+)
+
+// AlgoResult is one algorithm's outcome on one parameter point.
+type AlgoResult struct {
+	// UtilityPct is the exact utility as a fraction of m (the paper plots
+	// utilities as percentages of the trajectory count).
+	UtilityPct float64
+	// Seconds is the query wall time: covering-set construction plus
+	// greedy for INCG/FMG, the full online phase for NETCLUS variants.
+	Seconds float64
+	// MemBytes estimates the query-time data-structure footprint.
+	MemBytes int64
+	// Covered counts covered trajectories.
+	Covered int
+}
+
+// runINCG runs the baseline INC-GREEDY: covering sets are built from the
+// precomputed distance index at query time (as in §3.2), then the greedy
+// selects k sites.
+func (h *Harness) runINCG(name dataset.Preset, pref tops.Preference, k int, useFM bool) (AlgoResult, error) {
+	d, err := h.Dataset(name)
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	distIdx, err := h.DistIndex(name, stdDmax)
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	start := time.Now()
+	cs, err := tops.BuildCoverSets(distIdx, pref)
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	var res tops.Result
+	if useFM {
+		res, err = tops.FMGreedy(cs, tops.FMGreedyOptions{K: k, F: 30, Seed: uint64(h.cfg.Seed)})
+	} else {
+		res, err = tops.IncGreedy(cs, tops.GreedyOptions{K: k})
+	}
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	sec := time.Since(start).Seconds()
+	mem := cs.MemoryBytes()
+	if useFM {
+		mem += int64(cs.N()) * 30 * 4 // sketch words
+	}
+	return AlgoResult{
+		UtilityPct: res.Utility / float64(d.Instance.M()),
+		Seconds:    sec,
+		MemBytes:   mem,
+		Covered:    res.Covered,
+	}, nil
+}
+
+// runNetClus runs the NETCLUS online phase against a prebuilt index and
+// evaluates the answer's exact utility against the distance index, which is
+// how the paper reports NETCLUS quality.
+func (h *Harness) runNetClus(name dataset.Preset, pref tops.Preference, k int, useFM bool) (AlgoResult, error) {
+	d, err := h.Dataset(name)
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	idx, err := h.NetClus(name, stdGamma, stdTauMin, stdTauMax)
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	distIdx, err := h.DistIndex(name, stdDmax)
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	start := time.Now()
+	qr, err := idx.Query(core.QueryOptions{K: k, Pref: pref, UseFM: useFM, F: 30, Seed: uint64(h.cfg.Seed)})
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	sec := time.Since(start).Seconds()
+	exactU, covered := idx.EvaluateExact(distIdx, pref, qr.Sites)
+	cs, _ := idx.RepCover(qr.InstanceUsed, pref)
+	return AlgoResult{
+		UtilityPct: exactU / float64(d.Instance.M()),
+		Seconds:    sec,
+		MemBytes:   idx.MemoryBytes() + cs.MemoryBytes(),
+		Covered:    covered,
+	}, nil
+}
+
+// runAll runs the four algorithm variants the paper compares.
+func (h *Harness) runAll(name dataset.Preset, pref tops.Preference, k int) (incg, fmg, nc, fmnc AlgoResult, err error) {
+	if incg, err = h.runINCG(name, pref, k, false); err != nil {
+		return
+	}
+	if fmg, err = h.runINCG(name, pref, k, true); err != nil {
+		return
+	}
+	if nc, err = h.runNetClus(name, pref, k, false); err != nil {
+		return
+	}
+	fmnc, err = h.runNetClus(name, pref, k, true)
+	return
+}
+
+// kGrid returns the k sweep (Fig. 4/5/6 use 1..25).
+func (h *Harness) kGrid() []int {
+	if h.cfg.Quick {
+		return []int{2, 5}
+	}
+	return []int{1, 5, 10, 15, 20, 25}
+}
+
+// tauGrid returns the τ sweep in km.
+func (h *Harness) tauGrid() []float64 {
+	if h.cfg.Quick {
+		return []float64{0.4, 0.8}
+	}
+	return []float64{0.2, 0.4, 0.8, 1.6, 2.4}
+}
+
+// defaultK and defaultTau mirror the paper's defaults (k=5, τ=0.8 km).
+const (
+	defaultK   = 5
+	defaultTau = 0.8
+)
+
+// mustRatio formats b/a as a "×" factor, guarding zero.
+func mustRatio(a, b float64) string {
+	if a <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", b/a)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+func TestAddTrajectoriesBatchMatchesSequential(t *testing.T) {
+	idxA, instA := buildTestIndex(t, 401, false)
+	idxB, _ := buildTestIndex(t, 401, false)
+	var batch []*trajectory.Trajectory
+	for i := 0; i < 8; i++ {
+		tr, err := trajectory.New(instA.G, instA.Trajs.Get(trajectory.ID(i)).Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, tr)
+	}
+	// A: sequential, B: batch.
+	for _, tr := range batch {
+		if _, err := idxA.AddTrajectory(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := idxB.AddTrajectories(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(batch) {
+		t.Fatalf("batch returned %d ids", len(ids))
+	}
+	pref := tops.Binary(0.8)
+	a, err := idxA.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := idxB.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.EstimatedUtility-b.EstimatedUtility) > 1e-12 {
+		t.Fatalf("sequential %v != batch %v", a.EstimatedUtility, b.EstimatedUtility)
+	}
+	for p := range idxB.Instances {
+		if err := idxB.validateInstance(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAddTrajectoriesAtomicOnError(t *testing.T) {
+	idx, inst := buildTestIndex(t, 403, false)
+	before := idx.trajs.Len()
+	good, err := trajectory.New(inst.G, inst.Trajs.Get(0).Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &trajectory.Trajectory{Nodes: []roadnet.NodeID{999999}, CumDist: []float64{0}}
+	if _, err := idx.AddTrajectories([]*trajectory.Trajectory{good, bad}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if idx.trajs.Len() != before {
+		t.Error("partial batch was applied")
+	}
+}
+
+func TestDeleteTrajectoriesBatch(t *testing.T) {
+	idx, _ := buildTestIndex(t, 405, false)
+	pref := tops.Binary(0.8)
+	ids := []trajectory.ID{0, 2, 4, 6}
+	if err := idx.DeleteTrajectories(ids); err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumAlive() != 60-len(ids) {
+		t.Fatalf("alive = %d", idx.NumAlive())
+	}
+	// Double delete and duplicates rejected.
+	if err := idx.DeleteTrajectories([]trajectory.ID{0}); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := idx.DeleteTrajectories([]trajectory.ID{1, 1}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if err := idx.DeleteTrajectories([]trajectory.ID{9999}); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	// Queries still work and instances stay valid.
+	if _, err := idx.Query(QueryOptions{K: 5, Pref: pref}); err != nil {
+		t.Fatal(err)
+	}
+	for p := range idx.Instances {
+		if err := idx.validateInstance(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeleteTrajectoriesBatchMatchesSequential(t *testing.T) {
+	idxA, _ := buildTestIndex(t, 407, false)
+	idxB, _ := buildTestIndex(t, 407, false)
+	ids := []trajectory.ID{1, 3, 5, 7, 9, 11}
+	for _, id := range ids {
+		if err := idxA.DeleteTrajectory(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idxB.DeleteTrajectories(ids); err != nil {
+		t.Fatal(err)
+	}
+	pref := tops.Binary(0.8)
+	a, _ := idxA.Query(QueryOptions{K: 5, Pref: pref})
+	b, _ := idxB.Query(QueryOptions{K: 5, Pref: pref})
+	if math.Abs(a.EstimatedUtility-b.EstimatedUtility) > 1e-12 {
+		t.Fatalf("sequential %v != batch %v", a.EstimatedUtility, b.EstimatedUtility)
+	}
+}
+
+func TestAddSitesBatch(t *testing.T) {
+	idx, inst := buildTestIndex(t, 409, false)
+	var nodes []roadnet.NodeID
+	for v := 0; v < inst.G.NumNodes() && len(nodes) < 5; v++ {
+		if !idx.isSite[roadnet.NodeID(v)] {
+			nodes = append(nodes, roadnet.NodeID(v))
+		}
+	}
+	if len(nodes) < 5 {
+		t.Skip("not enough non-site nodes")
+	}
+	before := len(inst.Sites)
+	if err := idx.AddSites(nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Sites) != before+5 {
+		t.Fatalf("site count = %d", len(inst.Sites))
+	}
+	// Re-adding or duplicating fails atomically.
+	if err := idx.AddSites(nodes[:1]); err == nil {
+		t.Error("re-add accepted")
+	}
+	var more []roadnet.NodeID
+	for v := 0; v < inst.G.NumNodes() && len(more) < 1; v++ {
+		if !idx.isSite[roadnet.NodeID(v)] {
+			more = append(more, roadnet.NodeID(v))
+		}
+	}
+	if len(more) == 1 {
+		if err := idx.AddSites([]roadnet.NodeID{more[0], more[0]}); err == nil {
+			t.Error("duplicate in batch accepted")
+		}
+		if idx.isSite[more[0]] {
+			t.Error("failed batch partially applied")
+		}
+	}
+	for p := range idx.Instances {
+		if err := idx.validateInstance(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"netclus/internal/tops"
+)
+
+func BenchmarkGDSPExact(b *testing.B) {
+	_, inst := buildTestIndex(b, 201, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := greedyGDSP(inst.G, GDSPOptions{Radius: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGDSPFM(b *testing.B) {
+	_, inst := buildTestIndex(b, 202, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := greedyGDSP(inst.G, GDSPOptions{Radius: 0.5, UseFM: true, F: 30, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	_, inst := buildTestIndex(b, 203, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(inst, Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	idx, _ := buildTestIndex(b, 204, false)
+	pref := tops.Binary(0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Query(QueryOptions{K: 5, Pref: pref}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryFM(b *testing.B) {
+	idx, _ := buildTestIndex(b, 205, false)
+	pref := tops.Binary(0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Query(QueryOptions{K: 5, Pref: pref, UseFM: true, F: 30, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepCover(b *testing.B) {
+	idx, _ := buildTestIndex(b, 206, false)
+	pref := tops.Binary(0.8)
+	p := idx.InstanceFor(pref.Tau)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.RepCover(p, pref)
+	}
+}
+
+func BenchmarkAddDeleteTrajectory(b *testing.B) {
+	idx, inst := buildTestIndex(b, 207, false)
+	tr := inst.Trajs.Get(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid, err := idx.AddTrajectory(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := idx.DeleteTrajectory(tid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"netclus/internal/tops"
+)
+
+func TestParallelBuildDeterministic(t *testing.T) {
+	// Two builds over identical inputs must produce identical ladders
+	// regardless of goroutine scheduling.
+	a, _ := buildTestIndex(t, 501, false)
+	b, _ := buildTestIndex(t, 501, false)
+	if len(a.Instances) != len(b.Instances) {
+		t.Fatalf("instance counts differ: %d vs %d", len(a.Instances), len(b.Instances))
+	}
+	for p := range a.Instances {
+		ia, ib := a.Instances[p], b.Instances[p]
+		if ia.Radius != ib.Radius || len(ia.Clusters) != len(ib.Clusters) {
+			t.Fatalf("instance %d shape differs", p)
+		}
+		for ci := range ia.Clusters {
+			ca, cb := &ia.Clusters[ci], &ib.Clusters[ci]
+			if ca.Center != cb.Center || ca.Rep != cb.Rep || len(ca.Members) != len(cb.Members) {
+				t.Fatalf("instance %d cluster %d differs", p, ci)
+			}
+		}
+	}
+	// Queries agree exactly.
+	for _, tau := range []float64{0.4, 0.8, 1.6} {
+		qa, err := a.Query(QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, err := b.Query(QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(qa.EstimatedUtility-qb.EstimatedUtility) > 1e-12 {
+			t.Fatalf("τ=%v: utilities differ", tau)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// The index is immutable during queries; concurrent readers must not
+	// race (run with -race) and must agree with a sequential baseline.
+	idx, _ := buildTestIndex(t, 503, false)
+	taus := []float64{0.4, 0.8, 1.2, 1.6, 2.4}
+	want := make([]float64, len(taus))
+	for i, tau := range taus {
+		res, err := idx.Query(QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.EstimatedUtility
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for round := 0; round < 8; round++ {
+		for i, tau := range taus {
+			wg.Add(1)
+			go func(i int, tau float64) {
+				defer wg.Done()
+				res, err := idx.Query(QueryOptions{K: 5, Pref: tops.Binary(tau)})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if math.Abs(res.EstimatedUtility-want[i]) > 1e-12 {
+					errCh <- errMismatch{}
+				}
+			}(i, tau)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "concurrent query result differs from sequential" }

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// buildTestIndex assembles a small deterministic city, trajectories, sites,
+// and a NETCLUS index with a fixed τ ladder.
+func buildTestIndex(t testing.TB, seed int64, useFM bool) (*Index, *tops.Instance) {
+	t.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 500, SpanKm: 10, Jitter: 0.2,
+		OneWayFrac: 0.1, RemoveFrac: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 60, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 120, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, store, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(inst, Options{
+		Gamma: 0.75, TauMin: 0.4, TauMax: 6.4,
+		GDSP: GDSPOptions{UseFM: useFM, F: 16, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, inst
+}
+
+func TestGDSPInvariants(t *testing.T) {
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 300, SpanKm: 8, Jitter: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := city.Graph
+	for _, useFM := range []bool{false, true} {
+		for _, radius := range []float64{0.3, 0.8, 2.0} {
+			clusters, err := greedyGDSP(g, GDSPOptions{Radius: radius, UseFM: useFM, F: 16, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make([]bool, g.NumNodes())
+			for _, cl := range clusters {
+				for i, v := range cl.members {
+					if seen[v] {
+						t.Fatalf("R=%v fm=%v: node %d in two clusters", radius, useFM, v)
+					}
+					seen[v] = true
+					if cl.dist[i] > 2*radius+1e-9 {
+						t.Fatalf("R=%v fm=%v: member at %v > 2R", radius, useFM, cl.dist[i])
+					}
+					// Oracle check on a sample: stored distance equals the
+					// true round trip to the center.
+					if i == 0 || i == len(cl.members)-1 {
+						if rt := roadnet.RoundTrip(g, v, cl.center); math.Abs(rt-cl.dist[i]) > 1e-9 {
+							t.Fatalf("stored dist %v != oracle %v", cl.dist[i], rt)
+						}
+					}
+				}
+			}
+			for v, ok := range seen {
+				if !ok {
+					t.Fatalf("R=%v fm=%v: node %d unclustered", radius, useFM, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGDSPClusterCountShrinksWithRadius(t *testing.T) {
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 400, SpanKm: 10, Jitter: 0.2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.MaxInt
+	for _, radius := range []float64{0.2, 0.5, 1.2, 3.0} {
+		clusters, err := greedyGDSP(city.Graph, GDSPOptions{Radius: radius})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clusters) > prev {
+			t.Fatalf("cluster count grew with radius: %d after %d", len(clusters), prev)
+		}
+		prev = len(clusters)
+	}
+	if prev <= 0 {
+		t.Fatal("no clusters at coarsest radius")
+	}
+}
+
+func TestGDSPRejectsBadRadius(t *testing.T) {
+	city, _ := gen.GenerateCity(gen.CityConfig{Topology: gen.GridMesh, Nodes: 100, SpanKm: 4, Seed: 1})
+	if _, err := greedyGDSP(city.Graph, GDSPOptions{Radius: 0}); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := greedyGDSP(city.Graph, GDSPOptions{Radius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestBuildLadder(t *testing.T) {
+	idx, _ := buildTestIndex(t, 11, false)
+	// t = floor(log_1.75(16)) + 1 = 5 instances.
+	if len(idx.Instances) != 5 {
+		t.Fatalf("ladder has %d instances, want 5", len(idx.Instances))
+	}
+	for p, ins := range idx.Instances {
+		wantR := 0.1 * math.Pow(1.75, float64(p))
+		if math.Abs(ins.Radius-wantR) > 1e-9 {
+			t.Errorf("instance %d radius %v, want %v", p, ins.Radius, wantR)
+		}
+		if err := idx.validateInstance(p); err != nil {
+			t.Errorf("instance %d: %v", p, err)
+		}
+	}
+	// Cluster counts decrease along the ladder.
+	for p := 1; p < len(idx.Instances); p++ {
+		if len(idx.Instances[p].Clusters) > len(idx.Instances[p-1].Clusters) {
+			t.Errorf("cluster count grew from instance %d to %d", p-1, p)
+		}
+	}
+}
+
+func TestInstanceFor(t *testing.T) {
+	idx, _ := buildTestIndex(t, 13, false)
+	cases := []struct {
+		tau  float64
+		want int
+	}{
+		{0.1, 0},  // below τmin clamps to finest
+		{0.4, 0},  // τmin
+		{0.69, 0}, // just below 0.4*1.75
+		{0.71, 1},
+		{2.0, 2}, // 0.4*1.75^2 = 1.225; 0.4*1.75^3 = 2.14
+		{6.0, 4}, // 6.0/0.4=15, log1.75(15)=4.84 -> 4
+		{100, 4}, // clamps to coarsest
+	}
+	for _, c := range cases {
+		if got := idx.InstanceFor(c.tau); got != c.want {
+			t.Errorf("InstanceFor(%v) = %d, want %d", c.tau, got, c.want)
+		}
+	}
+	// The chosen instance must satisfy 4R_p <= τ (when not clamped).
+	for _, tau := range []float64{0.4, 0.8, 1.6, 3.2, 6.0} {
+		p := idx.InstanceFor(tau)
+		if r := idx.Instances[p].Radius; 4*r > tau+1e-9 {
+			t.Errorf("τ=%v: instance radius %v violates 4R <= τ", tau, r)
+		}
+	}
+}
+
+func TestRepresentativesAreSites(t *testing.T) {
+	idx, inst := buildTestIndex(t, 17, false)
+	siteSet := map[roadnet.NodeID]bool{}
+	for _, s := range inst.Sites {
+		siteSet[s] = true
+	}
+	for p, ins := range idx.Instances {
+		reps := 0
+		for ci := range ins.Clusters {
+			cl := &ins.Clusters[ci]
+			if cl.Rep == roadnet.InvalidNode {
+				continue
+			}
+			reps++
+			if !siteSet[cl.Rep] {
+				t.Fatalf("instance %d: representative %d is not a site", p, cl.Rep)
+			}
+			// Representative must be a member of its own cluster.
+			found := false
+			for i, v := range cl.Members {
+				if v == cl.Rep {
+					found = true
+					if math.Abs(cl.MemberDr[i]-cl.RepDr) > 1e-9 {
+						t.Fatalf("RepDr mismatch")
+					}
+					// No other site in the cluster is closer (§4.2).
+					for j, u := range cl.Members {
+						if siteSet[u] && cl.MemberDr[j] < cl.RepDr-1e-9 {
+							t.Fatalf("closer site %d ignored as representative", u)
+						}
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("representative not a member of its cluster")
+			}
+		}
+		if reps == 0 {
+			t.Fatalf("instance %d has no representatives", p)
+		}
+	}
+}
+
+func TestEstimatedDetourUpperBoundsExact(t *testing.T) {
+	// d̂r >= dr (§5.1): the estimate never claims a site is closer than it
+	// is, which is what makes T̂C ⊆ TC.
+	idx, inst := buildTestIndex(t, 19, false)
+	p := idx.InstanceFor(0.8)
+	ins := idx.Instances[p]
+	checked := 0
+	for ci := range ins.Clusters {
+		cl := &ins.Clusters[ci]
+		if cl.Rep == roadnet.InvalidNode || len(cl.TL) == 0 {
+			continue
+		}
+		for _, te := range cl.TL[:min(3, len(cl.TL))] {
+			dHat := idx.EstimatedDetour(p, te.Traj, ClusterID(ci))
+			if math.IsInf(dHat, 1) {
+				continue
+			}
+			exact := tops.ExactDetour(inst.G, inst.Trajs.Get(te.Traj), cl.Rep)
+			if dHat < exact-1e-9 {
+				t.Fatalf("cluster %d traj %d: d̂r %v < dr %v", ci, te.Traj, dHat, exact)
+			}
+			checked++
+		}
+		if checked > 60 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no estimate checked")
+	}
+}
+
+func TestTCHatSubsetOfTC(t *testing.T) {
+	// Every trajectory NETCLUS counts as covered is truly covered
+	// (T̂C(r) ⊆ TC(r), §5.1).
+	idx, inst := buildTestIndex(t, 23, false)
+	distIdx, err := tops.BuildDistanceIndex(inst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 1.2
+	pref := tops.Binary(tau)
+	p := idx.InstanceFor(tau)
+	cs, repClusters := idx.RepCover(p, pref)
+	for ri, ci := range repClusters {
+		rep := idx.Instances[p].Clusters[ci].Rep
+		sid := idx.siteID[rep]
+		for _, st := range cs.TC[ri] {
+			exact := distIdx.Detour(trajectory.ID(st.Traj), tops.SiteID(sid))
+			if exact > tau+1e-9 {
+				t.Fatalf("T̂C claims coverage at dr=%v > τ=%v", exact, tau)
+			}
+		}
+	}
+}
+
+func TestQueryBasic(t *testing.T) {
+	idx, inst := buildTestIndex(t, 29, false)
+	res, err := idx.Query(QueryOptions{K: 5, Pref: tops.Binary(0.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) == 0 || len(res.Sites) > 5 {
+		t.Fatalf("selected %d sites", len(res.Sites))
+	}
+	if res.EstimatedUtility <= 0 {
+		t.Error("zero estimated utility on dense instance")
+	}
+	// Sites must be distinct candidate sites.
+	seen := map[roadnet.NodeID]bool{}
+	siteSet := map[roadnet.NodeID]bool{}
+	for _, s := range inst.Sites {
+		siteSet[s] = true
+	}
+	for _, s := range res.Sites {
+		if seen[s] {
+			t.Fatal("duplicate site in answer")
+		}
+		seen[s] = true
+		if !siteSet[s] {
+			t.Fatalf("answer node %d is not a candidate site", s)
+		}
+	}
+}
+
+func TestQueryQualityVsIncGreedy(t *testing.T) {
+	// NETCLUS utility (measured exactly) should be within a reasonable
+	// factor of INC-GREEDY's — the paper reports ~93% on average; allow a
+	// generous 60% here because the test instance is tiny.
+	idx, inst := buildTestIndex(t, 31, false)
+	distIdx, err := tops.BuildDistanceIndex(inst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{0.8, 1.6} {
+		pref := tops.Binary(tau)
+		cs, err := tops.BuildCoverSets(distIdx, pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incg, err := tops.IncGreedy(cs, tops.GreedyOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactU, _ := idx.EvaluateExact(distIdx, pref, nc.Sites)
+		if exactU < 0.6*incg.Utility {
+			t.Errorf("τ=%v: NETCLUS %v below 60%% of INCG %v", tau, exactU, incg.Utility)
+		}
+		if nc.EstimatedUtility > exactU+1e-9 {
+			t.Errorf("τ=%v: estimated utility %v exceeds exact %v (d̂r should under-count)", tau, nc.EstimatedUtility, exactU)
+		}
+	}
+}
+
+func TestQueryFMNetClus(t *testing.T) {
+	idx, _ := buildTestIndex(t, 37, false)
+	res, err := idx.Query(QueryOptions{K: 5, Pref: tops.Binary(0.8), UseFM: true, F: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) == 0 {
+		t.Fatal("FM query selected nothing")
+	}
+	// FM on non-binary preference must fail.
+	if _, err := idx.Query(QueryOptions{K: 5, Pref: tops.Linear(0.8), UseFM: true}); err == nil {
+		t.Error("FM query with non-binary preference accepted")
+	}
+}
+
+func TestQueryExtremeTaus(t *testing.T) {
+	idx, _ := buildTestIndex(t, 41, false)
+	// τ below τmin: still answers (finest instance).
+	if res, err := idx.Query(QueryOptions{K: 3, Pref: tops.Binary(0.05)}); err != nil {
+		t.Fatalf("tiny τ: %v", err)
+	} else if res.InstanceUsed != 0 {
+		t.Errorf("tiny τ used instance %d", res.InstanceUsed)
+	}
+	// τ above τmax: coarsest instance, any k sites.
+	if res, err := idx.Query(QueryOptions{K: 3, Pref: tops.Binary(1000)}); err != nil {
+		t.Fatalf("huge τ: %v", err)
+	} else if res.InstanceUsed != len(idx.Instances)-1 {
+		t.Errorf("huge τ used instance %d", res.InstanceUsed)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	idx, _ := buildTestIndex(t, 43, false)
+	if _, err := idx.Query(QueryOptions{K: 0, Pref: tops.Binary(0.8)}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := idx.Query(QueryOptions{K: 3, Pref: tops.Preference{Tau: -1}}); err == nil {
+		t.Error("negative τ accepted")
+	}
+}
+
+func TestQueryKLargerThanReps(t *testing.T) {
+	idx, _ := buildTestIndex(t, 47, false)
+	res, err := idx.Query(QueryOptions{K: 10_000, Pref: tops.Binary(3.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) > res.NumRepresentatives {
+		t.Fatalf("selected %d > %d representatives", len(res.Sites), res.NumRepresentatives)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	_, inst := buildTestIndex(t, 53, false)
+	if _, err := Build(inst, Options{Gamma: 2}); err == nil {
+		t.Error("γ>1 accepted")
+	}
+	if _, err := Build(inst, Options{Gamma: 0.75, TauMin: 5, TauMax: 1}); err == nil {
+		t.Error("τmin>τmax accepted")
+	}
+}
+
+func TestGammaTradeoff(t *testing.T) {
+	// Table 7's driver: smaller γ means more instances (more space).
+	_, inst := buildTestIndex(t, 59, false)
+	small, err := Build(inst, Options{Gamma: 0.25, TauMin: 0.4, TauMax: 6.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Build(inst, Options{Gamma: 1.0, TauMin: 0.4, TauMax: 6.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Instances) <= len(large.Instances) {
+		t.Errorf("γ=0.25 has %d instances, γ=1.0 has %d", len(small.Instances), len(large.Instances))
+	}
+	if small.MemoryBytes() <= large.MemoryBytes() {
+		t.Errorf("γ=0.25 memory %d not above γ=1.0 memory %d", small.MemoryBytes(), large.MemoryBytes())
+	}
+}
+
+func TestStats(t *testing.T) {
+	idx, _ := buildTestIndex(t, 61, false)
+	prevClusters := math.MaxInt
+	for p := range idx.Instances {
+		st := idx.Stats(p)
+		if st.NumClusters <= 0 || st.NumClusters > prevClusters {
+			t.Errorf("instance %d: clusters %d (prev %d)", p, st.NumClusters, prevClusters)
+		}
+		prevClusters = st.NumClusters
+		if st.AvgMembers < 1 {
+			t.Errorf("instance %d: avg members %v < 1", p, st.AvgMembers)
+		}
+	}
+	// Mean cluster size grows with the radius (Table 11 trend).
+	first, last := idx.Stats(0), idx.Stats(len(idx.Instances)-1)
+	if last.AvgMembers <= first.AvgMembers {
+		t.Errorf("avg members did not grow: %v -> %v", first.AvgMembers, last.AvgMembers)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+// Package core implements NETCLUS, the multi-resolution clustering index of
+// the paper (§4–§6): Greedy-GDSP distance-based clustering of the road
+// network, the ladder of index instances with radii growing by (1+γ), the
+// online TOPS-Cluster query over cluster representatives, and dynamic
+// updates of sites and trajectories.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"netclus/internal/fm"
+	"netclus/internal/roadnet"
+)
+
+// GDSPOptions configures the Greedy-GDSP clustering (§4.1).
+type GDSPOptions struct {
+	// Radius is the cluster radius R: every member has round-trip distance
+	// at most 2R to its cluster center.
+	Radius float64
+	// UseFM selects the FM-sketch-accelerated center choice of §4.1.2.
+	// The exact (lazy submodular) evaluation is used otherwise; both give
+	// a greedy dominating set, differing only in center tie decisions.
+	UseFM bool
+	// F is the number of FM sketch copies when UseFM is set (default 30).
+	F int
+	// Seed derives the sketch hash family.
+	Seed uint64
+}
+
+// rawCluster is the output of clustering before metadata enrichment.
+type rawCluster struct {
+	center  roadnet.NodeID
+	members []roadnet.NodeID // includes the center
+	dist    []float64        // round-trip distance of each member to center
+}
+
+// greedyGDSP partitions all nodes of g into clusters of radius R using the
+// greedy (largest incremental dominating set first) heuristic. Dominating
+// sets are never materialized globally: the initial sweep stores only the
+// count (exact mode) or an FM sketch (FM mode) per node, and membership is
+// recovered with one extra bounded search per chosen center. This keeps
+// memory at O(|V|) where the paper's description would need O(Σ|Λ(v)|),
+// while producing the same greedy selection rule.
+func greedyGDSP(g *roadnet.Graph, opts GDSPOptions) ([]rawCluster, error) {
+	if opts.Radius <= 0 {
+		return nil, fmt.Errorf("core: non-positive cluster radius %v", opts.Radius)
+	}
+	if opts.UseFM {
+		return gdspFM(g, opts)
+	}
+	return gdspExact(g, opts)
+}
+
+// domHeapItem is a lazy-greedy heap entry: count is an upper bound of the
+// node's incremental dominating-set size.
+type domHeapItem struct {
+	node  roadnet.NodeID
+	count float64
+	stamp int32
+}
+
+type domHeap []domHeapItem
+
+func (h domHeap) Len() int { return len(h) }
+func (h domHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count
+	}
+	return h[i].node > h[j].node
+}
+func (h domHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *domHeap) Push(x any)   { *h = append(*h, x.(domHeapItem)) }
+func (h *domHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// gdspExact runs lazy greedy with exact incremental counts. Dominance only
+// shrinks as nodes get covered, so stale heap counts are upper bounds and a
+// freshly re-evaluated top is the true argmax (same CELF argument as
+// IncGreedy's lazy mode).
+func gdspExact(g *roadnet.Graph, opts GDSPOptions) ([]rawCluster, error) {
+	n := g.NumNodes()
+	scratch := roadnet.NewScratch(g)
+	twoR := 2 * opts.Radius
+
+	h := make(domHeap, 0, n)
+	for v := 0; v < n; v++ {
+		dom := roadnet.BoundedRoundTripsFrom(g, scratch, roadnet.NodeID(v), twoR)
+		h = append(h, domHeapItem{node: roadnet.NodeID(v), count: float64(len(dom)), stamp: 0})
+	}
+	heap.Init(&h)
+
+	covered := make([]bool, n)
+	remaining := n
+	var clusters []rawCluster
+	var stamp int32 = 1
+	for remaining > 0 && h.Len() > 0 {
+		top := heap.Pop(&h).(domHeapItem)
+		if covered[top.node] {
+			continue
+		}
+		if top.stamp != stamp {
+			dom := roadnet.BoundedRoundTripsFrom(g, scratch, top.node, twoR)
+			cnt := 0
+			for u := range dom {
+				if !covered[u] {
+					cnt++
+				}
+			}
+			top.count = float64(cnt)
+			top.stamp = stamp
+			if h.Len() > 0 && top.count < h[0].count {
+				heap.Push(&h, top)
+				continue
+			}
+		}
+		// Fresh top: select as a center.
+		dom := roadnet.BoundedRoundTripsFrom(g, scratch, top.node, twoR)
+		cl := rawCluster{center: top.node}
+		for u, rt := range dom {
+			if !covered[u] {
+				covered[u] = true
+				remaining--
+				cl.members = append(cl.members, u)
+				cl.dist = append(cl.dist, rt)
+			}
+		}
+		if len(cl.members) == 0 {
+			// Possible only if the node was covered concurrently; skip.
+			continue
+		}
+		sortMembers(&cl)
+		clusters = append(clusters, cl)
+		stamp++
+	}
+	return clusters, nil
+}
+
+// gdspFM mirrors §4.1.2: dominating sets are summarized as FM sketches, the
+// next center is the node with the largest estimated incremental dominating
+// set, found with the sorted-scan + own-estimate-bound pruning of §3.5.
+// Cluster membership remains exact via a bounded search per chosen center.
+func gdspFM(g *roadnet.Graph, opts GDSPOptions) ([]rawCluster, error) {
+	n := g.NumNodes()
+	f := opts.F
+	if f <= 0 {
+		f = 30
+	}
+	scratch := roadnet.NewScratch(g)
+	twoR := 2 * opts.Radius
+
+	sketches := make([]*fm.Sketch, n)
+	own := make([]float64, n)
+	for v := 0; v < n; v++ {
+		sk := fm.NewSketchSeeded(f, opts.Seed+1)
+		dom := roadnet.BoundedRoundTripsFrom(g, scratch, roadnet.NodeID(v), twoR)
+		for u := range dom {
+			sk.Add(uint64(u))
+		}
+		sketches[v] = sk
+		own[v] = sk.Estimate()
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if own[order[a]] != own[order[b]] {
+			return own[order[a]] > own[order[b]]
+		}
+		return order[a] > order[b]
+	})
+
+	coveredSketch := fm.NewSketchSeeded(f, opts.Seed+1)
+	coveredEst := 0.0
+	covered := make([]bool, n)
+	remaining := n
+	var clusters []rawCluster
+	for remaining > 0 {
+		best := -1
+		bestMarg := 0.0
+		for _, v := range order {
+			if covered[v] {
+				continue
+			}
+			if own[v] <= bestMarg {
+				break // sorted by own estimate: nothing better remains
+			}
+			if marg := fm.UnionEstimate(coveredSketch, sketches[v]) - coveredEst; marg > bestMarg {
+				best, bestMarg = v, marg
+			}
+		}
+		if best < 0 {
+			// Estimates degenerate (all marginals zero) but nodes remain:
+			// fall back to any uncovered node to guarantee termination.
+			for _, v := range order {
+				if !covered[v] {
+					best = v
+					break
+				}
+			}
+		}
+		dom := roadnet.BoundedRoundTripsFrom(g, scratch, roadnet.NodeID(best), twoR)
+		cl := rawCluster{center: roadnet.NodeID(best)}
+		for u, rt := range dom {
+			if !covered[u] {
+				covered[u] = true
+				remaining--
+				cl.members = append(cl.members, u)
+				cl.dist = append(cl.dist, rt)
+			}
+		}
+		if len(cl.members) > 0 {
+			sortMembers(&cl)
+			clusters = append(clusters, cl)
+			coveredSketch.UnionWith(sketches[best])
+			coveredEst = coveredSketch.Estimate()
+		}
+	}
+	return clusters, nil
+}
+
+// sortMembers orders cluster members by node id for determinism (map
+// iteration order is random).
+func sortMembers(cl *rawCluster) {
+	idx := make([]int, len(cl.members))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cl.members[idx[a]] < cl.members[idx[b]] })
+	members := make([]roadnet.NodeID, len(idx))
+	dist := make([]float64, len(idx))
+	for i, j := range idx {
+		members[i] = cl.members[j]
+		dist[i] = cl.dist[j]
+	}
+	cl.members = members
+	cl.dist = dist
+}

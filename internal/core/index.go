@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// ClusterID identifies a cluster within one index instance.
+type ClusterID int32
+
+// InvalidCluster marks nodes without a cluster (never the case after build).
+const InvalidCluster ClusterID = -1
+
+// TrajEntry is one element of a cluster's trajectory list T L(g): a
+// trajectory passing through the cluster with its round-trip distance to
+// the cluster center (§4.3, item 3).
+type TrajEntry struct {
+	Traj trajectory.ID
+	Dr   float64
+}
+
+// NeighborEntry is one element of a cluster's neighbor list CL(g): a
+// cluster whose center is within round-trip distance 4·R·(1+γ), with that
+// distance (§4.3, item 4).
+type NeighborEntry struct {
+	Cluster ClusterID
+	Dr      float64
+}
+
+// Cluster carries the per-cluster information of §4.3.
+type Cluster struct {
+	// Center is the cluster center c_i chosen by Greedy-GDSP.
+	Center roadnet.NodeID
+	// Rep is the cluster representative r_i: the candidate site closest to
+	// the center (§4.2), or InvalidNode when the cluster hosts no site.
+	Rep roadnet.NodeID
+	// RepDr is dr(c_i, r_i); 0 when Rep is the center, +Inf when no rep.
+	RepDr float64
+	// Members lists the nodes of the cluster, ascending by node id.
+	Members []roadnet.NodeID
+	// MemberDr[i] is dr(Members[i], c_i) <= 2R.
+	MemberDr []float64
+	// TL is the trajectory list, ordered by trajectory id.
+	TL []TrajEntry
+	// CL is the neighbor list, ascending by distance.
+	CL []NeighborEntry
+}
+
+// Instance is one resolution level I_p of the NETCLUS index.
+type Instance struct {
+	// Radius is the cluster radius R_p.
+	Radius float64
+	// Clusters holds every cluster of this instance.
+	Clusters []Cluster
+	// NodeCluster maps each node to its cluster.
+	NodeCluster []ClusterID
+	// nodeCenterDr[v] = dr(v, center of NodeCluster[v]).
+	nodeCenterDr []float64
+	// CC maps each trajectory to the (deduplicated) clusters it passes
+	// through — the inverse of TL (§6 uses it for deletions).
+	CC [][]ClusterID
+	// BuildTime records how long this instance took to construct.
+	BuildTime time.Duration
+}
+
+// Options configures index construction.
+type Options struct {
+	// Gamma is the resolution parameter γ ∈ (0,1]: radii grow by (1+γ)
+	// between instances and a cluster's neighborhood reaches 4R(1+γ).
+	// The paper fixes 0.75 after the Table 7 sweep.
+	Gamma float64
+	// TauMin / TauMax bound the query coverage thresholds the index must
+	// serve. Zero values are derived from the data per §4.4: the minimum
+	// and maximum round-trip distance between candidate sites (estimated
+	// by sampling; exact pairwise computation is quadratic).
+	TauMin, TauMax float64
+	// GDSP configures the clustering; Radius is overwritten per instance.
+	GDSP GDSPOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Gamma == 0 {
+		o.Gamma = 0.75
+	}
+	return o
+}
+
+// Index is the multi-resolution NETCLUS index (§4.4). It owns a mutable
+// view of the site set and the trajectory store so that dynamic updates
+// (§6) do not mutate the caller's instance.
+type Index struct {
+	inst      *tops.Instance
+	opts      Options
+	Instances []*Instance
+
+	// isSite[v] marks candidate-site nodes; siteID[v] is the dense site id
+	// of node v (or -1). Updates maintain both.
+	isSite []bool
+	siteID []int32
+	// trajs aliases inst.Trajs extended by dynamic additions; alive masks
+	// deletions.
+	trajs *trajectory.Store
+	alive []bool
+}
+
+// Build constructs the full NETCLUS index offline phase: the instance
+// ladder I_0 … I_{t−1} with radii R_p = (1+γ)^p · τmin/4.
+func Build(inst *tops.Instance, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if opts.Gamma <= 0 || opts.Gamma > 1 {
+		return nil, fmt.Errorf("core: γ = %v outside (0,1]", opts.Gamma)
+	}
+	idx := &Index{
+		inst:   inst,
+		opts:   opts,
+		isSite: make([]bool, inst.G.NumNodes()),
+		siteID: make([]int32, inst.G.NumNodes()),
+		trajs:  inst.Trajs,
+		alive:  make([]bool, inst.M()),
+	}
+	for v := range idx.siteID {
+		idx.siteID[v] = -1
+	}
+	for i, s := range inst.Sites {
+		idx.isSite[s] = true
+		idx.siteID[s] = int32(i)
+	}
+	for i := range idx.alive {
+		idx.alive[i] = true
+	}
+
+	if opts.TauMin <= 0 || opts.TauMax <= 0 {
+		tmin, tmax := estimateTauRange(inst)
+		if opts.TauMin <= 0 {
+			opts.TauMin = tmin
+		}
+		if opts.TauMax <= 0 {
+			opts.TauMax = tmax
+		}
+	}
+	if opts.TauMin >= opts.TauMax {
+		return nil, fmt.Errorf("core: τmin %v >= τmax %v", opts.TauMin, opts.TauMax)
+	}
+	idx.opts = opts
+
+	t := int(math.Floor(math.Log(opts.TauMax/opts.TauMin)/math.Log(1+opts.Gamma))) + 1
+	r0 := opts.TauMin / 4
+	// Ladder rungs are independent (each reads the shared immutable inputs
+	// and writes only its own Instance), so they build concurrently. The
+	// result is deterministic: rung p depends only on its radius.
+	idx.Instances = make([]*Instance, t)
+	errs := make([]error, t)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for p := 0; p < t; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			radius := r0 * math.Pow(1+opts.Gamma, float64(p))
+			ins, err := idx.buildInstance(radius)
+			if err != nil {
+				errs[p] = fmt.Errorf("core: instance %d (R=%v): %w", p, radius, err)
+				return
+			}
+			idx.Instances[p] = ins
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return idx, nil
+}
+
+// estimateTauRange derives [τmin, τmax) per §4.4 as the min and max
+// round-trip distance between candidate sites, estimated from a sample of
+// sites (the exact values need quadratic work; the sampled bounds only
+// shift which ladder rung serves which τ, not correctness, because queries
+// clamp to the ladder).
+func estimateTauRange(inst *tops.Instance) (float64, float64) {
+	g := inst.G
+	scratch := roadnet.NewScratch(g)
+	sampleEvery := len(inst.Sites)/64 + 1
+	tmin := math.Inf(1)
+	tmax := 0.0
+	for i := 0; i < len(inst.Sites); i += sampleEvery {
+		src := inst.Sites[i]
+		// Nearest other site: grow the search until one is found.
+		radius := 0.25
+		found := false
+		for !found && radius < 1e6 {
+			res := roadnet.BoundedRoundTripsFrom(g, scratch, src, radius)
+			for v, rt := range res {
+				if v != src && instIsSite(inst, v) && rt < tmin {
+					tmin = rt
+					found = true
+				}
+			}
+			radius *= 2
+		}
+		// Farthest site round trip (full searches, sampled sparsely).
+		if i%(sampleEvery*4) == 0 {
+			rts := roadnet.RoundTripsFrom(g, src)
+			for _, s := range inst.Sites {
+				if rt := rts[s]; !math.IsInf(rt, 1) && rt > tmax {
+					tmax = rt
+				}
+			}
+		}
+	}
+	if math.IsInf(tmin, 1) || tmin <= 0 {
+		tmin = 0.1
+	}
+	if tmax <= tmin {
+		tmax = tmin * 64
+	}
+	return tmin, tmax
+}
+
+func instIsSite(inst *tops.Instance, v roadnet.NodeID) bool {
+	// Sites are sorted ascending (generator contract); binary search.
+	lo, hi := 0, len(inst.Sites)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case inst.Sites[mid] == v:
+			return true
+		case inst.Sites[mid] < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// buildInstance clusters the network at the given radius and derives all
+// §4.3 cluster information.
+func (idx *Index) buildInstance(radius float64) (*Instance, error) {
+	start := time.Now()
+	g := idx.inst.G
+	gopts := idx.opts.GDSP
+	gopts.Radius = radius
+	raw, err := greedyGDSP(g, gopts)
+	if err != nil {
+		return nil, err
+	}
+	ins := &Instance{
+		Radius:       radius,
+		Clusters:     make([]Cluster, len(raw)),
+		NodeCluster:  make([]ClusterID, g.NumNodes()),
+		nodeCenterDr: make([]float64, g.NumNodes()),
+		CC:           make([][]ClusterID, idx.trajs.Len()),
+	}
+	for v := range ins.NodeCluster {
+		ins.NodeCluster[v] = InvalidCluster
+	}
+	for ci, rc := range raw {
+		cl := Cluster{Center: rc.center, Members: rc.members, MemberDr: rc.dist}
+		for i, v := range rc.members {
+			ins.NodeCluster[v] = ClusterID(ci)
+			ins.nodeCenterDr[v] = rc.dist[i]
+		}
+		ins.Clusters[ci] = cl
+	}
+	// Representatives: candidate site closest to the center (§4.2).
+	for ci := range ins.Clusters {
+		idx.chooseRepresentative(ins, ClusterID(ci))
+	}
+	// Trajectory lists and cluster sequences.
+	idx.trajs.ForEach(func(tid trajectory.ID, tr *trajectory.Trajectory) {
+		if !idx.alive[tid] {
+			return
+		}
+		registerTrajectory(ins, tid, tr)
+	})
+	// Neighbor lists: centers within round-trip 4R(1+γ).
+	idx.buildNeighborLists(ins)
+	ins.BuildTime = time.Since(start)
+	return ins, nil
+}
+
+// chooseRepresentative (re)selects the representative of cluster ci as the
+// candidate site with minimal round-trip distance to the center.
+func (idx *Index) chooseRepresentative(ins *Instance, ci ClusterID) {
+	cl := &ins.Clusters[ci]
+	cl.Rep = roadnet.InvalidNode
+	cl.RepDr = math.Inf(1)
+	for i, v := range cl.Members {
+		if idx.isSite[v] && cl.MemberDr[i] < cl.RepDr {
+			cl.Rep = v
+			cl.RepDr = cl.MemberDr[i]
+		}
+	}
+}
+
+// registerTrajectory adds a trajectory to the TL lists of the clusters it
+// passes through and records its cluster sequence CC. The trajectory's
+// distance to a cluster center is the minimum round-trip distance over its
+// nodes inside the cluster.
+func registerTrajectory(ins *Instance, tid trajectory.ID, tr *trajectory.Trajectory) {
+	// Min distance per cluster visited.
+	best := make(map[ClusterID]float64, 8)
+	var seq []ClusterID
+	var last ClusterID = InvalidCluster
+	for _, v := range tr.Nodes {
+		c := ins.NodeCluster[v]
+		if c != last {
+			seq = append(seq, c)
+			last = c
+		}
+		if d := ins.nodeCenterDr[v]; d < bestOr(best, c) {
+			best[c] = d
+		}
+	}
+	// Dedup seq for CC (a trajectory can re-enter a cluster).
+	dedup := seq[:0]
+	seen := make(map[ClusterID]bool, len(seq))
+	for _, c := range seq {
+		if !seen[c] {
+			seen[c] = true
+			dedup = append(dedup, c)
+		}
+	}
+	for int(tid) >= len(ins.CC) {
+		ins.CC = append(ins.CC, nil)
+	}
+	ins.CC[tid] = append([]ClusterID(nil), dedup...)
+	for _, c := range dedup {
+		ins.Clusters[c].TL = append(ins.Clusters[c].TL, TrajEntry{Traj: tid, Dr: best[c]})
+	}
+}
+
+func bestOr(m map[ClusterID]float64, c ClusterID) float64 {
+	if d, ok := m[c]; ok {
+		return d
+	}
+	return math.Inf(1)
+}
+
+// buildNeighborLists computes CL(g) for every cluster: clusters whose
+// centers are within round-trip distance 4·R·(1+γ) (§4.3; the bound is what
+// makes T̂C computable from neighbors only, §5.1).
+func (idx *Index) buildNeighborLists(ins *Instance) {
+	g := idx.inst.G
+	scratch := roadnet.NewScratch(g)
+	reach := 4 * ins.Radius * (1 + idx.opts.Gamma)
+	// center node -> cluster id for O(1) membership tests.
+	centerOf := make(map[roadnet.NodeID]ClusterID, len(ins.Clusters))
+	for ci := range ins.Clusters {
+		centerOf[ins.Clusters[ci].Center] = ClusterID(ci)
+	}
+	for ci := range ins.Clusters {
+		src := ins.Clusters[ci].Center
+		rts := roadnet.BoundedRoundTripsFrom(g, scratch, src, reach)
+		var nbrs []NeighborEntry
+		for v, rt := range rts {
+			if cj, ok := centerOf[v]; ok && cj != ClusterID(ci) {
+				nbrs = append(nbrs, NeighborEntry{Cluster: cj, Dr: rt})
+			}
+		}
+		sort.Slice(nbrs, func(a, b int) bool {
+			if nbrs[a].Dr != nbrs[b].Dr {
+				return nbrs[a].Dr < nbrs[b].Dr
+			}
+			return nbrs[a].Cluster < nbrs[b].Cluster
+		})
+		ins.Clusters[ci].CL = nbrs
+	}
+}
+
+// InstanceFor returns the ladder position p serving coverage threshold τ
+// (§5: p = ⌊log_{1+γ}(τ/τmin)⌋, clamped to the ladder).
+func (idx *Index) InstanceFor(tau float64) int {
+	if tau <= idx.opts.TauMin {
+		return 0
+	}
+	p := int(math.Floor(math.Log(tau/idx.opts.TauMin) / math.Log(1+idx.opts.Gamma)))
+	if p < 0 {
+		p = 0
+	}
+	if p >= len(idx.Instances) {
+		p = len(idx.Instances) - 1
+	}
+	return p
+}
+
+// TauRange returns the [τmin, τmax) range the ladder was built for.
+func (idx *Index) TauRange() (float64, float64) { return idx.opts.TauMin, idx.opts.TauMax }
+
+// Gamma returns the resolution parameter γ.
+func (idx *Index) Gamma() float64 { return idx.opts.Gamma }
+
+// TopsInstance returns the underlying problem instance.
+func (idx *Index) TopsInstance() *tops.Instance { return idx.inst }
+
+// NumAlive returns the number of live (non-deleted) trajectories.
+func (idx *Index) NumAlive() int {
+	n := 0
+	for _, a := range idx.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoryBytes estimates the resident size of all index instances: cluster
+// membership, trajectory lists, neighbor lists and the dense node arrays.
+// This drives the Table 7 / Table 9 space comparisons.
+func (idx *Index) MemoryBytes() int64 {
+	var total int64
+	for _, ins := range idx.Instances {
+		total += int64(len(ins.NodeCluster)) * 4
+		total += int64(len(ins.nodeCenterDr)) * 8
+		for ci := range ins.Clusters {
+			cl := &ins.Clusters[ci]
+			total += int64(len(cl.Members))*12 + int64(len(cl.TL))*12 + int64(len(cl.CL))*12
+		}
+		for _, cc := range ins.CC {
+			total += int64(len(cc)) * 4
+		}
+	}
+	return total
+}
+
+// Stats summarizes one instance for Table 11-style reporting.
+type InstanceStats struct {
+	Radius       float64
+	NumClusters  int
+	AvgMembers   float64 // mean |Λ| (cluster size)
+	AvgTL        float64 // mean trajectory-list length
+	AvgCL        float64 // mean neighbor count
+	BuildSeconds float64
+}
+
+// Stats computes summary statistics of instance p.
+func (idx *Index) Stats(p int) InstanceStats {
+	ins := idx.Instances[p]
+	st := InstanceStats{
+		Radius:       ins.Radius,
+		NumClusters:  len(ins.Clusters),
+		BuildSeconds: ins.BuildTime.Seconds(),
+	}
+	var members, tl, cl int
+	for ci := range ins.Clusters {
+		members += len(ins.Clusters[ci].Members)
+		tl += len(ins.Clusters[ci].TL)
+		cl += len(ins.Clusters[ci].CL)
+	}
+	if n := float64(len(ins.Clusters)); n > 0 {
+		st.AvgMembers = float64(members) / n
+		st.AvgTL = float64(tl) / n
+		st.AvgCL = float64(cl) / n
+	}
+	return st
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// Index persistence. The offline phase (clustering every instance of the
+// ladder) dominates total cost, so a deployment builds the index once and
+// reloads it across process restarts. The serialized form contains the
+// ladder and all cluster metadata but not the road network or trajectory
+// store: those are serialized by their own packages, and ReadIndex
+// re-attaches a loaded index to the instance it was built from, verifying
+// shape compatibility.
+
+const indexMagic uint32 = 0x4e434931 // "NCI1"
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the index.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+
+	if err := put(indexMagic); err != nil {
+		return cw.n, err
+	}
+	if err := put(idx.opts.Gamma); err != nil {
+		return cw.n, err
+	}
+	if err := put(idx.opts.TauMin); err != nil {
+		return cw.n, err
+	}
+	if err := put(idx.opts.TauMax); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint32(idx.inst.G.NumNodes())); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint32(idx.trajs.Len())); err != nil {
+		return cw.n, err
+	}
+	// Site membership and liveness masks.
+	for v := 0; v < idx.inst.G.NumNodes(); v++ {
+		b := uint8(0)
+		if idx.isSite[v] {
+			b = 1
+		}
+		if err := put(b); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, a := range idx.alive {
+		b := uint8(0)
+		if a {
+			b = 1
+		}
+		if err := put(b); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := put(uint32(len(idx.Instances))); err != nil {
+		return cw.n, err
+	}
+	for _, ins := range idx.Instances {
+		if err := put(ins.Radius); err != nil {
+			return cw.n, err
+		}
+		if err := put(uint32(len(ins.Clusters))); err != nil {
+			return cw.n, err
+		}
+		for ci := range ins.Clusters {
+			cl := &ins.Clusters[ci]
+			if err := put(int32(cl.Center)); err != nil {
+				return cw.n, err
+			}
+			if err := put(int32(cl.Rep)); err != nil {
+				return cw.n, err
+			}
+			repDr := cl.RepDr
+			if math.IsInf(repDr, 1) {
+				repDr = -1 // sentinel: +Inf is not round-trippable naively
+			}
+			if err := put(repDr); err != nil {
+				return cw.n, err
+			}
+			if err := put(uint32(len(cl.Members))); err != nil {
+				return cw.n, err
+			}
+			for i, v := range cl.Members {
+				if err := put(int32(v)); err != nil {
+					return cw.n, err
+				}
+				if err := put(cl.MemberDr[i]); err != nil {
+					return cw.n, err
+				}
+			}
+			if err := put(uint32(len(cl.TL))); err != nil {
+				return cw.n, err
+			}
+			for _, te := range cl.TL {
+				if err := put(int32(te.Traj)); err != nil {
+					return cw.n, err
+				}
+				if err := put(te.Dr); err != nil {
+					return cw.n, err
+				}
+			}
+			if err := put(uint32(len(cl.CL))); err != nil {
+				return cw.n, err
+			}
+			for _, nb := range cl.CL {
+				if err := put(int32(nb.Cluster)); err != nil {
+					return cw.n, err
+				}
+				if err := put(nb.Dr); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+		// CC lists.
+		if err := put(uint32(len(ins.CC))); err != nil {
+			return cw.n, err
+		}
+		for _, cc := range ins.CC {
+			if err := put(uint32(len(cc))); err != nil {
+				return cw.n, err
+			}
+			for _, c := range cc {
+				if err := put(int32(c)); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadIndex deserializes an index and re-attaches it to the given problem
+// instance, which must be the one (or an identically shaped one) it was
+// built from. Node/trajectory counts are verified; deeper mismatches would
+// surface as validation errors, which are checked per instance before
+// returning.
+func ReadIndex(r io.Reader, inst *tops.Instance) (*Index, error) {
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic uint32
+	if err := get(&magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %#x", magic)
+	}
+	idx := &Index{inst: inst, trajs: inst.Trajs}
+	if err := get(&idx.opts.Gamma); err != nil {
+		return nil, err
+	}
+	if err := get(&idx.opts.TauMin); err != nil {
+		return nil, err
+	}
+	if err := get(&idx.opts.TauMax); err != nil {
+		return nil, err
+	}
+	var nNodes, nTrajs uint32
+	if err := get(&nNodes); err != nil {
+		return nil, err
+	}
+	if err := get(&nTrajs); err != nil {
+		return nil, err
+	}
+	if int(nNodes) != inst.G.NumNodes() {
+		return nil, fmt.Errorf("core: index built over %d nodes, instance has %d", nNodes, inst.G.NumNodes())
+	}
+	if int(nTrajs) != inst.Trajs.Len() {
+		return nil, fmt.Errorf("core: index built over %d trajectories, instance has %d", nTrajs, inst.Trajs.Len())
+	}
+	idx.isSite = make([]bool, nNodes)
+	idx.siteID = make([]int32, nNodes)
+	for v := range idx.siteID {
+		idx.siteID[v] = -1
+	}
+	for v := uint32(0); v < nNodes; v++ {
+		var b uint8
+		if err := get(&b); err != nil {
+			return nil, err
+		}
+		idx.isSite[v] = b == 1
+	}
+	// Dense site ids follow the instance's site list order.
+	for i, s := range inst.Sites {
+		if !idx.isSite[s] {
+			return nil, fmt.Errorf("core: instance site %d not marked in serialized index", s)
+		}
+		idx.siteID[s] = int32(i)
+	}
+	idx.alive = make([]bool, nTrajs)
+	for t := uint32(0); t < nTrajs; t++ {
+		var b uint8
+		if err := get(&b); err != nil {
+			return nil, err
+		}
+		idx.alive[t] = b == 1
+	}
+	var nInst uint32
+	if err := get(&nInst); err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 24
+	if nInst > 64 {
+		return nil, fmt.Errorf("core: implausible instance count %d", nInst)
+	}
+	for p := uint32(0); p < nInst; p++ {
+		ins := &Instance{
+			NodeCluster:  make([]ClusterID, nNodes),
+			nodeCenterDr: make([]float64, nNodes),
+		}
+		for v := range ins.NodeCluster {
+			ins.NodeCluster[v] = InvalidCluster
+		}
+		if err := get(&ins.Radius); err != nil {
+			return nil, err
+		}
+		var nClusters uint32
+		if err := get(&nClusters); err != nil {
+			return nil, err
+		}
+		if nClusters > maxReasonable {
+			return nil, fmt.Errorf("core: implausible cluster count %d", nClusters)
+		}
+		for ci := uint32(0); ci < nClusters; ci++ {
+			var cl Cluster
+			var center, rep int32
+			if err := get(&center); err != nil {
+				return nil, err
+			}
+			if err := get(&rep); err != nil {
+				return nil, err
+			}
+			cl.Center = roadnet.NodeID(center)
+			cl.Rep = roadnet.NodeID(rep)
+			if err := get(&cl.RepDr); err != nil {
+				return nil, err
+			}
+			if cl.RepDr == -1 {
+				cl.RepDr = math.Inf(1)
+			}
+			var nMembers uint32
+			if err := get(&nMembers); err != nil {
+				return nil, err
+			}
+			if nMembers > nNodes {
+				return nil, fmt.Errorf("core: cluster %d has %d members over %d nodes", ci, nMembers, nNodes)
+			}
+			cl.Members = make([]roadnet.NodeID, nMembers)
+			cl.MemberDr = make([]float64, nMembers)
+			for i := uint32(0); i < nMembers; i++ {
+				var v int32
+				if err := get(&v); err != nil {
+					return nil, err
+				}
+				if v < 0 || uint32(v) >= nNodes {
+					return nil, fmt.Errorf("core: member node %d out of range", v)
+				}
+				cl.Members[i] = roadnet.NodeID(v)
+				if err := get(&cl.MemberDr[i]); err != nil {
+					return nil, err
+				}
+				ins.NodeCluster[v] = ClusterID(ci)
+				ins.nodeCenterDr[v] = cl.MemberDr[i]
+			}
+			var nTL uint32
+			if err := get(&nTL); err != nil {
+				return nil, err
+			}
+			if nTL > nTrajs {
+				return nil, fmt.Errorf("core: cluster %d TL size %d over %d trajectories", ci, nTL, nTrajs)
+			}
+			cl.TL = make([]TrajEntry, nTL)
+			for i := uint32(0); i < nTL; i++ {
+				var tid int32
+				if err := get(&tid); err != nil {
+					return nil, err
+				}
+				cl.TL[i].Traj = trajectory.ID(tid)
+				if err := get(&cl.TL[i].Dr); err != nil {
+					return nil, err
+				}
+			}
+			var nCL uint32
+			if err := get(&nCL); err != nil {
+				return nil, err
+			}
+			if nCL > nClusters {
+				return nil, fmt.Errorf("core: cluster %d CL size %d over %d clusters", ci, nCL, nClusters)
+			}
+			cl.CL = make([]NeighborEntry, nCL)
+			for i := uint32(0); i < nCL; i++ {
+				var cj int32
+				if err := get(&cj); err != nil {
+					return nil, err
+				}
+				cl.CL[i].Cluster = ClusterID(cj)
+				if err := get(&cl.CL[i].Dr); err != nil {
+					return nil, err
+				}
+			}
+			ins.Clusters = append(ins.Clusters, cl)
+		}
+		var nCC uint32
+		if err := get(&nCC); err != nil {
+			return nil, err
+		}
+		if nCC > maxReasonable {
+			return nil, fmt.Errorf("core: implausible CC count %d", nCC)
+		}
+		ins.CC = make([][]ClusterID, nCC)
+		for t := uint32(0); t < nCC; t++ {
+			var l uint32
+			if err := get(&l); err != nil {
+				return nil, err
+			}
+			if l > nClusters {
+				return nil, fmt.Errorf("core: CC list %d longer than cluster count", t)
+			}
+			if l > 0 {
+				ins.CC[t] = make([]ClusterID, l)
+				for i := uint32(0); i < l; i++ {
+					var c int32
+					if err := get(&c); err != nil {
+						return nil, err
+					}
+					ins.CC[t][i] = ClusterID(c)
+				}
+			}
+		}
+		idx.Instances = append(idx.Instances, ins)
+	}
+	for p := range idx.Instances {
+		if err := idx.validateInstance(p); err != nil {
+			return nil, fmt.Errorf("core: loaded instance %d invalid: %w", p, err)
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	idx, inst := buildTestIndex(t, 301, false)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Instances) != len(idx.Instances) {
+		t.Fatalf("instances: %d vs %d", len(loaded.Instances), len(idx.Instances))
+	}
+	if loaded.Gamma() != idx.Gamma() {
+		t.Error("gamma mismatch")
+	}
+	lm, lM := loaded.TauRange()
+	om, oM := idx.TauRange()
+	if lm != om || lM != oM {
+		t.Error("tau range mismatch")
+	}
+	// Queries must answer identically.
+	for _, tau := range []float64{0.4, 0.8, 1.6} {
+		pref := tops.Binary(tau)
+		a, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Query(QueryOptions{K: 5, Pref: pref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.EstimatedUtility-b.EstimatedUtility) > 1e-12 {
+			t.Fatalf("τ=%v: utilities differ: %v vs %v", tau, a.EstimatedUtility, b.EstimatedUtility)
+		}
+		if a.InstanceUsed != b.InstanceUsed || a.NumRepresentatives != b.NumRepresentatives {
+			t.Fatalf("τ=%v: structure differs", tau)
+		}
+		for i := range a.Sites {
+			if a.Sites[i] != b.Sites[i] {
+				t.Fatalf("τ=%v: site %d differs", tau, i)
+			}
+		}
+	}
+}
+
+func TestIndexSerializationPreservesUpdates(t *testing.T) {
+	idx, inst := buildTestIndex(t, 303, false)
+	// Delete some trajectories and a site; the round trip must keep the
+	// mutated state.
+	if err := idx.DeleteTrajectory(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.DeleteTrajectory(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.DeleteSite(inst.Sites[0]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumAlive() != idx.NumAlive() {
+		t.Fatalf("alive count: %d vs %d", loaded.NumAlive(), idx.NumAlive())
+	}
+	a, _ := idx.Query(QueryOptions{K: 5, Pref: tops.Binary(0.8)})
+	b, _ := loaded.Query(QueryOptions{K: 5, Pref: tops.Binary(0.8)})
+	if math.Abs(a.EstimatedUtility-b.EstimatedUtility) > 1e-12 {
+		t.Fatalf("post-update utilities differ: %v vs %v", a.EstimatedUtility, b.EstimatedUtility)
+	}
+}
+
+func TestReadIndexRejectsMismatchedInstance(t *testing.T) {
+	idx, _ := buildTestIndex(t, 307, false)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different-shaped instance (different seed -> different city size or
+	// trajectory count).
+	_, other := buildTestIndex(t, 311, false)
+	if other.G.NumNodes() == idx.inst.G.NumNodes() && other.Trajs.Len() == idx.inst.Trajs.Len() {
+		t.Skip("identically sized instance; mismatch undetectable by shape")
+	}
+	if _, err := ReadIndex(&buf, other); err == nil {
+		t.Error("mismatched instance accepted")
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	_, inst := buildTestIndex(t, 313, false)
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4},
+		"truncated": {0x31, 0x49, 0x43, 0x4e, 0, 0, 0, 0},
+	} {
+		if _, err := ReadIndex(bytes.NewReader(data), inst); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadedIndexSupportsUpdates(t *testing.T) {
+	idx, inst := buildTestIndex(t, 317, false)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trajectory.New(inst.G, inst.Trajs.Get(1).Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := loaded.AddTrajectory(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.DeleteTrajectory(tid); err != nil {
+		t.Fatal(err)
+	}
+	for p := range loaded.Instances {
+		if err := loaded.validateInstance(p); err != nil {
+			t.Fatalf("instance %d after updates on loaded index: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"netclus/internal/tops"
+)
+
+// Jaccard-similarity clustering (Appendix B.1) — the alternative NETCLUS
+// rejects in §4 because it must run at query time (the covering sets TC
+// depend on τ) and needs pairwise set similarities. It is implemented here
+// as the baseline of Table 12.
+
+// JaccardResult summarizes one Jaccard clustering run.
+type JaccardResult struct {
+	NumClusters int
+	// Assign maps each site to its cluster (index into Centers).
+	Assign []int
+	// Centers lists the cluster-center sites in creation order.
+	Centers []tops.SiteID
+	// BuildTime is the wall-clock clustering cost (Table 12's metric).
+	BuildTime time.Duration
+	// PairBytes estimates the memory touched: total TC entries scanned.
+	PairBytes int64
+}
+
+// JaccardCluster clusters candidate sites by trajectory-cover similarity:
+// repeatedly take the unclustered site with the highest weight as a center
+// and absorb every unclustered site within Jaccard distance alpha of its
+// cover set. It requires cover sets for a concrete τ — exactly the
+// dependence that makes the approach impractical (Table 12).
+func JaccardCluster(cs *tops.CoverSets, alpha float64) (*JaccardResult, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: Jaccard distance threshold %v outside [0,1]", alpha)
+	}
+	start := time.Now()
+	n := cs.N()
+	res := &JaccardResult{Assign: make([]int, n)}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+	// Sites by weight descending (highest-weight center first, B.1).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if cs.Weights[order[a]] != cs.Weights[order[b]] {
+			return cs.Weights[order[a]] > cs.Weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	// Trajectory sets as sorted id slices for linear-merge intersection.
+	sets := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		ids := make([]int32, len(cs.TC[s]))
+		for i, st := range cs.TC[s] {
+			ids[i] = st.Traj
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		sets[s] = ids
+		res.PairBytes += int64(len(ids)) * 4
+	}
+	for _, c := range order {
+		if res.Assign[c] != -1 {
+			continue
+		}
+		cid := len(res.Centers)
+		res.Centers = append(res.Centers, tops.SiteID(c))
+		res.Assign[c] = cid
+		for s := 0; s < n; s++ {
+			if res.Assign[s] != -1 {
+				continue
+			}
+			if jaccardDistance(sets[c], sets[s]) <= alpha {
+				res.Assign[s] = cid
+			}
+		}
+	}
+	res.NumClusters = len(res.Centers)
+	res.BuildTime = time.Since(start)
+	return res, nil
+}
+
+// jaccardDistance returns 1 − |A∩B| / |A∪B| over sorted id slices. Two
+// empty sets are identical (distance 0).
+func jaccardDistance(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"netclus/internal/tops"
+)
+
+func jaccardCoverFixture() *tops.CoverSets {
+	// Three near-identical sites and one disjoint site.
+	cs := tops.NewCoverSets(4, 10)
+	for tr := int32(0); tr < 6; tr++ {
+		cs.AddPair(0, tr, 1)
+		cs.AddPair(1, tr, 1)
+	}
+	for tr := int32(0); tr < 5; tr++ {
+		cs.AddPair(2, tr, 1)
+	}
+	for tr := int32(6); tr < 10; tr++ {
+		cs.AddPair(3, tr, 1)
+	}
+	return cs
+}
+
+func TestJaccardClusterGroupsSimilarSites(t *testing.T) {
+	cs := jaccardCoverFixture()
+	res, err := JaccardCluster(cs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites 0,1 identical (distance 0); site 2 at distance 1-5/6 = 1/6;
+	// site 3 disjoint (distance 1). Expect {0,1,2} together, {3} apart.
+	if res.Assign[0] != res.Assign[1] || res.Assign[0] != res.Assign[2] {
+		t.Errorf("similar sites split: %v", res.Assign)
+	}
+	if res.Assign[3] == res.Assign[0] {
+		t.Errorf("disjoint site merged: %v", res.Assign)
+	}
+	if res.NumClusters != 2 {
+		t.Errorf("clusters = %d, want 2", res.NumClusters)
+	}
+}
+
+func TestJaccardClusterAssignsEverySite(t *testing.T) {
+	cs := jaccardCoverFixture()
+	res, err := JaccardCluster(cs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, a := range res.Assign {
+		if a < 0 || a >= res.NumClusters {
+			t.Fatalf("site %d unassigned (%d)", s, a)
+		}
+	}
+	// Tight threshold: at least as many clusters as the loose one.
+	loose, _ := JaccardCluster(cs, 0.9)
+	if res.NumClusters < loose.NumClusters {
+		t.Errorf("tight threshold produced fewer clusters (%d < %d)", res.NumClusters, loose.NumClusters)
+	}
+}
+
+func TestJaccardClusterValidation(t *testing.T) {
+	cs := jaccardCoverFixture()
+	if _, err := JaccardCluster(cs, -0.1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := JaccardCluster(cs, 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestJaccardDistanceOracle(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want float64
+	}{
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 0},
+		{[]int32{1, 2}, []int32{3, 4}, 1},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 0.5},
+		{nil, nil, 0},
+		{[]int32{1}, nil, 1},
+	}
+	for _, c := range cases {
+		if got := jaccardDistance(c.a, c.b); got != c.want {
+			t.Errorf("jaccardDistance(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardOnRealCoverSets(t *testing.T) {
+	// Table 12 shape: clustering runs and groups the site space at least
+	// somewhat (fewer clusters than sites).
+	_, inst := buildTestIndex(t, 109, false)
+	distIdx, err := tops.BuildDistanceIndex(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := tops.BuildCoverSets(distIdx, tops.Binary(1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := JaccardCluster(cs, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters <= 0 || res.NumClusters > cs.N() {
+		t.Fatalf("clusters = %d of %d sites", res.NumClusters, cs.N())
+	}
+	if res.NumClusters == cs.N() {
+		t.Log("no compression achieved — acceptable but worth noting")
+	}
+	if res.BuildTime <= 0 {
+		t.Error("no build time recorded")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// QueryOptions carries the online TOPS query parameters.
+type QueryOptions struct {
+	// K is the number of sites to report.
+	K int
+	// Pref is the preference function ψ with its threshold τ.
+	Pref tops.Preference
+	// UseFM answers the query with FM-NETCLUS (binary ψ only).
+	UseFM bool
+	// F is the FM sketch count (default 30).
+	F int
+	// Seed derives FM hash families.
+	Seed uint64
+	// Greedy forwards extra options (existing services, lazy mode,
+	// TOPS4 target coverage) to the underlying IncGreedy. K and
+	// TargetCoverage inside are overridden by this struct's fields.
+	Greedy tops.GreedyOptions
+}
+
+// QueryResult is the NETCLUS answer to a TOPS query.
+type QueryResult struct {
+	// Sites lists the selected sites as road-network nodes.
+	Sites []roadnet.NodeID
+	// SiteIDs lists the same sites as dense ids of the TOPS instance.
+	SiteIDs []tops.SiteID
+	// EstimatedUtility is U(Q) under the clustered-space distance
+	// estimates d̂r. Because d̂r >= dr (Eq. 9 over-estimates), this lower-
+	// bounds the true utility for non-increasing ψ.
+	EstimatedUtility float64
+	// EstimatedCovered counts trajectories covered under d̂r.
+	EstimatedCovered int
+	// InstanceUsed is the ladder position p the query ran on.
+	InstanceUsed int
+	// NumRepresentatives is |Ŝ|, the candidate pool size (η_p bound).
+	NumRepresentatives int
+}
+
+// RepCover builds the TOPS-Cluster covering structure over the cluster
+// representatives of instance p (§5.1): for every representative r_i the
+// estimated covered trajectories T̂C(r_i) with scores ψ(d̂r), where
+//
+//	d̂r(T_j, r_i) = dr(T_j, c_j) + dr(c_j, c_i) + dr(c_i, r_i)   (Eq. 9)
+//
+// and only the cluster itself (c_j = c_i, middle term 0) and its CL
+// neighbors need scanning. A trajectory reachable via several neighbor
+// clusters keeps its smallest estimate.
+//
+// The returned slice maps dense representative index -> cluster id.
+func (idx *Index) RepCover(p int, pref tops.Preference) (*tops.CoverSets, []ClusterID) {
+	ins := idx.Instances[p]
+	var repClusters []ClusterID
+	for ci := range ins.Clusters {
+		if ins.Clusters[ci].Rep != roadnet.InvalidNode {
+			repClusters = append(repClusters, ClusterID(ci))
+		}
+	}
+	cs := tops.NewCoverSets(len(repClusters), idx.trajs.Len())
+	tau := pref.Tau
+	bestDr := make(map[trajectory.ID]float64, 256)
+	for ri, ci := range repClusters {
+		cl := &ins.Clusters[ci]
+		clear(bestDr)
+		scan := func(tl []TrajEntry, centerDr float64) {
+			for _, te := range tl {
+				if !idx.alive[te.Traj] {
+					continue
+				}
+				dHat := te.Dr + centerDr + cl.RepDr
+				if dHat > tau {
+					continue
+				}
+				if old, ok := bestDr[te.Traj]; !ok || dHat < old {
+					bestDr[te.Traj] = dHat
+				}
+			}
+		}
+		scan(cl.TL, 0)
+		for _, nb := range cl.CL {
+			scan(ins.Clusters[nb.Cluster].TL, nb.Dr)
+		}
+		for tid, dHat := range bestDr {
+			if score := pref.Score(dHat); score != 0 || pref.F == nil {
+				cs.AddPair(int32(ri), int32(tid), score)
+			}
+		}
+	}
+	return cs, repClusters
+}
+
+// Query answers a TOPS query online (§5): select the ladder instance for τ,
+// build the representative covering sets, and run INC-GREEDY (or the FM
+// variant) over the representatives.
+//
+// Extreme thresholds follow §4.4: τ < τmin degrades gracefully to the
+// finest instance (whose clusters approach single sites), and τ >= τmax
+// means every site covers every trajectory, so any k representatives of the
+// coarsest instance are returned.
+func (idx *Index) Query(opts QueryOptions) (*QueryResult, error) {
+	if err := opts.Pref.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: k = %d must be positive", opts.K)
+	}
+	p := idx.InstanceFor(opts.Pref.Tau)
+	cs, repClusters := idx.RepCover(p, opts.Pref)
+	if len(repClusters) == 0 {
+		return nil, fmt.Errorf("core: instance %d has no cluster representatives (no candidate sites?)", p)
+	}
+	k := opts.K
+	if k > len(repClusters) {
+		k = len(repClusters)
+	}
+
+	var res tops.Result
+	var err error
+	if opts.UseFM {
+		res, err = tops.FMGreedy(cs, tops.FMGreedyOptions{K: k, F: opts.F, Seed: opts.Seed})
+	} else {
+		gopts := opts.Greedy
+		gopts.K = k
+		if gopts.TargetCoverage > 0 {
+			gopts.K = len(repClusters)
+		}
+		res, err = tops.IncGreedy(cs, gopts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{
+		EstimatedUtility:   res.Utility,
+		EstimatedCovered:   res.Covered,
+		InstanceUsed:       p,
+		NumRepresentatives: len(repClusters),
+	}
+	ins := idx.Instances[p]
+	for _, ri := range res.Selected {
+		node := ins.Clusters[repClusters[ri]].Rep
+		out.Sites = append(out.Sites, node)
+		if sid := idx.siteID[node]; sid >= 0 {
+			out.SiteIDs = append(out.SiteIDs, tops.SiteID(sid))
+		}
+	}
+	return out, nil
+}
+
+// EstimatedDetour exposes d̂r(T, r) for the representative of the cluster
+// of node rep at instance p; used by tests and the quality analysis. It
+// returns +Inf when the trajectory does not pass through the cluster or
+// its neighborhood.
+func (idx *Index) EstimatedDetour(p int, tid trajectory.ID, ci ClusterID) float64 {
+	ins := idx.Instances[p]
+	cl := &ins.Clusters[ci]
+	if cl.Rep == roadnet.InvalidNode {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	check := func(tl []TrajEntry, centerDr float64) {
+		for _, te := range tl {
+			if te.Traj == tid {
+				if d := te.Dr + centerDr + cl.RepDr; d < best {
+					best = d
+				}
+			}
+		}
+	}
+	check(cl.TL, 0)
+	for _, nb := range cl.CL {
+		check(ins.Clusters[nb.Cluster].TL, nb.Dr)
+	}
+	return best
+}
+
+// EvaluateExact measures the true utility of a NETCLUS answer against a
+// full distance index — what the paper reports when comparing NETCLUS
+// quality with INC-GREEDY. Deleted trajectories are excluded.
+func (idx *Index) EvaluateExact(distIdx *tops.DistanceIndex, pref tops.Preference, sites []roadnet.NodeID) (float64, int) {
+	var total float64
+	covered := 0
+	for tid := 0; tid < idx.inst.M() && tid < distIdx.NumTrajs(); tid++ {
+		if tid < len(idx.alive) && !idx.alive[tid] {
+			continue
+		}
+		best := 0.0
+		for _, node := range sites {
+			sid := idx.siteID[node]
+			if sid < 0 {
+				continue
+			}
+			if score := pref.Score(distIdx.Detour(trajectory.ID(tid), tops.SiteID(sid))); score > best {
+				best = score
+			}
+		}
+		total += best
+		if best > 0 {
+			covered++
+		}
+	}
+	return total, covered
+}

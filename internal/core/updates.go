@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+// Dynamic updates (§6). The road network itself is immutable ("we assume
+// that the underlying road network does not change"); sites and
+// trajectories can be added and removed, and every index instance absorbs
+// the change incrementally.
+
+// AddSite registers node v as a new candidate site. Per §6 the node already
+// belongs to a cluster in every instance (S ⊆ V); the update marks it and
+// possibly improves the cluster representative. It returns an error when v
+// is invalid or already a site.
+func (idx *Index) AddSite(v roadnet.NodeID) error {
+	if v < 0 || int(v) >= idx.inst.G.NumNodes() {
+		return fmt.Errorf("core: AddSite: node %d outside graph", v)
+	}
+	if idx.isSite[v] {
+		return fmt.Errorf("core: AddSite: node %d is already a site", v)
+	}
+	idx.isSite[v] = true
+	idx.siteID[v] = int32(len(idx.inst.Sites))
+	idx.inst.Sites = append(idx.inst.Sites, v)
+	for _, ins := range idx.Instances {
+		ci := ins.NodeCluster[v]
+		if ci == InvalidCluster {
+			continue
+		}
+		cl := &ins.Clusters[ci]
+		if d := ins.nodeCenterDr[v]; d < cl.RepDr {
+			cl.Rep = v
+			cl.RepDr = d
+		}
+	}
+	return nil
+}
+
+// DeleteSite untags node v as a candidate site. If v was a cluster
+// representative, the next-closest site in the cluster takes over (§4.2);
+// clusters left without sites simply stop fielding a representative.
+func (idx *Index) DeleteSite(v roadnet.NodeID) error {
+	if v < 0 || int(v) >= idx.inst.G.NumNodes() || !idx.isSite[v] {
+		return fmt.Errorf("core: DeleteSite: node %d is not a site", v)
+	}
+	idx.isSite[v] = false
+	idx.siteID[v] = -1
+	// Remove from the instance's site list (order-preserving).
+	for i, s := range idx.inst.Sites {
+		if s == v {
+			idx.inst.Sites = append(idx.inst.Sites[:i], idx.inst.Sites[i+1:]...)
+			break
+		}
+	}
+	// Renumber the dense site ids above the removed one.
+	for i := range idx.inst.Sites {
+		idx.siteID[idx.inst.Sites[i]] = int32(i)
+	}
+	for _, ins := range idx.Instances {
+		ci := ins.NodeCluster[v]
+		if ci == InvalidCluster {
+			continue
+		}
+		if ins.Clusters[ci].Rep == v {
+			idx.chooseRepresentative(ins, ci)
+		}
+	}
+	return nil
+}
+
+// AddTrajectory ingests a new trajectory: it joins the store and the TL /
+// CC structures of every instance (§6). The returned id addresses the
+// trajectory in later deletions.
+func (idx *Index) AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error) {
+	if tr == nil {
+		return 0, fmt.Errorf("core: AddTrajectory: nil trajectory")
+	}
+	if err := tr.Validate(); err != nil {
+		return 0, fmt.Errorf("core: AddTrajectory: %w", err)
+	}
+	for _, v := range tr.Nodes {
+		if v < 0 || int(v) >= idx.inst.G.NumNodes() {
+			return 0, fmt.Errorf("core: AddTrajectory: node %d outside graph", v)
+		}
+	}
+	tid := idx.trajs.Add(tr)
+	idx.alive = append(idx.alive, true)
+	for _, ins := range idx.Instances {
+		registerTrajectory(ins, tid, tr)
+	}
+	return tid, nil
+}
+
+// DeleteTrajectory removes trajectory tid from every instance using the
+// inverse map CC (§6) and marks it dead for query-time filtering.
+func (idx *Index) DeleteTrajectory(tid trajectory.ID) error {
+	if int(tid) < 0 || int(tid) >= len(idx.alive) {
+		return fmt.Errorf("core: DeleteTrajectory: id %d out of range", tid)
+	}
+	if !idx.alive[tid] {
+		return fmt.Errorf("core: DeleteTrajectory: id %d already deleted", tid)
+	}
+	idx.alive[tid] = false
+	for _, ins := range idx.Instances {
+		if int(tid) >= len(ins.CC) {
+			continue
+		}
+		for _, ci := range ins.CC[tid] {
+			tl := ins.Clusters[ci].TL
+			for i := range tl {
+				if tl[i].Traj == tid {
+					ins.Clusters[ci].TL = append(tl[:i], tl[i+1:]...)
+					break
+				}
+			}
+		}
+		ins.CC[tid] = nil
+	}
+	return nil
+}
+
+// validateInstance checks structural invariants of an instance; used by
+// tests and available for debugging after batches of updates.
+func (idx *Index) validateInstance(p int) error {
+	ins := idx.Instances[p]
+	// Every node clustered exactly once, within 2R of its center.
+	seen := make([]bool, idx.inst.G.NumNodes())
+	for ci := range ins.Clusters {
+		cl := &ins.Clusters[ci]
+		for i, v := range cl.Members {
+			if seen[v] {
+				return fmt.Errorf("node %d in two clusters", v)
+			}
+			seen[v] = true
+			if ins.NodeCluster[v] != ClusterID(ci) {
+				return fmt.Errorf("node %d cluster map mismatch", v)
+			}
+			if cl.MemberDr[i] > 2*ins.Radius+1e-9 {
+				return fmt.Errorf("node %d at %v exceeds 2R=%v", v, cl.MemberDr[i], 2*ins.Radius)
+			}
+		}
+		if cl.Rep != roadnet.InvalidNode {
+			if !idx.isSite[cl.Rep] {
+				return fmt.Errorf("representative %d is not a site", cl.Rep)
+			}
+			if math.IsInf(cl.RepDr, 1) {
+				return fmt.Errorf("representative %d with infinite distance", cl.Rep)
+			}
+		}
+		// TL sorted-unique per trajectory id is not required, but entries
+		// must be alive-or-dead consistent and unique.
+		tlSeen := make(map[trajectory.ID]bool, len(cl.TL))
+		for _, te := range cl.TL {
+			if tlSeen[te.Traj] {
+				return fmt.Errorf("cluster %d lists trajectory %d twice", ci, te.Traj)
+			}
+			tlSeen[te.Traj] = true
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return fmt.Errorf("node %d unclustered", v)
+		}
+	}
+	return nil
+}

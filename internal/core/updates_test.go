@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+func TestAddSiteBecomesQueryable(t *testing.T) {
+	idx, inst := buildTestIndex(t, 71, false)
+	// Find a non-site node.
+	var target roadnet.NodeID = roadnet.InvalidNode
+	for v := 0; v < inst.G.NumNodes(); v++ {
+		if !idx.isSite[roadnet.NodeID(v)] {
+			target = roadnet.NodeID(v)
+			break
+		}
+	}
+	if target == roadnet.InvalidNode {
+		t.Skip("all nodes are sites")
+	}
+	nBefore := len(inst.Sites)
+	if err := idx.AddSite(target); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Sites) != nBefore+1 {
+		t.Fatal("site list not extended")
+	}
+	if err := idx.AddSite(target); err == nil {
+		t.Error("duplicate AddSite accepted")
+	}
+	for p := range idx.Instances {
+		if err := idx.validateInstance(p); err != nil {
+			t.Fatalf("instance %d after AddSite: %v", p, err)
+		}
+	}
+}
+
+func TestAddSiteImprovesRepresentative(t *testing.T) {
+	idx, _ := buildTestIndex(t, 73, false)
+	ins := idx.Instances[len(idx.Instances)-1] // coarsest: big clusters
+	// Pick a cluster whose center is not a site: adding the center as a
+	// site must make it the representative (distance 0).
+	for ci := range ins.Clusters {
+		cl := &ins.Clusters[ci]
+		if !idx.isSite[cl.Center] {
+			if err := idx.AddSite(cl.Center); err != nil {
+				t.Fatal(err)
+			}
+			if cl.Rep != cl.Center || cl.RepDr != 0 {
+				t.Fatalf("center-site not chosen as representative: rep=%d dr=%v", cl.Rep, cl.RepDr)
+			}
+			return
+		}
+	}
+	t.Skip("all cluster centers are already sites")
+}
+
+func TestDeleteSiteReelectsRepresentative(t *testing.T) {
+	idx, _ := buildTestIndex(t, 79, false)
+	ins := idx.Instances[len(idx.Instances)-1]
+	// Find a cluster with at least two sites.
+	for ci := range ins.Clusters {
+		cl := &ins.Clusters[ci]
+		sitesIn := 0
+		for _, v := range cl.Members {
+			if idx.isSite[v] {
+				sitesIn++
+			}
+		}
+		if sitesIn >= 2 && cl.Rep != roadnet.InvalidNode {
+			oldRep := cl.Rep
+			if err := idx.DeleteSite(oldRep); err != nil {
+				t.Fatal(err)
+			}
+			if cl.Rep == oldRep || cl.Rep == roadnet.InvalidNode {
+				t.Fatalf("representative not re-elected: %d", cl.Rep)
+			}
+			if !idx.isSite[cl.Rep] {
+				t.Fatal("new representative is not a site")
+			}
+			return
+		}
+	}
+	t.Skip("no cluster with two sites")
+}
+
+func TestDeleteSiteErrors(t *testing.T) {
+	idx, _ := buildTestIndex(t, 83, false)
+	if err := idx.DeleteSite(roadnet.NodeID(-1)); err == nil {
+		t.Error("invalid node accepted")
+	}
+	// Deleting a non-site node.
+	for v := 0; v < idx.inst.G.NumNodes(); v++ {
+		if !idx.isSite[roadnet.NodeID(v)] {
+			if err := idx.DeleteSite(roadnet.NodeID(v)); err == nil {
+				t.Error("non-site delete accepted")
+			}
+			break
+		}
+	}
+}
+
+func TestAddTrajectoryAffectsQueries(t *testing.T) {
+	idx, inst := buildTestIndex(t, 89, false)
+	pref := tops.Binary(0.8)
+	before, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clone an existing trajectory 30 times: its corridor becomes heavy,
+	// so total estimated utility must grow.
+	src := inst.Trajs.Get(0)
+	for i := 0; i < 30; i++ {
+		tr, err := trajectory.New(inst.G, src.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.AddTrajectory(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.EstimatedUtility <= before.EstimatedUtility {
+		t.Errorf("utility did not grow after adding trajectories: %v -> %v",
+			before.EstimatedUtility, after.EstimatedUtility)
+	}
+	for p := range idx.Instances {
+		if err := idx.validateInstance(p); err != nil {
+			t.Fatalf("instance %d: %v", p, err)
+		}
+	}
+}
+
+func TestAddTrajectoryValidation(t *testing.T) {
+	idx, _ := buildTestIndex(t, 97, false)
+	if _, err := idx.AddTrajectory(nil); err == nil {
+		t.Error("nil trajectory accepted")
+	}
+	bad := &trajectory.Trajectory{Nodes: []roadnet.NodeID{0}, CumDist: []float64{1}}
+	if _, err := idx.AddTrajectory(bad); err == nil {
+		t.Error("invalid trajectory accepted")
+	}
+	bad2 := &trajectory.Trajectory{Nodes: []roadnet.NodeID{999999}, CumDist: []float64{0}}
+	if _, err := idx.AddTrajectory(bad2); err == nil {
+		t.Error("out-of-graph trajectory accepted")
+	}
+}
+
+func TestDeleteTrajectoryRemovesCoverage(t *testing.T) {
+	idx, _ := buildTestIndex(t, 101, false)
+	pref := tops.Binary(0.8)
+	before, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete half the trajectories.
+	for tid := 0; tid < idx.trajs.Len(); tid += 2 {
+		if err := idx.DeleteTrajectory(trajectory.ID(tid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.EstimatedUtility >= before.EstimatedUtility {
+		t.Errorf("utility did not drop after deletions: %v -> %v",
+			before.EstimatedUtility, after.EstimatedUtility)
+	}
+	// Double delete must fail.
+	if err := idx.DeleteTrajectory(0); err == nil {
+		t.Error("double delete accepted")
+	}
+	for p := range idx.Instances {
+		if err := idx.validateInstance(p); err != nil {
+			t.Fatalf("instance %d: %v", p, err)
+		}
+	}
+}
+
+func TestAddDeleteTrajectoryRoundTrip(t *testing.T) {
+	// Adding then deleting a trajectory must restore query results.
+	idx, inst := buildTestIndex(t, 103, false)
+	pref := tops.Binary(0.8)
+	before, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trajectory.New(inst.G, inst.Trajs.Get(3).Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := idx.AddTrajectory(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.DeleteTrajectory(tid); err != nil {
+		t.Fatal(err)
+	}
+	after, err := idx.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after.EstimatedUtility-before.EstimatedUtility) > 1e-9 {
+		t.Errorf("round trip changed utility: %v -> %v", before.EstimatedUtility, after.EstimatedUtility)
+	}
+	if before.NumRepresentatives != after.NumRepresentatives {
+		t.Error("representative count changed")
+	}
+}
+
+func TestUpdateEquivalentToRebuild(t *testing.T) {
+	// An index updated with extra trajectories must answer like an index
+	// built from scratch over the extended store.
+	idxA, instA := buildTestIndex(t, 107, false)
+	idxB, instB := buildTestIndex(t, 107, false)
+	// Extend B's store via the update path with clones of A's data
+	// (same node sequences are valid in both — identical cities).
+	var added []*trajectory.Trajectory
+	for i := 0; i < 10; i++ {
+		tr, err := trajectory.New(instA.G, instA.Trajs.Get(trajectory.ID(i)).Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, tr)
+		if _, err := idxB.AddTrajectory(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rebuild a fresh index over the extended store.
+	extStore := trajectory.NewStore(instA.Trajs.Len() + len(added))
+	instA.Trajs.ForEach(func(_ trajectory.ID, tr *trajectory.Trajectory) { extStore.Add(tr) })
+	for _, tr := range added {
+		extStore.Add(tr)
+	}
+	instC, err := tops.NewInstance(instB.G, extStore, instB.Sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxC, err := Build(instC, Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = idxA
+	pref := tops.Binary(0.8)
+	qB, err := idxB.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qC, err := idxC.Query(QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qB.EstimatedUtility-qC.EstimatedUtility) > 1e-9 {
+		t.Errorf("updated %v != rebuilt %v", qB.EstimatedUtility, qC.EstimatedUtility)
+	}
+}

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"testing"
+
+	"netclus/internal/roadnet"
+)
+
+func TestLoadAllPresets(t *testing.T) {
+	for _, name := range Presets() {
+		t.Run(string(name), func(t *testing.T) {
+			d, err := Load(name, Config{Scale: 0.01, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Instance.M() == 0 || d.Instance.N() == 0 {
+				t.Fatalf("empty dataset: %s", d.Summary())
+			}
+			if err := d.Instance.G.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Strong connectivity inherited from the generator.
+			rts := roadnet.RoundTripsFrom(d.Instance.G, 0)
+			for v, rt := range rts[:min(50, len(rts))] {
+				if rt < 0 {
+					t.Fatalf("negative round trip at %d", v)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadUnknownPreset(t *testing.T) {
+	if _, err := Load("nope", Config{}); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestBeijingSmallShape(t *testing.T) {
+	d, err := Load(BeijingSmall, Config{Scale: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed 50 candidate sites regardless of scale (Fig. 4 setup).
+	if d.Instance.N() != 50 {
+		t.Errorf("beijing-small has %d sites, want 50", d.Instance.N())
+	}
+	if d.Instance.M() != 1000 {
+		t.Errorf("beijing-small has %d trajectories, want 1000", d.Instance.M())
+	}
+}
+
+func TestScaleMonotone(t *testing.T) {
+	small, err := Load(Beijing, Config{Scale: 0.005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Load(Beijing, Config{Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Instance.G.NumNodes() <= small.Instance.G.NumNodes() {
+		t.Errorf("nodes did not grow with scale: %d vs %d",
+			small.Instance.G.NumNodes(), big.Instance.G.NumNodes())
+	}
+	if big.Instance.M() <= small.Instance.M() {
+		t.Errorf("trajectories did not grow with scale")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, err := Load(Atlanta, Config{Scale: 0.008, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(Atlanta, Config{Scale: 0.008, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instance.G.NumNodes() != b.Instance.G.NumNodes() ||
+		a.Instance.M() != b.Instance.M() || a.Instance.N() != b.Instance.N() {
+		t.Error("same seed produced different datasets")
+	}
+}
+
+func TestSampleTrajectoryIDs(t *testing.T) {
+	d, err := Load(BeijingSmall, Config{Scale: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := d.SampleTrajectoryIDs(50)
+	if len(ids) != 50 {
+		t.Fatalf("sampled %d ids", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("ids not strictly increasing")
+		}
+	}
+	// Oversampling returns everything.
+	all := d.SampleTrajectoryIDs(d.Instance.M() * 2)
+	if len(all) != d.Instance.M() {
+		t.Errorf("oversample returned %d ids", len(all))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

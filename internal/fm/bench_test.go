@@ -1,0 +1,35 @@
+package fm
+
+import "testing"
+
+func BenchmarkAdd(b *testing.B) {
+	s := NewSketch(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}
+
+func BenchmarkUnionEstimate(b *testing.B) {
+	x := NewSketch(30)
+	y := NewSketch(30)
+	for i := 0; i < 10000; i++ {
+		x.Add(uint64(i))
+		y.Add(uint64(i + 5000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionEstimate(x, y)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := NewSketch(30)
+	for i := 0; i < 10000; i++ {
+		s.Add(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Estimate()
+	}
+}

@@ -1,0 +1,24 @@
+package fm_test
+
+import (
+	"fmt"
+
+	"netclus/internal/fm"
+)
+
+// ExampleSketch demonstrates distinct counting with union: the estimate of
+// a 2000-element set lands within the expected error band, and unioning a
+// sketch with itself changes nothing (idempotence).
+func ExampleSketch() {
+	s := fm.NewSketch(64)
+	for i := 0; i < 2000; i++ {
+		s.Add(uint64(i))
+		s.Add(uint64(i)) // duplicates are free
+	}
+	est := s.Estimate()
+	fmt.Println("within 30%:", est > 1400 && est < 2600)
+	fmt.Println("idempotent:", fm.Union(s, s).Estimate() == est)
+	// Output:
+	// within 30%: true
+	// idempotent: true
+}

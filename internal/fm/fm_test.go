@@ -1,0 +1,216 @@
+package fm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySketch(t *testing.T) {
+	s := NewSketch(8)
+	if !s.Empty() {
+		t.Error("fresh sketch not empty")
+	}
+	if est := s.Estimate(); est > 1.5 {
+		t.Errorf("empty estimate = %v, want ~1/phi", est)
+	}
+	s.Add(42)
+	if s.Empty() {
+		t.Error("sketch empty after Add")
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Error("sketch not empty after Reset")
+	}
+}
+
+func TestNewSketchPanicsOnBadF(t *testing.T) {
+	for _, f := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSketch(%d) did not panic", f)
+				}
+			}()
+			NewSketch(f)
+		}()
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// With f=64 the relative standard error is about 10%; allow 3 sigma.
+	for _, n := range []int{100, 1000, 10000} {
+		s := NewSketch(64)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i) * 2654435761)
+		}
+		est := s.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		bound := 3 * RelativeErrorBound(64)
+		if relErr > bound {
+			t.Errorf("n=%d: estimate %v, relative error %.3f > %.3f", n, est, relErr, bound)
+		}
+	}
+}
+
+func TestEstimateIgnoresDuplicates(t *testing.T) {
+	a := NewSketch(32)
+	b := NewSketch(32)
+	for i := 0; i < 500; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i))
+		b.Add(uint64(i)) // duplicates
+		b.Add(uint64(i))
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Errorf("duplicates changed estimate: %v vs %v", a.Estimate(), b.Estimate())
+	}
+}
+
+func TestUnionMatchesCombinedSet(t *testing.T) {
+	a := NewSketch(32)
+	b := NewSketch(32)
+	c := NewSketch(32)
+	for i := 0; i < 400; i++ {
+		a.Add(uint64(i))
+		c.Add(uint64(i))
+	}
+	for i := 200; i < 600; i++ {
+		b.Add(uint64(i))
+		c.Add(uint64(i))
+	}
+	u := Union(a, b)
+	if u.Estimate() != c.Estimate() {
+		t.Errorf("union estimate %v != direct estimate %v", u.Estimate(), c.Estimate())
+	}
+	if got := UnionEstimate(a, b); got != c.Estimate() {
+		t.Errorf("UnionEstimate %v != %v", got, c.Estimate())
+	}
+	// In-place variant.
+	a2 := a.Clone()
+	a2.UnionWith(b)
+	if a2.Estimate() != c.Estimate() {
+		t.Error("UnionWith mismatch")
+	}
+}
+
+func TestUnionMonotoneProperty(t *testing.T) {
+	// est(A ∪ B) >= max(est(A), est(B)) holds exactly for FM sketches
+	// because OR can only set more bits.
+	f := func(xs []uint64, ys []uint64) bool {
+		a, b := NewSketch(16), NewSketch(16)
+		for _, x := range xs {
+			a.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+		}
+		u := UnionEstimate(a, b)
+		return u >= a.Estimate() && u >= b.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutativeIdempotentProperty(t *testing.T) {
+	f := func(xs []uint64, ys []uint64) bool {
+		a, b := NewSketch(8), NewSketch(8)
+		for _, x := range xs {
+			a.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+		}
+		ab, ba := Union(a, b), Union(b, a)
+		if ab.Estimate() != ba.Estimate() {
+			return false
+		}
+		// Idempotence: A ∪ A = A.
+		return Union(a, a).Estimate() == a.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncompatibleSketchesPanic(t *testing.T) {
+	a := NewSketch(8)
+	b := NewSketch(16)
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("UnionWith f mismatch", func() { a.UnionWith(b) })
+	assertPanics("UnionEstimate f mismatch", func() { UnionEstimate(a, b) })
+	c := NewSketchSeeded(8, 1)
+	d := NewSketchSeeded(8, 2)
+	assertPanics("UnionWith seed mismatch", func() { c.UnionWith(d) })
+}
+
+func TestCloneIsolation(t *testing.T) {
+	a := NewSketch(8)
+	a.Add(1)
+	b := a.Clone()
+	b.Add(999999)
+	if a.Estimate() == b.Estimate() && b.Estimate() != a.Estimate() {
+		t.Error("unexpected")
+	}
+	// Mutating the clone must not affect the original's words.
+	aBefore := a.Estimate()
+	for i := 0; i < 1000; i++ {
+		b.Add(uint64(i))
+	}
+	if a.Estimate() != aBefore {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a := NewSketchSeeded(16, 7)
+	b := NewSketchSeeded(16, 7)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		v := rng.Uint64()
+		a.Add(v)
+		b.Add(v)
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Error("same seed, same inputs produced different sketches")
+	}
+}
+
+func TestErrorDecreasesWithF(t *testing.T) {
+	// Average relative error over several runs should drop as f grows.
+	n := 2000
+	meanErr := func(f int) float64 {
+		var total float64
+		const runs = 8
+		for run := 0; run < runs; run++ {
+			s := NewSketchSeeded(f, uint64(run+1))
+			for i := 0; i < n; i++ {
+				s.Add(uint64(i) + uint64(run)*1e6)
+			}
+			total += math.Abs(s.Estimate()-float64(n)) / float64(n)
+		}
+		return total / runs
+	}
+	e1, e64 := meanErr(1), meanErr(64)
+	if e64 >= e1 {
+		t.Errorf("error did not decrease with f: f=1 -> %.3f, f=64 -> %.3f", e1, e64)
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	if RelativeErrorBound(1) <= RelativeErrorBound(4) {
+		t.Error("bound should shrink with f")
+	}
+	if math.Abs(RelativeErrorBound(4)-0.39) > 1e-9 {
+		t.Errorf("bound(4) = %v", RelativeErrorBound(4))
+	}
+}

@@ -1,0 +1,52 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netclus/internal/roadnet"
+)
+
+// SiteConfig parameterizes candidate-site sampling.
+type SiteConfig struct {
+	// Count is the number of candidate sites n. Count <= 0 selects every
+	// node, mirroring the paper's default assumption ("the number of
+	// candidate sites is the same as the number of nodes in the graph").
+	Count int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// SampleSites returns a candidate-site set S ⊆ V. With Count <= 0 or
+// Count >= |V| it returns all nodes. Otherwise it returns a uniform sample
+// without replacement, sorted ascending for deterministic downstream
+// iteration.
+func SampleSites(g *roadnet.Graph, cfg SiteConfig) ([]roadnet.NodeID, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("gen: cannot sample sites from empty graph")
+	}
+	if cfg.Count <= 0 || cfg.Count >= n {
+		all := make([]roadnet.NodeID, n)
+		for i := range all {
+			all[i] = roadnet.NodeID(i)
+		}
+		return all, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(n)
+	picked := perm[:cfg.Count]
+	// Insertion-free sort via counting: mark and sweep keeps determinism
+	// independent of rand.Perm internals' order.
+	mark := make([]bool, n)
+	for _, v := range picked {
+		mark[v] = true
+	}
+	sites := make([]roadnet.NodeID, 0, cfg.Count)
+	for v := 0; v < n; v++ {
+		if mark[v] {
+			sites = append(sites, roadnet.NodeID(v))
+		}
+	}
+	return sites, nil
+}

@@ -1,0 +1,120 @@
+// Package geojson exports road networks, trajectories and TOPS answers as
+// GeoJSON FeatureCollections, so placements can be inspected in any map
+// viewer. Coordinates are the library's local planar kilometres written as
+// (x, y) pairs; ingesting real lat/lon data and exporting back is the
+// caller's concern (see geo.ProjectLatLon).
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netclus/internal/geo"
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+// Feature is a single GeoJSON feature.
+type Feature struct {
+	Type       string         `json:"type"`
+	Geometry   Geometry       `json:"geometry"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+// Geometry is a GeoJSON geometry (Point or LineString).
+type Geometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+// FeatureCollection is the GeoJSON root object.
+type FeatureCollection struct {
+	Type     string    `json:"type"`
+	Features []Feature `json:"features"`
+}
+
+// NewCollection returns an empty feature collection.
+func NewCollection() *FeatureCollection {
+	return &FeatureCollection{Type: "FeatureCollection"}
+}
+
+func coord(p geo.Point) []float64 { return []float64{p.X, p.Y} }
+
+// AddPoint appends a point feature.
+func (fc *FeatureCollection) AddPoint(p geo.Point, props map[string]any) {
+	fc.Features = append(fc.Features, Feature{
+		Type:       "Feature",
+		Geometry:   Geometry{Type: "Point", Coordinates: coord(p)},
+		Properties: props,
+	})
+}
+
+// AddLineString appends a line feature through the given points.
+func (fc *FeatureCollection) AddLineString(pts []geo.Point, props map[string]any) {
+	coords := make([][]float64, len(pts))
+	for i, p := range pts {
+		coords[i] = coord(p)
+	}
+	fc.Features = append(fc.Features, Feature{
+		Type:       "Feature",
+		Geometry:   Geometry{Type: "LineString", Coordinates: coords},
+		Properties: props,
+	})
+}
+
+// AddNetwork appends every directed edge of g as a LineString. For large
+// networks pass sampleEvery > 1 to thin the output (every n-th edge).
+func (fc *FeatureCollection) AddNetwork(g *roadnet.Graph, sampleEvery int) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	i := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		g.Neighbors(roadnet.NodeID(v), func(to roadnet.NodeID, w float64) bool {
+			if i%sampleEvery == 0 {
+				fc.AddLineString(
+					[]geo.Point{g.Point(roadnet.NodeID(v)), g.Point(to)},
+					map[string]any{"kind": "edge", "weight_km": w},
+				)
+			}
+			i++
+			return true
+		})
+	}
+}
+
+// AddTrajectory appends a trajectory as a LineString with its id and
+// length recorded as properties.
+func (fc *FeatureCollection) AddTrajectory(g *roadnet.Graph, id trajectory.ID, tr *trajectory.Trajectory) {
+	pts := make([]geo.Point, tr.Len())
+	for i, v := range tr.Nodes {
+		pts[i] = g.Point(v)
+	}
+	fc.AddLineString(pts, map[string]any{
+		"kind":      "trajectory",
+		"id":        int(id),
+		"length_km": tr.Length(),
+	})
+}
+
+// AddSites appends the selected service sites as ranked points.
+func (fc *FeatureCollection) AddSites(g *roadnet.Graph, sites []roadnet.NodeID) {
+	for rank, v := range sites {
+		fc.AddPoint(g.Point(v), map[string]any{
+			"kind": "selected-site",
+			"rank": rank + 1,
+			"node": int(v),
+		})
+	}
+}
+
+// WriteTo serializes the collection as JSON.
+func (fc *FeatureCollection) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(fc, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("geojson: %w", err)
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}

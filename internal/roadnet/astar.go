@@ -1,0 +1,79 @@
+package roadnet
+
+import "math"
+
+// AStar returns a shortest path src -> dst using the Euclidean straight-line
+// distance to dst as the heuristic. The heuristic is admissible whenever
+// every edge weight is at least the Euclidean distance between its endpoints
+// — which holds for all networks produced by internal/gen (edge weights are
+// Euclidean length times a curvature factor >= 1) — so the result is exact
+// on those graphs. On graphs violating the assumption the path remains
+// valid but may be suboptimal; callers that need exactness on arbitrary
+// weights should use ShortestPath.
+//
+// AStar exists because trajectory generation runs one point-to-point query
+// per synthetic trajectory; goal-directed search visits a small corridor of
+// the network instead of a full Dijkstra ball.
+func AStar(g *Graph, src, dst NodeID) ([]NodeID, float64) {
+	if !g.valid(src) || !g.valid(dst) {
+		return nil, math.Inf(1)
+	}
+	if src == dst {
+		return []NodeID{src}, 0
+	}
+	n := g.NumNodes()
+	gScore := make(map[NodeID]float64, 256)
+	prev := make(map[NodeID]NodeID, 256)
+	closed := make(map[NodeID]bool, 256)
+	target := g.Point(dst)
+	h := func(v NodeID) float64 { return g.Point(v).Dist(target) }
+
+	var open distHeap
+	gScore[src] = 0
+	open.push(pqItem{node: src, dist: h(src)})
+	for !open.empty() {
+		it := open.pop()
+		v := it.node
+		if closed[v] {
+			continue
+		}
+		if v == dst {
+			break
+		}
+		closed[v] = true
+		gv := gScore[v]
+		g.Neighbors(v, func(to NodeID, w float64) bool {
+			if closed[to] {
+				return true
+			}
+			ng := gv + w
+			if old, ok := gScore[to]; !ok || ng < old {
+				gScore[to] = ng
+				prev[to] = v
+				open.push(pqItem{node: to, dist: ng + h(to)})
+			}
+			return true
+		})
+	}
+	d, ok := gScore[dst]
+	if !ok {
+		return nil, math.Inf(1)
+	}
+	var rev []NodeID
+	for v := dst; ; {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		p, ok := prev[v]
+		if !ok || len(rev) > n {
+			return nil, math.Inf(1) // defensive: broken predecessor chain
+		}
+		v = p
+	}
+	path := make([]NodeID, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path, d
+}

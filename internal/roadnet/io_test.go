@@ -1,0 +1,69 @@
+package roadnet
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netclus/internal/geo"
+)
+
+func TestGraphSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 50, 120)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	h, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", h.NumNodes(), h.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Point(NodeID(v)) != h.Point(NodeID(v)) {
+			t.Fatalf("node %d point mismatch", v)
+		}
+	}
+	// Distances must be identical (edge multiset preserved up to order).
+	for src := NodeID(0); src < 10; src++ {
+		a := Dijkstra(g, src, Forward)
+		b := Dijkstra(h, src, Forward)
+		for v := range a {
+			if math.Abs(a[v]-b[v]) > 1e-12 {
+				t.Fatalf("distance mismatch after round trip: src=%d v=%d", src, v)
+			}
+		}
+	}
+}
+
+func TestReadGraphRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0},
+		"truncated": {0x31, 0x47, 0x43, 0x4e, 5, 0, 0, 0, 9, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := ReadGraph(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadGraphRejectsImplausibleSizes(t *testing.T) {
+	var buf bytes.Buffer
+	g := New(1)
+	g.AddNode(geo.Point{})
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the node count to an absurd value.
+	data[4], data[5], data[6], data[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadGraph(bytes.NewReader(data)); err == nil {
+		t.Error("implausible node count accepted")
+	}
+}

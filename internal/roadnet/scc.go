@@ -1,0 +1,126 @@
+package roadnet
+
+// StronglyConnectedComponents returns the SCCs of g as slices of node ids,
+// using an iterative Tarjan algorithm (the recursion is made explicit so
+// urban-scale graphs cannot overflow the goroutine stack). Components are
+// emitted in reverse topological order, which callers are free to ignore.
+func StronglyConnectedComponents(g *Graph) [][]NodeID {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int32
+		stack   []NodeID // Tarjan stack
+		comps   [][]NodeID
+	)
+
+	type frame struct {
+		v    NodeID
+		edge int // next out-edge index to explore
+	}
+	var call []frame
+
+	for start := NodeID(0); int(start) < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: start})
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.edge < len(g.out[v]) {
+				to := g.out[v][f.edge].to
+				f.edge++
+				if index[to] == unvisited {
+					index[to] = counter
+					low[to] = counter
+					counter++
+					stack = append(stack, to)
+					onStack[to] = true
+					call = append(call, frame{v: to})
+				} else if onStack[to] && index[to] < low[v] {
+					low[v] = index[to]
+				}
+				continue
+			}
+			// All edges of v explored: close the frame.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// LargestSCC returns the node set of the largest strongly connected
+// component of g.
+func LargestSCC(g *Graph) []NodeID {
+	var best []NodeID
+	for _, c := range StronglyConnectedComponents(g) {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// InducedSubgraph builds a new graph over the given node subset, keeping
+// every edge whose endpoints both survive. It returns the new graph and the
+// mapping old id -> new id (InvalidNode for dropped nodes).
+func InducedSubgraph(g *Graph, keep []NodeID) (*Graph, []NodeID) {
+	mapping := make([]NodeID, g.NumNodes())
+	for i := range mapping {
+		mapping[i] = InvalidNode
+	}
+	sub := New(len(keep))
+	for _, v := range keep {
+		mapping[v] = sub.AddNode(g.Point(v))
+	}
+	for _, v := range keep {
+		g.Neighbors(v, func(to NodeID, w float64) bool {
+			if mapping[to] != InvalidNode {
+				// Both endpoints kept: re-add edge. Errors are impossible
+				// here because the source edge was valid.
+				_ = sub.AddEdge(mapping[v], mapping[to], w)
+			}
+			return true
+		})
+	}
+	return sub, mapping
+}
+
+// RestrictToLargestSCC returns the subgraph induced by the largest strongly
+// connected component and the old->new node mapping. Synthetic generators
+// call this so that round-trip distances are finite everywhere, matching the
+// map-matched real networks of the paper.
+func RestrictToLargestSCC(g *Graph) (*Graph, []NodeID) {
+	return InducedSubgraph(g, LargestSCC(g))
+}

@@ -1,0 +1,124 @@
+package tops
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScoredTraj is one member of a trajectory-cover set TC(s): a trajectory
+// covered by the site together with its preference score ψ(T, s).
+type ScoredTraj struct {
+	Traj  int32
+	Score float64
+}
+
+// ScoredSite is one member of a site-cover set SC(T).
+type ScoredSite struct {
+	Site  int32
+	Score float64
+}
+
+// CoverSets holds the query-time covering structures of §3.2: for every
+// site the trajectories it covers (TC) and for every trajectory the sites
+// covering it (SC), with preference scores already evaluated, plus the site
+// weights w_i = Σ ψ(T_j, s_i). The structure is deliberately decoupled from
+// Instance so that NETCLUS can instantiate it over cluster representatives
+// with estimated distances (§5.1) and reuse the same greedy machinery.
+type CoverSets struct {
+	// M is the size of the trajectory universe; trajectory ids in TC are
+	// indices in [0, M).
+	M int
+	// TC[s] lists covered trajectories of site s.
+	TC [][]ScoredTraj
+	// SC[t] lists covering sites of trajectory t.
+	SC [][]ScoredSite
+	// Weights[s] is the site weight w_s.
+	Weights []float64
+}
+
+// N returns the number of sites.
+func (cs *CoverSets) N() int { return len(cs.TC) }
+
+// NewCoverSets allocates empty cover sets for n sites over m trajectories.
+func NewCoverSets(n, m int) *CoverSets {
+	return &CoverSets{
+		M:       m,
+		TC:      make([][]ScoredTraj, n),
+		SC:      make([][]ScoredSite, m),
+		Weights: make([]float64, n),
+	}
+}
+
+// AddPair registers that site s covers trajectory t with the given score.
+// Callers are responsible for not adding duplicates.
+func (cs *CoverSets) AddPair(s, t int32, score float64) {
+	cs.TC[s] = append(cs.TC[s], ScoredTraj{Traj: t, Score: score})
+	cs.SC[t] = append(cs.SC[t], ScoredSite{Site: s, Score: score})
+	cs.Weights[s] += score
+}
+
+// Pairs returns the total number of (site, trajectory) covering pairs.
+func (cs *CoverSets) Pairs() int {
+	total := 0
+	for _, tc := range cs.TC {
+		total += len(tc)
+	}
+	return total
+}
+
+// MemoryBytes estimates the resident size of the covering sets. Table 9 of
+// the paper tracks exactly this growth with τ.
+func (cs *CoverSets) MemoryBytes() int64 {
+	const entryBytes = 16
+	return int64(cs.Pairs())*2*entryBytes + int64(len(cs.Weights))*8
+}
+
+// BuildCoverSets evaluates the preference function against the distance
+// index and materializes TC, SC and the site weights for a query. It
+// requires τ <= MaxDetourKm of the index: beyond that the index has no
+// information, mirroring the paper's pre-computation horizon.
+func BuildCoverSets(idx *DistanceIndex, pref Preference) (*CoverSets, error) {
+	if err := pref.Validate(); err != nil {
+		return nil, err
+	}
+	tau := pref.Tau
+	if !math.IsInf(tau, 1) && tau > idx.MaxDetourKm {
+		return nil, fmt.Errorf("tops: τ = %v exceeds index horizon %v km", tau, idx.MaxDetourKm)
+	}
+	cs := NewCoverSets(idx.inst.N(), idx.inst.M())
+	for s := range idx.sitePairs {
+		for _, p := range idx.sitePairs[s] {
+			if p.Dr > tau {
+				break // lists are sorted by detour: prefix scan
+			}
+			score := pref.Score(p.Dr)
+			if score == 0 && pref.F == nil {
+				continue
+			}
+			cs.AddPair(int32(s), int32(p.Traj), score)
+		}
+	}
+	return cs, nil
+}
+
+// EvaluateSelection computes the exact utility and covered-trajectory count
+// of an arbitrary site selection against the cover sets.
+func EvaluateSelection(cs *CoverSets, selected []SiteID) (float64, int) {
+	util := make(map[int32]float64, 256)
+	for _, s := range selected {
+		for _, st := range cs.TC[s] {
+			if st.Score > util[st.Traj] {
+				util[st.Traj] = st.Score
+			}
+		}
+	}
+	var total float64
+	covered := 0
+	for _, u := range util {
+		total += u
+		if u > 0 {
+			covered++
+		}
+	}
+	return total, covered
+}

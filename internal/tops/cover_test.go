@@ -1,0 +1,214 @@
+package tops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netclus/internal/trajectory"
+)
+
+func TestBuildCoverSetsPrefix(t *testing.T) {
+	inst, _ := gridInstance(t, 400, 40, 40, 61)
+	idx, err := BuildDistanceIndex(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{0.4, 0.8, 1.6, 3.2} {
+		cs, err := BuildCoverSets(idx, Binary(tau))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every TC member must have detour <= tau, and the counts must
+		// match a direct scan of the index.
+		for s := 0; s < inst.N(); s++ {
+			want := 0
+			for _, p := range idx.SitePairs(SiteID(s)) {
+				if p.Dr <= tau {
+					want++
+				}
+			}
+			if len(cs.TC[s]) != want {
+				t.Fatalf("tau=%v site %d: TC size %d, want %d", tau, s, len(cs.TC[s]), want)
+			}
+			if math.Abs(cs.Weights[s]-float64(want)) > 1e-9 {
+				t.Fatalf("binary weight != TC size")
+			}
+		}
+		// SC mirrors TC.
+		scSum := 0
+		for tr := 0; tr < inst.M(); tr++ {
+			scSum += len(cs.SC[tr])
+		}
+		if scSum != cs.Pairs() {
+			t.Fatalf("SC total %d != pairs %d", scSum, cs.Pairs())
+		}
+	}
+}
+
+func TestCoverSetsGrowWithTau(t *testing.T) {
+	// Table 9's driver: covering sets grow sharply with τ.
+	inst, _ := gridInstance(t, 400, 40, 40, 62)
+	idx, err := BuildDistanceIndex(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, tau := range []float64{0.1, 0.4, 0.8, 1.6, 3.0} {
+		cs, err := BuildCoverSets(idx, Binary(tau))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Pairs() < prev {
+			t.Fatalf("pairs shrank as tau grew")
+		}
+		prev = cs.Pairs()
+	}
+}
+
+func TestBuildCoverSetsRejectsTauBeyondHorizon(t *testing.T) {
+	inst, _ := gridInstance(t, 200, 10, 10, 63)
+	idx, err := BuildDistanceIndex(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildCoverSets(idx, Binary(3)); err == nil {
+		t.Error("tau beyond horizon accepted")
+	}
+}
+
+func TestBuildCoverSetsNonBinaryScores(t *testing.T) {
+	inst, _ := gridInstance(t, 300, 30, 30, 64)
+	idx, err := BuildDistanceIndex(inst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := Linear(2)
+	cs, err := BuildCoverSets(idx, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < inst.N(); s++ {
+		for i, st := range cs.TC[s] {
+			dr := idx.SitePairs(SiteID(s))[i].Dr
+			if math.Abs(st.Score-pref.Score(dr)) > 1e-12 {
+				t.Fatalf("score mismatch at site %d", s)
+			}
+			if st.Score < 0 || st.Score > 1 {
+				t.Fatalf("score %v outside [0,1]", st.Score)
+			}
+		}
+	}
+}
+
+func TestEvaluateSelectionAgainstManual(t *testing.T) {
+	cs := paperExample1()
+	u, covered := EvaluateSelection(cs, []SiteID{0, 2})
+	if math.Abs(u-1.0) > 1e-12 || covered != 2 {
+		t.Errorf("OPT selection: u=%v covered=%d", u, covered)
+	}
+	u, covered = EvaluateSelection(cs, []SiteID{1})
+	if math.Abs(u-0.61) > 1e-12 || covered != 2 {
+		t.Errorf("s2 selection: u=%v covered=%d", u, covered)
+	}
+	u, covered = EvaluateSelection(cs, nil)
+	if u != 0 || covered != 0 {
+		t.Errorf("empty selection: u=%v covered=%d", u, covered)
+	}
+}
+
+func TestEndToEndGreedyOnRealInstance(t *testing.T) {
+	// Full pipeline: city -> trajectories -> distance index -> cover sets
+	// -> greedy. The selected sites must cover a meaningful share.
+	inst, _ := gridInstance(t, 600, 80, 150, 65)
+	idx, err := BuildDistanceIndex(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := BuildCoverSets(idx, Binary(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := IncGreedy(cs, GreedyOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered == 0 {
+		t.Fatal("greedy covered nothing on a dense instance")
+	}
+	// Coverage fraction should be substantial with 5 sites at τ=1km on a
+	// 10km city with hotspot-skewed demand.
+	frac := float64(res.Covered) / float64(inst.M())
+	if frac < 0.2 {
+		t.Errorf("coverage fraction %.2f suspiciously low", frac)
+	}
+	// Selected sites must be distinct.
+	seen := map[SiteID]bool{}
+	for _, s := range res.Selected {
+		if seen[s] {
+			t.Fatal("duplicate site selected")
+		}
+		seen[s] = true
+	}
+}
+
+func TestGreedyUtilityIndependentOfSiteOrderProperty(t *testing.T) {
+	// Permuting site ids must not change the greedy utility (modulo exact
+	// ties, which random float scores avoid).
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 10; trial++ {
+		n, m := 15, 40
+		type pair struct {
+			s, tr int32
+			score float64
+		}
+		var pairs []pair
+		for s := int32(0); s < int32(n); s++ {
+			for tr := int32(0); tr < int32(m); tr++ {
+				if rng.Float64() < 0.25 {
+					pairs = append(pairs, pair{s, tr, rng.Float64()*0.99 + 0.01})
+				}
+			}
+		}
+		build := func(perm []int) *CoverSets {
+			cs := NewCoverSets(n, m)
+			for _, p := range pairs {
+				cs.AddPair(int32(perm[p.s]), p.tr, p.score)
+			}
+			return cs
+		}
+		id := make([]int, n)
+		shuffled := make([]int, n)
+		for i := range id {
+			id[i] = i
+			shuffled[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r1, err := IncGreedy(build(id), GreedyOptions{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := IncGreedy(build(shuffled), GreedyOptions{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r1.Utility-r2.Utility) > 1e-9 {
+			t.Fatalf("trial %d: utility depends on site order: %v vs %v", trial, r1.Utility, r2.Utility)
+		}
+	}
+}
+
+func TestCoverSetsMemoryBytesMonotone(t *testing.T) {
+	inst, _ := gridInstance(t, 300, 30, 30, 67)
+	idx, err := BuildDistanceIndex(inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := BuildCoverSets(idx, Binary(0.5))
+	b, _ := BuildCoverSets(idx, Binary(2.5))
+	if b.MemoryBytes() < a.MemoryBytes() {
+		t.Error("memory estimate not monotone in tau")
+	}
+}
+
+var _ = trajectory.ID(0) // keep import for helper signatures

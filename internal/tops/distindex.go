@@ -1,0 +1,263 @@
+package tops
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+// DistanceIndex is the precomputed site↔trajectory round-trip distance
+// matrix of §3.2, stored sparsely: only pairs with detour at most
+// MaxDetourKm are kept, matching the paper's practice of precomputing
+// distances "up to 10 Km". Both directions of the matrix are materialized —
+// per site sorted by detour (the TC side) and per trajectory sorted by
+// detour (the SC side) — so covering sets for any τ <= MaxDetourKm are a
+// prefix scan.
+//
+// The detour of trajectory T at site s is
+//
+//	dr(T, s) = min over k <= l of  d(v_k, s) + d(s, v_l) − dist_T(v_k, v_l)
+//
+// where dist_T is the along-trajectory distance (see the trajectory package
+// for why). With prefix minima the inner scan is O(l) per (site, covered
+// trajectory) pair.
+type DistanceIndex struct {
+	inst        *Instance
+	MaxDetourKm float64
+
+	// sitePairs[s] lists (trajectory, detour) sorted ascending by detour.
+	sitePairs [][]TrajDist
+	// trajPairs[t] lists (site, detour) sorted ascending by detour.
+	trajPairs [][]SiteDist
+	pairs     int
+}
+
+// TrajDist is one entry of a site's trajectory list.
+type TrajDist struct {
+	Traj trajectory.ID
+	Dr   float64
+}
+
+// SiteDist is one entry of a trajectory's site list.
+type SiteDist struct {
+	Site SiteID
+	Dr   float64
+}
+
+// BuildDistanceIndex computes the sparse distance matrix with two bounded
+// Dijkstra runs per candidate site. maxDetourKm caps the stored detours;
+// it must cover the largest τ the application will query, and it also
+// bounds each search radius: a node v can contribute a detour <= dmax only
+// if d(v,s) <= dmax or d(s,v) <= dmax on the relevant leg... more precisely
+// each leg of a detour within dmax is itself within dmax plus the
+// along-path correction, so searching to dmax + maxTrajLen would be exact.
+// Like the paper we trade exactness at the fringe for memory and search to
+// dmax only; trajectories whose entry/exit legs both exceed dmax are
+// treated as uncovered. Experiments use τ well below dmax.
+func BuildDistanceIndex(inst *Instance, maxDetourKm float64) (*DistanceIndex, error) {
+	if maxDetourKm <= 0 {
+		return nil, fmt.Errorf("tops: non-positive max detour %v", maxDetourKm)
+	}
+	idx := &DistanceIndex{
+		inst:        inst,
+		MaxDetourKm: maxDetourKm,
+		sitePairs:   make([][]TrajDist, inst.N()),
+		trajPairs:   make([][]SiteDist, inst.M()),
+	}
+
+	// Inverted index: node -> postings of (trajectory, position).
+	type posting struct {
+		traj trajectory.ID
+		pos  int32
+	}
+	postings := make([][]posting, inst.G.NumNodes())
+	inst.Trajs.ForEach(func(id trajectory.ID, tr *trajectory.Trajectory) {
+		for i, v := range tr.Nodes {
+			postings[v] = append(postings[v], posting{traj: id, pos: int32(i)})
+		}
+	})
+
+	// Per-site work is independent, so sites are sharded across a worker
+	// pool; each worker owns its Dijkstra scratch. Workers fill only the
+	// site-side lists; the trajectory-side lists are derived afterwards so
+	// no cross-worker synchronization is needed. The result is bit-for-bit
+	// deterministic regardless of worker count because each site's list is
+	// computed in isolation and sorted.
+	workers := runtime.NumCPU()
+	if workers > inst.N() {
+		workers = inst.N()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := roadnet.NewScratch(inst.G)
+			seen := make(map[trajectory.ID]struct{}, 256)
+			for si := range next {
+				node := inst.Sites[si]
+				fwd := scratch.Bounded(inst.G, node, roadnet.Forward, maxDetourKm)
+				fwdDist := fwd.Dist
+				rev := scratch.Bounded(inst.G, node, roadnet.Reverse, maxDetourKm)
+				revDist := rev.Dist
+
+				// Candidate trajectories: any trajectory touching a node
+				// reached by either search (both legs are needed; the
+				// union is a safe superset).
+				clear(seen)
+				for _, v := range fwd.Nodes {
+					for _, p := range postings[v] {
+						seen[p.traj] = struct{}{}
+					}
+				}
+				for _, v := range rev.Nodes {
+					for _, p := range postings[v] {
+						seen[p.traj] = struct{}{}
+					}
+				}
+				for tid := range seen {
+					tr := inst.Trajs.Get(tid)
+					dr := detour(tr, fwdDist, revDist)
+					if dr <= maxDetourKm {
+						idx.sitePairs[si] = append(idx.sitePairs[si], TrajDist{Traj: tid, Dr: dr})
+					}
+				}
+			}
+		}()
+	}
+	for si := 0; si < inst.N(); si++ {
+		next <- si
+	}
+	close(next)
+	wg.Wait()
+	// Derive the trajectory-side lists and the pair count.
+	for si := range idx.sitePairs {
+		for _, p := range idx.sitePairs[si] {
+			idx.trajPairs[p.Traj] = append(idx.trajPairs[p.Traj], SiteDist{Site: SiteID(si), Dr: p.Dr})
+			idx.pairs++
+		}
+	}
+	for si := range idx.sitePairs {
+		sort.Slice(idx.sitePairs[si], func(a, b int) bool {
+			pa, pb := idx.sitePairs[si][a], idx.sitePairs[si][b]
+			if pa.Dr != pb.Dr {
+				return pa.Dr < pb.Dr
+			}
+			return pa.Traj < pb.Traj
+		})
+	}
+	for ti := range idx.trajPairs {
+		sort.Slice(idx.trajPairs[ti], func(a, b int) bool {
+			pa, pb := idx.trajPairs[ti][a], idx.trajPairs[ti][b]
+			if pa.Dr != pb.Dr {
+				return pa.Dr < pb.Dr
+			}
+			return pa.Site < pb.Site
+		})
+	}
+	return idx, nil
+}
+
+// detour computes dr(T, s) given the bounded distance maps of site s.
+// revDist[v] = d(v, s) (reverse search), fwdDist[v] = d(s, v). The detour
+// decomposes as min_l [ minprefix_k (d(v_k,s) + cum_k) + d(s,v_l) − cum_l ],
+// giving a single O(l) pass. Nodes outside a map contribute +Inf.
+//
+// The result is clamped at zero: because the skipped segment is priced at
+// the along-trajectory distance (which may exceed the shortest path), the
+// raw expression can go negative when deviating via the site is actually a
+// shortcut — visiting a service never costs the user negative distance.
+func detour(tr *trajectory.Trajectory, fwdDist, revDist map[roadnet.NodeID]float64) float64 {
+	best := math.Inf(1)
+	bestEntry := math.Inf(1) // min over k<=l of d(v_k,s)+cum_k
+	for l, v := range tr.Nodes {
+		if dIn, ok := revDist[v]; ok {
+			if e := dIn + tr.CumDist[l]; e < bestEntry {
+				bestEntry = e
+			}
+		}
+		if math.IsInf(bestEntry, 1) {
+			continue
+		}
+		if dOut, ok := fwdDist[v]; ok {
+			if d := bestEntry + dOut - tr.CumDist[l]; d < best {
+				best = d
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Detour returns dr(T_j, s_i) from the index, or +Inf when the pair exceeds
+// MaxDetourKm. O(log) in the trajectory's list length.
+func (idx *DistanceIndex) Detour(tid trajectory.ID, sid SiteID) float64 {
+	// The trajectory list is sorted by Dr, not site, so scan; lists are
+	// short in practice. Callers needing bulk access use the pair lists.
+	for _, p := range idx.trajPairs[tid] {
+		if p.Site == sid {
+			return p.Dr
+		}
+	}
+	return math.Inf(1)
+}
+
+// SitePairs returns the (trajectory, detour) list of site s, ascending by
+// detour. Callers must not mutate it.
+func (idx *DistanceIndex) SitePairs(s SiteID) []TrajDist { return idx.sitePairs[s] }
+
+// TrajPairs returns the (site, detour) list of trajectory t, ascending by
+// detour. Callers must not mutate it.
+func (idx *DistanceIndex) TrajPairs(t trajectory.ID) []SiteDist { return idx.trajPairs[t] }
+
+// Pairs returns the number of stored (site, trajectory) pairs — the memory
+// footprint driver the paper's Table 9 tracks.
+func (idx *DistanceIndex) Pairs() int { return idx.pairs }
+
+// NumTrajs returns the size of the trajectory universe the index was built
+// over. Trajectories added to the instance after construction are unknown
+// to the index.
+func (idx *DistanceIndex) NumTrajs() int { return len(idx.trajPairs) }
+
+// Instance returns the underlying TOPS instance.
+func (idx *DistanceIndex) Instance() *Instance { return idx.inst }
+
+// MemoryBytes estimates the resident size of the index (both pair lists),
+// used by the memory-footprint experiment.
+func (idx *DistanceIndex) MemoryBytes() int64 {
+	const pairBytes = 16 // id + float64 with padding
+	return int64(idx.pairs) * 2 * pairBytes
+}
+
+// ExactDetour computes dr(T, s) without the index by running two full
+// Dijkstras from the site node. It is the oracle used by tests and by the
+// dynamic-update path for single pairs.
+func ExactDetour(g *roadnet.Graph, tr *trajectory.Trajectory, siteNode roadnet.NodeID) float64 {
+	fwd := roadnet.Dijkstra(g, siteNode, roadnet.Forward)
+	rev := roadnet.Dijkstra(g, siteNode, roadnet.Reverse)
+	best := math.Inf(1)
+	bestEntry := math.Inf(1)
+	for l, v := range tr.Nodes {
+		if e := rev[v] + tr.CumDist[l]; e < bestEntry {
+			bestEntry = e
+		}
+		if d := bestEntry + fwd[v] - tr.CumDist[l]; d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,267 @@
+package tops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netclus/internal/gen"
+	"netclus/internal/geo"
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+// gridInstance builds a small deterministic instance over a grid city.
+func gridInstance(t testing.TB, nodes, trajs, sites int, seed int64) (*Instance, *gen.City) {
+	t.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: nodes, SpanKm: 10, Jitter: 0.2,
+		OneWayFrac: 0.1, RemoveFrac: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: trajs, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteIDs, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: sites, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(city.Graph, store, siteIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, city
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	inst, _ := gridInstance(t, 200, 10, 20, 1)
+	if _, err := NewInstance(nil, inst.Trajs, inst.Sites); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewInstance(inst.G, trajectory.NewStore(0), inst.Sites); err == nil {
+		t.Error("empty trajectories accepted")
+	}
+	if _, err := NewInstance(inst.G, inst.Trajs, nil); err == nil {
+		t.Error("empty sites accepted")
+	}
+	if _, err := NewInstance(inst.G, inst.Trajs, []roadnet.NodeID{99999}); err == nil {
+		t.Error("invalid site node accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if err := (Query{K: 0, Pref: Binary(1)}).Validate(10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := (Query{K: 11, Pref: Binary(1)}).Validate(10); err == nil {
+		t.Error("k>n accepted")
+	}
+	if err := (Query{K: 5, Pref: Binary(1)}).Validate(10); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetourLineGraph(t *testing.T) {
+	// Line 0-1-2-3-4 with unit bidirectional edges; site at node 4 off a
+	// trajectory 0..2 should cost a detour of 2*(distance from exit).
+	g := roadnet.New(5)
+	for i := 0; i < 5; i++ {
+		g.AddNode(geo.Point{X: float64(i)})
+	}
+	for i := 0; i+1 < 5; i++ {
+		if err := g.AddBidirectional(roadnet.NodeID(i), roadnet.NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := trajectory.NewStore(1)
+	tr, err := trajectory.New(g, []roadnet.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Add(tr)
+	inst, err := NewInstance(g, store, []roadnet.NodeID{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildDistanceIndex(inst, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site on the trajectory: zero detour.
+	if d := idx.Detour(0, 0); d != 0 {
+		t.Errorf("detour to on-path site 0 = %v", d)
+	}
+	if d := idx.Detour(0, 1); d != 0 {
+		t.Errorf("detour to on-path site 2 = %v", d)
+	}
+	// Site at node 4: best deviation leaves at node 2 (end), walks 2 km
+	// to 4 and 2 km back: detour = 4.
+	if d := idx.Detour(0, 2); math.Abs(d-4) > 1e-12 {
+		t.Errorf("detour to off-path site 4 = %v, want 4", d)
+	}
+}
+
+func TestDetourUsesOrderedPairs(t *testing.T) {
+	// Directed cycle 0->1->2->3->0 (unit weights). Trajectory 0,1,2.
+	// A site at node 3: entering from node k and rejoining at node l >= k.
+	g := roadnet.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(geo.Point{X: float64(i)})
+	}
+	for i := 0; i < 4; i++ {
+		if err := g.AddEdge(roadnet.NodeID(i), roadnet.NodeID((i+1)%4), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := trajectory.NewStore(1)
+	tr, err := trajectory.New(g, []roadnet.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Add(tr)
+	inst, err := NewInstance(g, store, []roadnet.NodeID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildDistanceIndex(inst, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: leave at node 2 (d(2,3)=1), return to node 2?? must rejoin at
+	// l >= k on the trajectory: d(3, v_l) for v_l in {0,1,2} with l >= exit
+	// index. Leaving at node 2 (index 2, cum 2): d(2,3)=1, then d(3,2)
+	// = 3 (3->0->1->2), rejoining at index 2: detour = 1+3-0 = 4.
+	// Leaving at node 0 (index 0): d(0,3)=3, rejoin node 1 (index 1):
+	// 3 + d(3,1)=2, minus along 1 => 4. Or rejoin 0: 3+1-0=4. All 4.
+	if d := idx.Detour(0, 0); math.Abs(d-4) > 1e-12 {
+		t.Errorf("directed detour = %v, want 4", d)
+	}
+	// Oracle agreement.
+	if d := ExactDetour(g, tr, 3); math.Abs(d-4) > 1e-12 {
+		t.Errorf("ExactDetour = %v, want 4", d)
+	}
+}
+
+func TestDistanceIndexMatchesExactOracle(t *testing.T) {
+	inst, _ := gridInstance(t, 400, 40, 30, 3)
+	const dmax = 1e9 // effectively unbounded: every pair must match oracle
+	idx, err := BuildDistanceIndex(inst, dmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		tid := trajectory.ID(rng.Intn(inst.M()))
+		sid := SiteID(rng.Intn(inst.N()))
+		want := ExactDetour(inst.G, inst.Trajs.Get(tid), inst.SiteNode(sid))
+		got := idx.Detour(tid, sid)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) || (!math.IsInf(want, 1) && math.Abs(got-want) > 1e-9) {
+			t.Fatalf("detour(T%d, s%d) = %v, oracle %v", tid, sid, got, want)
+		}
+	}
+}
+
+func TestDistanceIndexBoundedIsSubsetOfExact(t *testing.T) {
+	inst, _ := gridInstance(t, 400, 30, 25, 5)
+	full, err := BuildDistanceIndex(inst, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := BuildDistanceIndex(inst, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Pairs() > full.Pairs() {
+		t.Fatalf("bounded index has more pairs (%d) than full (%d)", bounded.Pairs(), full.Pairs())
+	}
+	// A bounded search truncates entry/exit legs at the horizon, so a
+	// bounded detour is an upper bound of the exact one: every bounded
+	// pair must appear in the full index with a detour no larger, and the
+	// bounded value must respect the horizon.
+	for s := 0; s < inst.N(); s++ {
+		for _, p := range bounded.SitePairs(SiteID(s)) {
+			if p.Dr > 2.0 {
+				t.Fatalf("pair beyond horizon: %v", p.Dr)
+			}
+			if exact := full.Detour(p.Traj, SiteID(s)); exact > p.Dr+1e-9 {
+				t.Fatalf("bounded detour %v below exact %v", p.Dr, exact)
+			}
+		}
+	}
+}
+
+func TestDistanceIndexSorted(t *testing.T) {
+	inst, _ := gridInstance(t, 300, 30, 20, 7)
+	idx, err := BuildDistanceIndex(inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < inst.N(); s++ {
+		pairs := idx.SitePairs(SiteID(s))
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Dr < pairs[i-1].Dr {
+				t.Fatal("site pairs not sorted")
+			}
+		}
+	}
+	for tid := 0; tid < inst.M(); tid++ {
+		pairs := idx.TrajPairs(trajectory.ID(tid))
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Dr < pairs[i-1].Dr {
+				t.Fatal("traj pairs not sorted")
+			}
+		}
+	}
+}
+
+func TestDistanceIndexSymmetricPairCount(t *testing.T) {
+	inst, _ := gridInstance(t, 300, 25, 20, 9)
+	idx, err := BuildDistanceIndex(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteSide, trajSide := 0, 0
+	for s := 0; s < inst.N(); s++ {
+		siteSide += len(idx.SitePairs(SiteID(s)))
+	}
+	for tid := 0; tid < inst.M(); tid++ {
+		trajSide += len(idx.TrajPairs(trajectory.ID(tid)))
+	}
+	if siteSide != trajSide || siteSide != idx.Pairs() {
+		t.Fatalf("pair count mismatch: site-side %d traj-side %d counter %d", siteSide, trajSide, idx.Pairs())
+	}
+	if idx.MemoryBytes() <= 0 {
+		t.Error("memory estimate not positive")
+	}
+}
+
+func TestBuildDistanceIndexRejectsBadHorizon(t *testing.T) {
+	inst, _ := gridInstance(t, 200, 10, 10, 11)
+	if _, err := BuildDistanceIndex(inst, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := BuildDistanceIndex(inst, -1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestDetourOnPathSiteIsZero(t *testing.T) {
+	// Any site lying on a trajectory must have detour 0 for it.
+	inst, _ := gridInstance(t, 300, 20, 0, 13) // all nodes are sites
+	idx, err := BuildDistanceIndex(inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < inst.M(); tid++ {
+		tr := inst.Trajs.Get(trajectory.ID(tid))
+		for _, v := range tr.Nodes {
+			// Site id == node id because all nodes are sites, sorted.
+			if d := idx.Detour(trajectory.ID(tid), SiteID(v)); d != 0 {
+				t.Fatalf("on-path site %d has detour %v for trajectory %d", v, d, tid)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package tops
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+func TestDistIndexAddTrajectoryMatchesRebuild(t *testing.T) {
+	inst, _ := gridInstance(t, 400, 30, 40, 91)
+	const dmax = 3.0
+	idx, err := BuildDistanceIndex(inst, dmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add clones of the first five trajectories through the update path.
+	var clones []*trajectory.Trajectory
+	for i := 0; i < 5; i++ {
+		tr, err := trajectory.New(inst.G, inst.Trajs.Get(trajectory.ID(i)).Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clones = append(clones, tr)
+	}
+	for _, tr := range clones {
+		tid := inst.Trajs.Add(tr)
+		if err := idx.AddTrajectory(tid, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rebuild from scratch over the extended store; the incremental index
+	// must match pair for pair.
+	fresh, err := BuildDistanceIndex(inst, dmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Pairs() != idx.Pairs() {
+		t.Fatalf("pair counts differ: incremental %d vs rebuild %d", idx.Pairs(), fresh.Pairs())
+	}
+	for tid := 0; tid < inst.M(); tid++ {
+		a := idx.TrajPairs(trajectory.ID(tid))
+		b := fresh.TrajPairs(trajectory.ID(tid))
+		if len(a) != len(b) {
+			t.Fatalf("trajectory %d: %d vs %d pairs", tid, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Site != b[i].Site || math.Abs(a[i].Dr-b[i].Dr) > 1e-9 {
+				t.Fatalf("trajectory %d pair %d differs: %+v vs %+v", tid, i, a[i], b[i])
+			}
+		}
+	}
+	// Site-side lists stay sorted.
+	for s := 0; s < inst.N(); s++ {
+		pairs := idx.SitePairs(SiteID(s))
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Dr < pairs[i-1].Dr {
+				t.Fatal("site pairs unsorted after incremental add")
+			}
+		}
+	}
+}
+
+func TestDistIndexAddRemoveRoundTrip(t *testing.T) {
+	inst, _ := gridInstance(t, 300, 20, 30, 93)
+	idx, err := BuildDistanceIndex(inst, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.Pairs()
+	tr, err := trajectory.New(inst.G, inst.Trajs.Get(0).Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := inst.Trajs.Add(tr)
+	if err := idx.AddTrajectory(tid, tr); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Pairs() <= before {
+		t.Fatal("add did not grow the index")
+	}
+	if err := idx.RemoveTrajectory(tid); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Pairs() != before {
+		t.Fatalf("pairs after round trip: %d, want %d", idx.Pairs(), before)
+	}
+	if len(idx.TrajPairs(tid)) != 0 {
+		t.Error("removed trajectory still has pairs")
+	}
+}
+
+func TestDistIndexAddTrajectoryValidation(t *testing.T) {
+	inst, _ := gridInstance(t, 200, 10, 10, 95)
+	idx, err := BuildDistanceIndex(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.AddTrajectory(trajectory.ID(inst.M()), nil); err == nil {
+		t.Error("nil trajectory accepted")
+	}
+	tr, _ := trajectory.New(inst.G, inst.Trajs.Get(0).Nodes)
+	if err := idx.AddTrajectory(trajectory.ID(inst.M()+5), tr); err == nil {
+		t.Error("out-of-sequence id accepted")
+	}
+	bad := &trajectory.Trajectory{Nodes: []roadnet.NodeID{99999}, CumDist: []float64{0}}
+	if err := idx.AddTrajectory(trajectory.ID(inst.M()), bad); err == nil {
+		t.Error("out-of-graph trajectory accepted")
+	}
+	if err := idx.RemoveTrajectory(trajectory.ID(9999)); err == nil {
+		t.Error("out-of-range removal accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package tops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFMGreedyRejectsNonBinary(t *testing.T) {
+	cs := paperExample1() // non-binary scores
+	if _, err := FMGreedy(cs, FMGreedyOptions{K: 2, F: 8}); err == nil {
+		t.Error("non-binary cover sets accepted")
+	}
+}
+
+func TestFMGreedyValidation(t *testing.T) {
+	cs := NewCoverSets(3, 5)
+	if _, err := FMGreedy(cs, FMGreedyOptions{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FMGreedy(cs, FMGreedyOptions{K: 5}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestFMGreedyQualityCloseToExactGreedy(t *testing.T) {
+	// Table 8 of the paper: with enough sketches the relative utility loss
+	// vs the exact greedy is a few percent. Use f=64 and allow 15% across
+	// random instances (estimates are noisy at small set sizes).
+	rng := rand.New(rand.NewSource(41))
+	var totalRelLoss float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		cs := randomCoverSets(rng, 40, 300, 0.1, true)
+		k := 5
+		exact, err := IncGreedy(cs, GreedyOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmres, err := FMGreedy(cs, FMGreedyOptions{K: k, F: 64, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fmres.Selected) != k {
+			t.Fatalf("trial %d: selected %d sites", trial, len(fmres.Selected))
+		}
+		if fmres.Utility > exact.Utility+1e-9 {
+			// FM picks a different (possibly worse) set; it can never beat
+			// greedy's utility on the same instance by definition of
+			// greedy... actually it can: greedy is not optimal. Allow it.
+			t.Logf("trial %d: FM beat exact greedy (%v > %v) — possible, greedy is heuristic", trial, fmres.Utility, exact.Utility)
+		}
+		rel := (exact.Utility - fmres.Utility) / math.Max(exact.Utility, 1e-9)
+		if rel > 0 {
+			totalRelLoss += rel
+		}
+	}
+	if avg := totalRelLoss / trials; avg > 0.15 {
+		t.Errorf("average FM relative loss %.3f > 0.15", avg)
+	}
+}
+
+func TestFMGreedyErrorShrinksWithF(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lossAt := func(f int) float64 {
+		var total float64
+		const trials = 12
+		for trial := 0; trial < trials; trial++ {
+			cs := randomCoverSets(rng, 40, 300, 0.08, true)
+			exact, _ := IncGreedy(cs, GreedyOptions{K: 5})
+			fmres, err := FMGreedy(cs, FMGreedyOptions{K: 5, F: f, Seed: uint64(trial * 100)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel := (exact.Utility - fmres.Utility) / math.Max(exact.Utility, 1e-9)
+			if rel > 0 {
+				total += rel
+			}
+		}
+		return total / trials
+	}
+	l1 := lossAt(1)
+	l64 := lossAt(64)
+	if l64 > l1+1e-9 {
+		t.Errorf("loss did not shrink with f: f=1 %.3f, f=64 %.3f (Table 8 trend)", l1, l64)
+	}
+}
+
+func TestFMGreedyUtilityIsExactMeasurement(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cs := randomCoverSets(rng, 30, 200, 0.1, true)
+	res, err := FMGreedy(cs, FMGreedyOptions{K: 4, F: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, covered := EvaluateSelection(cs, res.Selected)
+	if math.Abs(u-res.Utility) > 1e-12 || covered != res.Covered {
+		t.Errorf("reported utility %v/%d, evaluated %v/%d", res.Utility, res.Covered, u, covered)
+	}
+	// Binary world: utility equals covered count.
+	if math.Abs(res.Utility-float64(res.Covered)) > 1e-12 {
+		t.Errorf("binary utility %v != covered %d", res.Utility, res.Covered)
+	}
+}
+
+func TestFMGreedyDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	cs := randomCoverSets(rng, 25, 150, 0.12, true)
+	a, err := FMGreedy(cs, FMGreedyOptions{K: 5, F: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FMGreedy(cs, FMGreedyOptions{K: 5, F: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != len(b.Selected) {
+		t.Fatal("non-deterministic selection count")
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			t.Fatal("non-deterministic selection")
+		}
+	}
+}

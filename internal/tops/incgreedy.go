@@ -1,0 +1,268 @@
+package tops
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// GreedyOptions configures IncGreedy.
+type GreedyOptions struct {
+	// K is the number of sites to select.
+	K int
+	// Lazy switches to lazy (CELF-style) marginal re-evaluation instead of
+	// the paper's incremental α-update scheme. Both return a greedy
+	// maximizer; Lazy trades the SC-side bookkeeping for on-demand TC
+	// scans and is benchmarked as an ablation.
+	Lazy bool
+	// InitialSites seeds the selection with existing service locations
+	// (§7.3). They contribute baseline utility but do not count towards K
+	// and are not reported in Selected.
+	InitialSites []SiteID
+	// TargetCoverage, when positive, turns the query into TOPS4 (§7.4):
+	// selection continues until at least this fraction of the trajectory
+	// universe is covered (positive utility), ignoring K, or until no site
+	// adds coverage. Typically combined with the binary preference.
+	TargetCoverage float64
+}
+
+// IncGreedy is the (1-1/e)-approximate greedy of §3.3 (Algorithm 1). It
+// runs on pre-built cover sets, so it serves both the exact algorithm
+// (cover sets from the full distance index) and NETCLUS (cover sets over
+// cluster representatives).
+func IncGreedy(cs *CoverSets, opts GreedyOptions) (Result, error) {
+	n := cs.N()
+	if opts.TargetCoverage > 0 {
+		if opts.TargetCoverage > 1 {
+			return Result{}, fmt.Errorf("tops: target coverage %v > 1", opts.TargetCoverage)
+		}
+		opts.K = n
+	}
+	if opts.K <= 0 || opts.K > n {
+		return Result{}, fmt.Errorf("tops: invalid k = %d for %d sites", opts.K, n)
+	}
+	for _, s := range opts.InitialSites {
+		if int(s) < 0 || int(s) >= n {
+			return Result{}, fmt.Errorf("tops: initial site %d out of range", s)
+		}
+	}
+	if opts.Lazy {
+		return lazyGreedy(cs, opts), nil
+	}
+	return plainGreedy(cs, opts), nil
+}
+
+// seedUtilities applies existing services and returns the per-trajectory
+// utility baseline plus its sum.
+func seedUtilities(cs *CoverSets, initial []SiteID) ([]float64, float64, map[SiteID]bool) {
+	util := make([]float64, cs.M)
+	existing := make(map[SiteID]bool, len(initial))
+	for _, s := range initial {
+		existing[s] = true
+		for _, st := range cs.TC[s] {
+			if st.Score > util[st.Traj] {
+				util[st.Traj] = st.Score
+			}
+		}
+	}
+	var base float64
+	for _, u := range util {
+		base += u
+	}
+	return util, base, existing
+}
+
+// plainGreedy is the paper's Algorithm 1: incremental marginal maintenance
+// through the α_{ji} identities (α_{ji} = max(0, ψ_{ji} − U_j), kept
+// implicit as the paper's update rule only needs the delta).
+func plainGreedy(cs *CoverSets, opts GreedyOptions) Result {
+	n := cs.N()
+	util, base, existing := seedUtilities(cs, opts.InitialSites)
+
+	// marg[s] = Σ_{T ∈ TC(s)} max(0, ψ − U_T); with no existing services
+	// this equals the site weight w_s.
+	marg := make([]float64, n)
+	for s := 0; s < n; s++ {
+		var m float64
+		for _, st := range cs.TC[s] {
+			if g := st.Score - util[st.Traj]; g > 0 {
+				m += g
+			}
+		}
+		marg[s] = m
+	}
+	selected := make([]bool, n)
+	for s := range existing {
+		selected[s] = true
+	}
+
+	res := Result{Utility: base}
+	covered := countCovered(util)
+	for len(res.Selected) < opts.K {
+		if opts.TargetCoverage > 0 && float64(covered) >= opts.TargetCoverage*float64(cs.M) {
+			break
+		}
+		best := -1
+		for s := 0; s < n; s++ {
+			if selected[s] {
+				continue
+			}
+			if best < 0 || greaterSite(marg[s], cs.Weights[s], s, marg[best], cs.Weights[best], best) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break // everything selected
+		}
+		if opts.TargetCoverage > 0 && marg[best] <= 0 {
+			break // no site adds coverage; target unreachable
+		}
+		selected[best] = true
+		res.Selected = append(res.Selected, SiteID(best))
+		res.Utility += marg[best]
+		// Update trajectory utilities and propagate marginal deltas to the
+		// other covering sites (lines 11–17 of Algorithm 1).
+		for _, st := range cs.TC[best] {
+			oldU := util[st.Traj]
+			if st.Score <= oldU {
+				continue
+			}
+			newU := st.Score
+			util[st.Traj] = newU
+			if oldU == 0 {
+				covered++
+			}
+			for _, ss := range cs.SC[st.Traj] {
+				if selected[ss.Site] {
+					continue
+				}
+				oldGain := ss.Score - oldU
+				if oldGain <= 0 {
+					continue
+				}
+				newGain := ss.Score - newU
+				if newGain < 0 {
+					newGain = 0
+				}
+				marg[ss.Site] -= oldGain - newGain
+			}
+		}
+		marg[best] = 0
+		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
+	}
+	res.Covered = covered
+	return res
+}
+
+// siteHeap is a max-heap of (marginal, weight, site) used by lazyGreedy.
+type siteHeapItem struct {
+	site  int32
+	marg  float64
+	stamp int32 // iteration at which marg was computed
+}
+
+type siteHeap []siteHeapItem
+
+func (h siteHeap) Len() int { return len(h) }
+func (h siteHeap) Less(i, j int) bool {
+	if h[i].marg != h[j].marg {
+		return h[i].marg > h[j].marg
+	}
+	return h[i].site > h[j].site
+}
+func (h siteHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *siteHeap) Push(x any)       { *h = append(*h, x.(siteHeapItem)) }
+func (h *siteHeap) Pop() any         { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h siteHeap) peekMarg() float64 { return h[0].marg }
+
+// lazyGreedy exploits submodularity: marginals only shrink, so a stale
+// heap value is an upper bound and a popped site whose value is fresh for
+// the current iteration is the true argmax (CELF).
+func lazyGreedy(cs *CoverSets, opts GreedyOptions) Result {
+	n := cs.N()
+	util, base, existing := seedUtilities(cs, opts.InitialSites)
+
+	evalMarg := func(s int32) float64 {
+		var m float64
+		for _, st := range cs.TC[s] {
+			if g := st.Score - util[st.Traj]; g > 0 {
+				m += g
+			}
+		}
+		return m
+	}
+	h := make(siteHeap, 0, n)
+	for s := 0; s < n; s++ {
+		if existing[SiteID(s)] {
+			continue
+		}
+		h = append(h, siteHeapItem{site: int32(s), marg: evalMarg(int32(s)), stamp: 0})
+	}
+	heap.Init(&h)
+
+	res := Result{Utility: base}
+	covered := countCovered(util)
+	for iter := int32(1); len(res.Selected) < opts.K && h.Len() > 0; {
+		if opts.TargetCoverage > 0 && float64(covered) >= opts.TargetCoverage*float64(cs.M) {
+			break
+		}
+		top := heap.Pop(&h).(siteHeapItem)
+		if top.stamp != iter {
+			top.marg = evalMarg(top.site)
+			top.stamp = iter
+			if h.Len() > 0 && top.marg < h.peekMarg() {
+				heap.Push(&h, top)
+				continue
+			}
+		}
+		if opts.TargetCoverage > 0 && top.marg <= 0 {
+			break
+		}
+		res.Selected = append(res.Selected, SiteID(top.site))
+		res.Utility += top.marg
+		for _, st := range cs.TC[top.site] {
+			if st.Score > util[st.Traj] {
+				if util[st.Traj] == 0 {
+					covered++
+				}
+				util[st.Traj] = st.Score
+			}
+		}
+		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
+		iter++
+	}
+	res.Covered = covered
+	return res
+}
+
+// greaterSite implements the paper's tie-breaking: larger marginal first,
+// then larger weight, then higher index.
+func greaterSite(m1, w1 float64, s1 int, m2, w2 float64, s2 int) bool {
+	if m1 != m2 {
+		return m1 > m2
+	}
+	if w1 != w2 {
+		return w1 > w2
+	}
+	return s1 > s2
+}
+
+func countCovered(util []float64) int {
+	c := 0
+	for _, u := range util {
+		if u > 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// GreedyUpperBoundGap returns the worst-case optimality gap of a greedy
+// result given Theorem 3: U(greedy) >= max{1-1/e, k/n}·OPT.
+func GreedyUpperBoundGap(k, n int) float64 {
+	bound := 1 - 1/math.E
+	if kn := float64(k) / float64(n); kn > bound {
+		bound = kn
+	}
+	return bound
+}

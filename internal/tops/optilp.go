@@ -1,0 +1,109 @@
+package tops
+
+import (
+	"fmt"
+
+	"netclus/internal/ilp"
+)
+
+// OptimalILP solves TOPS exactly through the integer-programming route of
+// §3.1. The paper's formulation has the non-linear constraints
+//
+//	U_j <= max_i { ψ(T_j, s_i) · x_i }
+//
+// which Appendix A.1 linearizes with a recursive big-M construction. This
+// implementation uses the standard assignment linearization of the maximal
+// covering location problem, which is exactly equivalent (both produce the
+// same integral optima) and better conditioned for an LP-relaxation
+// branch-and-bound:
+//
+//	maximize   Σ_j Σ_i ψ_ji · z_ji
+//	subject to Σ_i x_i <= k
+//	           z_ji <= x_i                  (serve only from open sites)
+//	           Σ_i z_ji <= 1                (each trajectory served once)
+//	           x_i ∈ {0,1},  0 <= z_ji <= 1
+//
+// With x fixed, the optimal z picks the best open site per trajectory, so
+// the objective equals U(Q). The variable count is 1 per site plus 1 per
+// covering pair, so — exactly like the paper's CPLEX route — this is
+// practical only for Beijing-Small-sized instances; Optimal (combinatorial
+// branch and bound) dominates it at every size and exists for cross-
+// checking and for faithfulness to the paper's method.
+func OptimalILP(cs *CoverSets, opts OptimalOptions) (Result, error) {
+	n := cs.N()
+	if opts.K <= 0 || opts.K > n {
+		return Result{}, fmt.Errorf("tops: invalid k = %d for %d sites", opts.K, n)
+	}
+	// Variable layout: [x_0 … x_{n-1}] then one z per (site, traj) pair.
+	type pairVar struct {
+		site int32
+		traj int32
+	}
+	var pairs []pairVar
+	var scores []float64
+	pairIdx := map[[2]int32]int{}
+	for s := 0; s < n; s++ {
+		for _, st := range cs.TC[s] {
+			pairIdx[[2]int32{int32(s), st.Traj}] = n + len(pairs)
+			pairs = append(pairs, pairVar{site: int32(s), traj: st.Traj})
+			scores = append(scores, st.Score)
+		}
+	}
+	nv := n + len(pairs)
+	prob := &ilp.IP{
+		LP:     ilp.LP{C: make([]float64, nv)},
+		Binary: make([]bool, nv),
+	}
+	for s := 0; s < n; s++ {
+		prob.Binary[s] = true
+	}
+	for i, sc := range scores {
+		prob.C[n+i] = sc
+	}
+	addRow := func(coef map[int]float64, rhs float64) {
+		row := make([]float64, nv)
+		for j, c := range coef {
+			row[j] = c
+		}
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, rhs)
+	}
+	// Σ x_i <= k.
+	card := map[int]float64{}
+	for s := 0; s < n; s++ {
+		card[s] = 1
+	}
+	addRow(card, float64(opts.K))
+	// z_ji <= x_i.
+	for i, pv := range pairs {
+		addRow(map[int]float64{n + i: 1, int(pv.site): -1}, 0)
+	}
+	// Σ_i z_ji <= 1 per trajectory.
+	perTraj := map[int32]map[int]float64{}
+	for i, pv := range pairs {
+		if perTraj[pv.traj] == nil {
+			perTraj[pv.traj] = map[int]float64{}
+		}
+		perTraj[pv.traj][n+i] = 1
+	}
+	for _, coef := range perTraj {
+		addRow(coef, 1)
+	}
+
+	sol, exact, err := ilp.SolveIP(prob, int(opts.MaxNodes))
+	if err != nil {
+		return Result{}, err
+	}
+	if sol.Status != ilp.Optimal {
+		return Result{}, fmt.Errorf("tops: ILP solve ended %v", sol.Status)
+	}
+	var res Result
+	for s := 0; s < n; s++ {
+		if sol.X[s] > 0.5 {
+			res.Selected = append(res.Selected, SiteID(s))
+		}
+	}
+	res.Utility, res.Covered = EvaluateSelection(cs, res.Selected)
+	res.Exact = exact
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package tops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalILPPaperExample1(t *testing.T) {
+	cs := paperExample1()
+	res, err := OptimalILP(cs, OptimalOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || math.Abs(res.Utility-1.0) > 1e-9 {
+		t.Fatalf("ILP utility = %v exact=%v, want 1.0", res.Utility, res.Exact)
+	}
+}
+
+func TestOptimalILPMatchesCombinatorial(t *testing.T) {
+	// Both exact solvers must agree on random instances — a strong
+	// cross-check of the simplex, the branch and bound, and the ILP
+	// formulation all at once.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 12; trial++ {
+		cs := randomCoverSets(rng, 5+rng.Intn(4), 8+rng.Intn(8), 0.35, trial%2 == 0)
+		k := 1 + rng.Intn(3)
+		bb, err := Optimal(cs, OptimalOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := OptimalILP(cs, OptimalOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bb.Exact || !lp.Exact {
+			t.Fatalf("trial %d: not exact (bb=%v lp=%v)", trial, bb.Exact, lp.Exact)
+		}
+		if math.Abs(bb.Utility-lp.Utility) > 1e-6 {
+			t.Fatalf("trial %d: branch-and-bound %v != ILP %v", trial, bb.Utility, lp.Utility)
+		}
+	}
+}
+
+func TestOptimalILPRespectsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	cs := randomCoverSets(rng, 8, 15, 0.4, true)
+	for k := 1; k <= 3; k++ {
+		res, err := OptimalILP(cs, OptimalOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Selected) > k {
+			t.Fatalf("k=%d: selected %d sites", k, len(res.Selected))
+		}
+	}
+}
+
+func TestOptimalILPValidation(t *testing.T) {
+	cs := paperExample1()
+	if _, err := OptimalILP(cs, OptimalOptions{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := OptimalILP(cs, OptimalOptions{K: 9}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestOptimalILPMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	cs := randomCoverSets(rng, 7, 20, 0.35, false)
+	prev := -1.0
+	for k := 1; k <= 4; k++ {
+		res, err := OptimalILP(cs, OptimalOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Utility < prev-1e-9 {
+			t.Fatalf("optimal utility decreased with k: %v after %v", res.Utility, prev)
+		}
+		prev = res.Utility
+	}
+}

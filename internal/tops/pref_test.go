@@ -1,0 +1,131 @@
+package tops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryPreference(t *testing.T) {
+	p := Binary(0.8)
+	if got := p.Score(0); got != 1 {
+		t.Errorf("Score(0) = %v", got)
+	}
+	if got := p.Score(0.8); got != 1 {
+		t.Errorf("Score(tau) = %v", got)
+	}
+	if got := p.Score(0.80001); got != 0 {
+		t.Errorf("Score(>tau) = %v", got)
+	}
+	if got := p.Score(math.Inf(1)); got != 0 {
+		t.Errorf("Score(inf) = %v", got)
+	}
+	if got := p.Score(math.NaN()); got != 0 {
+		t.Errorf("Score(NaN) = %v", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearPreference(t *testing.T) {
+	p := Linear(2)
+	if got := p.Score(0); got != 1 {
+		t.Errorf("Score(0) = %v", got)
+	}
+	if got := p.Score(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Score(1) = %v", got)
+	}
+	if got := p.Score(2); got != 0 {
+		t.Errorf("Score(tau) = %v", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvexQuadratic(t *testing.T) {
+	p := ConvexQuadratic(2)
+	if got := p.Score(1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Score(1) = %v", got)
+	}
+	// Convexity at sampled points: f(mid) <= (f(a)+f(b))/2.
+	for _, ab := range [][2]float64{{0, 2}, {0.5, 1.5}, {1, 2}} {
+		a, b := ab[0], ab[1]
+		mid := p.Score((a + b) / 2)
+		if mid > (p.Score(a)+p.Score(b))/2+1e-12 {
+			t.Errorf("not convex on [%v,%v]", a, b)
+		}
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	p := ExpDecay(5, 1)
+	if got := p.Score(0); got != 1 {
+		t.Errorf("Score(0) = %v", got)
+	}
+	if got := p.Score(1); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Errorf("Score(1) = %v", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeDistance(t *testing.T) {
+	p := NegativeDistance()
+	if got := p.Score(3); got != -3 {
+		t.Errorf("Score(3) = %v", got)
+	}
+	// Unbounded tau: everything scores.
+	if got := p.Score(1e9); got != -1e9 {
+		t.Errorf("Score(1e9) = %v", got)
+	}
+}
+
+func TestValidateRejectsIncreasing(t *testing.T) {
+	p := Preference{Tau: 1, F: func(d float64) float64 { return d }}
+	if err := p.Validate(); err == nil {
+		t.Error("increasing preference accepted")
+	}
+	p2 := Preference{Tau: -1}
+	if err := p2.Validate(); err == nil {
+		t.Error("negative tau accepted")
+	}
+	p3 := Preference{Tau: 1, F: func(d float64) float64 { return math.NaN() }}
+	if err := p3.Validate(); err == nil {
+		t.Error("NaN preference accepted")
+	}
+}
+
+func TestAllPreferencesNonIncreasingProperty(t *testing.T) {
+	prefs := []Preference{Binary(1.7), Linear(1.7), ConvexQuadratic(1.7), ExpDecay(1.7, 2)}
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1.7))
+		b = math.Abs(math.Mod(b, 1.7))
+		if a > b {
+			a, b = b, a
+		}
+		for _, p := range prefs {
+			if p.Score(a) < p.Score(b)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoresNormalized(t *testing.T) {
+	// All standard preferences (not TOPS3) stay within [0,1].
+	for _, p := range []Preference{Binary(2), Linear(2), ConvexQuadratic(2), ExpDecay(2, 0.5)} {
+		for d := 0.0; d <= 3; d += 0.1 {
+			s := p.Score(d)
+			if s < 0 || s > 1 {
+				t.Errorf("%s: Score(%v) = %v outside [0,1]", p.Name, d, s)
+			}
+		}
+	}
+}

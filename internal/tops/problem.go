@@ -1,0 +1,106 @@
+package tops
+
+import (
+	"fmt"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+// SiteID indexes into Instance.Sites. It is distinct from roadnet.NodeID:
+// sites are a subset of nodes, and every TOPS data structure is dense in
+// site index space.
+type SiteID int32
+
+// Instance bundles the three inputs of the TOPS problem: the road network
+// G, the trajectory set T, and the candidate sites S ⊆ V.
+type Instance struct {
+	G     *roadnet.Graph
+	Trajs *trajectory.Store
+	Sites []roadnet.NodeID
+}
+
+// NewInstance validates and assembles a TOPS instance. Site node ids must
+// be valid, and trajectories must reference valid nodes (checked at
+// trajectory construction).
+func NewInstance(g *roadnet.Graph, trajs *trajectory.Store, sites []roadnet.NodeID) (*Instance, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("tops: empty road network")
+	}
+	if trajs == nil || trajs.Len() == 0 {
+		return nil, fmt.Errorf("tops: empty trajectory set")
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("tops: empty candidate site set")
+	}
+	for i, s := range sites {
+		if s < 0 || int(s) >= g.NumNodes() {
+			return nil, fmt.Errorf("tops: site %d references invalid node %d", i, s)
+		}
+	}
+	return &Instance{G: g, Trajs: trajs, Sites: sites}, nil
+}
+
+// M returns the number of trajectories m.
+func (in *Instance) M() int { return in.Trajs.Len() }
+
+// N returns the number of candidate sites n.
+func (in *Instance) N() int { return len(in.Sites) }
+
+// SiteNode returns the road-network node hosting site s.
+func (in *Instance) SiteNode(s SiteID) roadnet.NodeID { return in.Sites[s] }
+
+// SiteIDOf returns the dense site id of the given node, or (-1, false) if
+// the node is not a candidate site. Linear scan: the site list may be
+// mutated by dynamic updates, so no sorted-order assumption is made.
+func (in *Instance) SiteIDOf(node roadnet.NodeID) (SiteID, bool) {
+	for i, s := range in.Sites {
+		if s == node {
+			return SiteID(i), true
+		}
+	}
+	return -1, false
+}
+
+// Query carries the online parameters of a TOPS query (k, τ, ψ); τ lives
+// inside Pref.
+type Query struct {
+	K    int
+	Pref Preference
+}
+
+// Validate rejects malformed queries.
+func (q Query) Validate(n int) error {
+	if q.K <= 0 {
+		return fmt.Errorf("tops: k = %d must be positive", q.K)
+	}
+	if q.K > n {
+		return fmt.Errorf("tops: k = %d exceeds number of candidate sites %d", q.K, n)
+	}
+	return q.Pref.Validate()
+}
+
+// Result is the answer to a TOPS query.
+type Result struct {
+	// Selected lists the chosen sites in selection order (greedy) or
+	// arbitrary order (exact solver).
+	Selected []SiteID
+	// Utility is U(Q) = Σ_j max_{s∈Q} ψ(T_j, s).
+	Utility float64
+	// UtilityPerIter records U(Q_θ) after each greedy iteration; nil for
+	// non-iterative algorithms.
+	UtilityPerIter []float64
+	// Covered counts trajectories with positive utility.
+	Covered int
+	// Exact is true when the result is provably optimal.
+	Exact bool
+}
+
+// SelectedNodes maps the selected site ids back to road-network nodes.
+func (r Result) SelectedNodes(in *Instance) []roadnet.NodeID {
+	out := make([]roadnet.NodeID, len(r.Selected))
+	for i, s := range r.Selected {
+		out[i] = in.SiteNode(s)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package tops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netclus/internal/trajectory"
+)
+
+// TOPS3 (minimize user inconvenience, §7.4): assuming every user avails the
+// service, minimize the expected deviation. Maximizing ψ = −dr with τ = ∞
+// is equivalent — within a distance horizon dmax — to maximizing the affine
+// transform ψ' = 1 − dr/dmax, i.e. the Linear preference at τ = dmax, since
+// both orderings of selections coincide once every trajectory is covered.
+// These tests exercise that route end to end.
+
+func TestTOPS3LinearTransformMinimizesDeviation(t *testing.T) {
+	inst, _ := gridInstance(t, 400, 40, 60, 81)
+	const dmax = 6.0
+	idx, err := BuildDistanceIndex(inst, dmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := BuildCoverSets(idx, Linear(dmax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	res, err := IncGreedy(cs, GreedyOptions{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Total deviation of a selection: Σ_j min over selected of dr, with
+	// uncovered trajectories priced at the horizon.
+	deviation := func(sel []SiteID) float64 {
+		var total float64
+		for tid := 0; tid < inst.M(); tid++ {
+			best := dmax
+			for _, s := range sel {
+				if d := idx.Detour(trajectory.ID(tid), s); d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total
+	}
+	greedyDev := deviation(res.Selected)
+
+	// The greedy deviation must beat random selections of the same size.
+	rng := rand.New(rand.NewSource(82))
+	beaten := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(inst.N())
+		sel := make([]SiteID, k)
+		for i := 0; i < k; i++ {
+			sel[i] = SiteID(perm[i])
+		}
+		if greedyDev <= deviation(sel)+1e-9 {
+			beaten++
+		}
+	}
+	if beaten < trials*9/10 {
+		t.Errorf("greedy deviation %v beat only %d/%d random selections", greedyDev, beaten, trials)
+	}
+}
+
+func TestTOPS3DeviationDecreasesWithK(t *testing.T) {
+	inst, _ := gridInstance(t, 400, 30, 50, 83)
+	const dmax = 6.0
+	idx, err := BuildDistanceIndex(inst, dmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := BuildCoverSets(idx, Linear(dmax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := IncGreedy(cs, GreedyOptions{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dev float64
+		for tid := 0; tid < inst.M(); tid++ {
+			best := dmax
+			for _, s := range res.Selected {
+				if d := idx.Detour(trajectory.ID(tid), s); d < best {
+					best = d
+				}
+			}
+			dev += best
+		}
+		if dev > prev+1e-9 {
+			t.Fatalf("k=%d: deviation grew: %v after %v", k, dev, prev)
+		}
+		prev = dev
+	}
+}
+
+func TestNegativeDistancePreferenceDirectUse(t *testing.T) {
+	// The raw TOPS3 preference is usable with EvaluateSelection semantics:
+	// scores are negative, higher (closer) is better.
+	p := NegativeDistance()
+	if p.Score(1) <= p.Score(2) {
+		t.Error("closer site should score higher")
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package tops
+
+import "fmt"
+
+// Multi-trajectory users. §2 of the paper: "We assume that each trajectory
+// belongs to a separate user. However, the framework can easily generalize
+// to multiple trajectories belonging to a single user by taking union of
+// each of these trajectories." Taking the union means a user's utility is
+// the best score any of her trajectories achieves, and the TOPS objective
+// sums per-user (not per-trajectory) utilities.
+//
+// CollapseToUsers rewrites cover sets over the user universe so that every
+// TOPS algorithm in this package (greedy, FM, exact, cost, capacity) runs
+// unchanged on user-level utilities.
+
+// CollapseToUsers maps a trajectory-level CoverSets to a user-level one.
+// userOf[t] is the user id of trajectory t, with ids dense in [0, numUsers).
+// For each (site, user) the best trajectory score survives — exactly the
+// union-of-trajectories semantics.
+func CollapseToUsers(cs *CoverSets, userOf []int32, numUsers int) (*CoverSets, error) {
+	if len(userOf) != cs.M {
+		return nil, fmt.Errorf("tops: %d user assignments for %d trajectories", len(userOf), cs.M)
+	}
+	if numUsers <= 0 {
+		return nil, fmt.Errorf("tops: non-positive user count %d", numUsers)
+	}
+	for t, u := range userOf {
+		if u < 0 || int(u) >= numUsers {
+			return nil, fmt.Errorf("tops: trajectory %d assigned to user %d outside [0,%d)", t, u, numUsers)
+		}
+	}
+	out := NewCoverSets(cs.N(), numUsers)
+	best := make(map[int32]float64, 64)
+	for s := 0; s < cs.N(); s++ {
+		clear(best)
+		for _, st := range cs.TC[s] {
+			u := userOf[st.Traj]
+			if st.Score > best[u] {
+				best[u] = st.Score
+			}
+		}
+		for u, score := range best {
+			out.AddPair(int32(s), u, score)
+		}
+	}
+	return out, nil
+}

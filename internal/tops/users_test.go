@@ -1,0 +1,85 @@
+package tops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCollapseToUsersBasic(t *testing.T) {
+	// Two trajectories of the same user: site covering both counts once,
+	// with the better score.
+	cs := NewCoverSets(2, 3)
+	cs.AddPair(0, 0, 0.4)
+	cs.AddPair(0, 1, 0.9) // same user as traj 0
+	cs.AddPair(1, 2, 0.5)
+	users := []int32{0, 0, 1}
+	ucs, err := CollapseToUsers(cs, users, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ucs.M != 2 {
+		t.Fatalf("user universe = %d", ucs.M)
+	}
+	if len(ucs.TC[0]) != 1 || ucs.TC[0][0].Score != 0.9 {
+		t.Fatalf("site 0 user cover = %+v, want single 0.9 entry", ucs.TC[0])
+	}
+	u, covered := EvaluateSelection(ucs, []SiteID{0})
+	if math.Abs(u-0.9) > 1e-12 || covered != 1 {
+		t.Errorf("selection eval: %v, %d", u, covered)
+	}
+}
+
+func TestCollapseToUsersIdentityWhenAllDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	cs := randomCoverSets(rng, 15, 40, 0.25, false)
+	users := make([]int32, cs.M)
+	for i := range users {
+		users[i] = int32(i)
+	}
+	ucs, err := CollapseToUsers(cs, users, cs.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := IncGreedy(cs, GreedyOptions{K: 4})
+	b, _ := IncGreedy(ucs, GreedyOptions{K: 4})
+	if math.Abs(a.Utility-b.Utility) > 1e-9 {
+		t.Errorf("identity collapse changed greedy utility: %v vs %v", a.Utility, b.Utility)
+	}
+}
+
+func TestCollapseToUsersNeverIncreasesUtility(t *testing.T) {
+	// Merging trajectories into users can only reduce total utility (max
+	// replaces sum within a user).
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 10; trial++ {
+		cs := randomCoverSets(rng, 12, 30, 0.3, trial%2 == 0)
+		numUsers := 5 + rng.Intn(5)
+		users := make([]int32, cs.M)
+		for i := range users {
+			users[i] = int32(rng.Intn(numUsers))
+		}
+		ucs, err := CollapseToUsers(cs, users, numUsers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := IncGreedy(cs, GreedyOptions{K: 3})
+		b, _ := IncGreedy(ucs, GreedyOptions{K: 3})
+		if b.Utility > a.Utility+1e-9 {
+			t.Fatalf("trial %d: user-level utility %v exceeds trajectory-level %v", trial, b.Utility, a.Utility)
+		}
+	}
+}
+
+func TestCollapseToUsersValidation(t *testing.T) {
+	cs := NewCoverSets(2, 3)
+	if _, err := CollapseToUsers(cs, []int32{0, 0}, 1); err == nil {
+		t.Error("short user vector accepted")
+	}
+	if _, err := CollapseToUsers(cs, []int32{0, 0, 5}, 2); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+	if _, err := CollapseToUsers(cs, []int32{0, 0, 0}, 0); err == nil {
+		t.Error("zero users accepted")
+	}
+}

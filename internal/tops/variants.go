@@ -1,0 +1,206 @@
+package tops
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CostOptions configures the budgeted TOPS-COST variant (§7.1).
+type CostOptions struct {
+	// Costs[s] is the installation cost of site s; must be positive.
+	Costs []float64
+	// Budget is the total budget B.
+	Budget float64
+}
+
+// CostGreedy solves TOPS-COST with the budgeted-maximum-coverage greedy of
+// Khuller, Moss & Naor adapted in §7.1: repeatedly take the affordable site
+// maximizing marginal-utility-per-cost, pruning unaffordable sites, then
+// return the better of that solution and the single best affordable site
+// (the augmentation that restores the (1−1/e)/2 bound).
+func CostGreedy(cs *CoverSets, opts CostOptions) (Result, error) {
+	n := cs.N()
+	if len(opts.Costs) != n {
+		return Result{}, fmt.Errorf("tops: %d costs for %d sites", len(opts.Costs), n)
+	}
+	for s, c := range opts.Costs {
+		if c <= 0 {
+			return Result{}, fmt.Errorf("tops: non-positive cost %v for site %d", c, s)
+		}
+	}
+	if opts.Budget <= 0 {
+		return Result{}, fmt.Errorf("tops: non-positive budget %v", opts.Budget)
+	}
+
+	util := make([]float64, cs.M)
+	marg := func(s int) float64 {
+		var m float64
+		for _, st := range cs.TC[s] {
+			if g := st.Score - util[st.Traj]; g > 0 {
+				m += g
+			}
+		}
+		return m
+	}
+
+	remaining := opts.Budget
+	alive := make([]bool, n)
+	aliveCount := 0
+	for s := 0; s < n; s++ {
+		if opts.Costs[s] <= opts.Budget {
+			alive[s] = true
+			aliveCount++
+		}
+	}
+	var res Result
+	for aliveCount > 0 {
+		// Prune everything the remaining budget can no longer afford in one
+		// pass — equivalent to the paper's prune-on-encounter rule (an
+		// unaffordable site stays unaffordable: the budget only shrinks)
+		// but avoids a quadratic tail of single-site prune iterations.
+		for s := 0; s < n; s++ {
+			if alive[s] && opts.Costs[s] > remaining {
+				alive[s] = false
+				aliveCount--
+			}
+		}
+		if aliveCount == 0 {
+			break
+		}
+		best, bestRatio := -1, -1.0
+		for s := 0; s < n; s++ {
+			if !alive[s] {
+				continue
+			}
+			if ratio := marg(s) / opts.Costs[s]; ratio > bestRatio {
+				best, bestRatio = s, ratio
+			}
+		}
+		if best < 0 {
+			break
+		}
+		gain := marg(best)
+		if gain <= 0 {
+			break // nothing left to gain; stop early
+		}
+		alive[best] = false
+		aliveCount--
+		remaining -= opts.Costs[best]
+		res.Selected = append(res.Selected, SiteID(best))
+		res.Utility += gain
+		for _, st := range cs.TC[best] {
+			if st.Score > util[st.Traj] {
+				util[st.Traj] = st.Score
+			}
+		}
+		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
+	}
+
+	// Augmentation: the single best affordable site.
+	singleBest, singleU := -1, -1.0
+	for s := 0; s < n; s++ {
+		if opts.Costs[s] > opts.Budget {
+			continue
+		}
+		if w := cs.Weights[s]; w > singleU {
+			singleBest, singleU = s, w
+		}
+	}
+	if singleBest >= 0 && singleU > res.Utility {
+		res = Result{Selected: []SiteID{SiteID(singleBest)}, Utility: singleU,
+			UtilityPerIter: []float64{singleU}}
+	}
+	res.Utility, res.Covered = EvaluateSelection(cs, res.Selected)
+	return res, nil
+}
+
+// CapacityOptions configures the TOPS-CAPACITY variant (§7.2).
+type CapacityOptions struct {
+	// K is the number of sites to select.
+	K int
+	// Caps[s] is the maximum number of trajectories site s can serve.
+	Caps []int
+}
+
+// CapacityGreedy solves TOPS-CAPACITY: the marginal utility of a site is
+// the sum of its α_i = min(|TC|, cap) largest per-trajectory marginal
+// gains, and a selected site serves exactly those trajectories (§7.2).
+func CapacityGreedy(cs *CoverSets, opts CapacityOptions) (Result, error) {
+	n := cs.N()
+	if opts.K <= 0 || opts.K > n {
+		return Result{}, fmt.Errorf("tops: invalid k = %d for %d sites", opts.K, n)
+	}
+	if len(opts.Caps) != n {
+		return Result{}, fmt.Errorf("tops: %d capacities for %d sites", len(opts.Caps), n)
+	}
+	for s, c := range opts.Caps {
+		if c < 0 {
+			return Result{}, fmt.Errorf("tops: negative capacity %d for site %d", c, s)
+		}
+	}
+
+	util := make([]float64, cs.M)
+	selected := make([]bool, n)
+	var res Result
+
+	// topGains returns the sum of the cap largest positive marginal gains
+	// of site s and the trajectories providing them.
+	gainsBuf := make([]ScoredTraj, 0, 256)
+	topGains := func(s int) (float64, []ScoredTraj) {
+		cap := opts.Caps[s]
+		if cap == 0 {
+			return 0, nil
+		}
+		gainsBuf = gainsBuf[:0]
+		for _, st := range cs.TC[s] {
+			if g := st.Score - util[st.Traj]; g > 0 {
+				gainsBuf = append(gainsBuf, ScoredTraj{Traj: st.Traj, Score: g})
+			}
+		}
+		if len(gainsBuf) > cap {
+			sort.Slice(gainsBuf, func(a, b int) bool { return gainsBuf[a].Score > gainsBuf[b].Score })
+			gainsBuf = gainsBuf[:cap]
+		}
+		var sum float64
+		for _, g := range gainsBuf {
+			sum += g.Score
+		}
+		return sum, gainsBuf
+	}
+
+	for iter := 0; iter < opts.K; iter++ {
+		best, bestGain := -1, 0.0
+		for s := 0; s < n; s++ {
+			if selected[s] {
+				continue
+			}
+			if g, _ := topGains(s); g > bestGain || (best < 0 && g >= bestGain) {
+				best, bestGain = s, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		gain, served := topGains(best)
+		selected[best] = true
+		res.Selected = append(res.Selected, SiteID(best))
+		res.Utility += gain
+		// Serve only the chosen trajectories: the site's capacity binds.
+		for _, g := range served {
+			// g.Score is the gain; the new utility is old + gain.
+			util[g.Traj] += g.Score
+		}
+		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
+	}
+	covered := 0
+	var total float64
+	for _, u := range util {
+		total += u
+		if u > 0 {
+			covered++
+		}
+	}
+	res.Utility = total
+	res.Covered = covered
+	return res, nil
+}

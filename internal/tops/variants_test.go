@@ -1,0 +1,225 @@
+package tops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCostGreedyReducesToTOPSWithUnitCosts(t *testing.T) {
+	// §7.1: TOPS reduces to TOPS-COST with unit costs and B = k.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		cs := randomCoverSets(rng, 20, 60, 0.2, false)
+		costs := make([]float64, cs.N())
+		for i := range costs {
+			costs[i] = 1
+		}
+		k := 4
+		cost, err := CostGreedy(cs, CostOptions{Costs: costs, Budget: float64(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cost.Selected) > k {
+			t.Fatalf("selected %d sites with budget %d", len(cost.Selected), k)
+		}
+		// The ratio rule with equal costs is the plain greedy, so the
+		// utilities should match (up to the single-site augmentation which
+		// can only help).
+		plain, _ := IncGreedy(cs, GreedyOptions{K: k})
+		if cost.Utility < plain.Utility-1e-9 {
+			t.Fatalf("trial %d: unit-cost TOPS-COST %v below TOPS %v", trial, cost.Utility, plain.Utility)
+		}
+	}
+}
+
+func TestCostGreedyRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 15; trial++ {
+		cs := randomCoverSets(rng, 25, 70, 0.2, false)
+		costs := make([]float64, cs.N())
+		for i := range costs {
+			costs[i] = 0.1 + rng.Float64()*2
+		}
+		budget := 3.0
+		res, err := CostGreedy(cs, CostOptions{Costs: costs, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spent float64
+		seen := map[SiteID]bool{}
+		for _, s := range res.Selected {
+			if seen[s] {
+				t.Fatal("site selected twice")
+			}
+			seen[s] = true
+			spent += costs[s]
+		}
+		if spent > budget+1e-9 {
+			t.Fatalf("trial %d: spent %v > budget %v", trial, spent, budget)
+		}
+	}
+}
+
+func TestCostGreedySingleSiteAugmentation(t *testing.T) {
+	// Classic worst case for the ratio rule: a cheap low-value site and an
+	// expensive high-value site. Ratio picks the cheap one and cannot
+	// afford the big one afterwards; the augmentation must recover it.
+	cs := NewCoverSets(2, 101)
+	cs.AddPair(0, 0, 1) // site 0: covers 1 trajectory, cost 1 -> ratio 1.0
+	for tr := int32(1); tr <= 100; tr++ {
+		cs.AddPair(1, tr, 1) // site 1: covers 100, cost 101 -> ratio ~0.99
+	}
+	costs := []float64{1, 101}
+	res, err := CostGreedy(cs, CostOptions{Costs: costs, Budget: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility < 100 {
+		t.Errorf("augmentation failed: utility %v, want >= 100", res.Utility)
+	}
+}
+
+func TestCostGreedyMoreVarianceMoreUtility(t *testing.T) {
+	// Fig. 7a of the paper: with mean cost 1 and budget fixed, higher cost
+	// std-dev lets the greedy buy more cheap sites, increasing utility.
+	rng := rand.New(rand.NewSource(53))
+	cs := randomCoverSets(rng, 60, 400, 0.08, true)
+	utilAt := func(sigma float64) float64 {
+		costs := make([]float64, cs.N())
+		crng := rand.New(rand.NewSource(99))
+		for i := range costs {
+			c := 1.0 + crng.NormFloat64()*sigma
+			if c < 0.1 {
+				c = 0.1
+			}
+			costs[i] = c
+		}
+		res, err := CostGreedy(cs, CostOptions{Costs: costs, Budget: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Utility
+	}
+	u0 := utilAt(0)
+	u1 := utilAt(1.0)
+	if u1 < u0 {
+		t.Errorf("utility did not grow with cost variance: σ=0 %v, σ=1 %v", u0, u1)
+	}
+}
+
+func TestCostGreedyValidation(t *testing.T) {
+	cs := paperExample1()
+	if _, err := CostGreedy(cs, CostOptions{Costs: []float64{1}, Budget: 1}); err == nil {
+		t.Error("wrong cost count accepted")
+	}
+	if _, err := CostGreedy(cs, CostOptions{Costs: []float64{1, 1, 0}, Budget: 1}); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if _, err := CostGreedy(cs, CostOptions{Costs: []float64{1, 1, 1}, Budget: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestCapacityGreedyReducesToTOPSWithInfiniteCaps(t *testing.T) {
+	// §7.2: TOPS reduces to TOPS-CAPACITY with caps >= m.
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 10; trial++ {
+		cs := randomCoverSets(rng, 20, 60, 0.2, false)
+		caps := make([]int, cs.N())
+		for i := range caps {
+			caps[i] = cs.M
+		}
+		k := 4
+		capRes, err := CapacityGreedy(cs, CapacityOptions{K: k, Caps: caps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, _ := IncGreedy(cs, GreedyOptions{K: k})
+		if math.Abs(capRes.Utility-plain.Utility) > 1e-9 {
+			t.Fatalf("trial %d: uncapped TOPS-CAPACITY %v != TOPS %v", trial, capRes.Utility, plain.Utility)
+		}
+	}
+}
+
+func TestCapacityGreedyZeroCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	cs := randomCoverSets(rng, 10, 30, 0.3, true)
+	caps := make([]int, cs.N())
+	res, err := CapacityGreedy(cs, CapacityOptions{K: 3, Caps: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility != 0 || res.Covered != 0 {
+		t.Errorf("zero caps produced utility %v covered %d", res.Utility, res.Covered)
+	}
+}
+
+func TestCapacityGreedyCapsBindServedCount(t *testing.T) {
+	// One site covering 10 trajectories with cap 3 can serve only 3.
+	cs := NewCoverSets(1, 10)
+	for tr := int32(0); tr < 10; tr++ {
+		cs.AddPair(0, tr, 1)
+	}
+	res, err := CapacityGreedy(cs, CapacityOptions{K: 1, Caps: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility != 3 || res.Covered != 3 {
+		t.Errorf("cap 3: utility %v covered %d", res.Utility, res.Covered)
+	}
+}
+
+func TestCapacityGreedyMonotoneInCapacity(t *testing.T) {
+	// Fig. 7b: utility grows with mean capacity.
+	rng := rand.New(rand.NewSource(56))
+	cs := randomCoverSets(rng, 30, 200, 0.15, true)
+	utilAt := func(cap int) float64 {
+		caps := make([]int, cs.N())
+		for i := range caps {
+			caps[i] = cap
+		}
+		res, err := CapacityGreedy(cs, CapacityOptions{K: 5, Caps: caps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Utility
+	}
+	last := -1.0
+	for _, cap := range []int{1, 5, 20, 100, 200} {
+		u := utilAt(cap)
+		if u < last-1e-9 {
+			t.Fatalf("utility decreased at cap %d: %v after %v", cap, u, last)
+		}
+		last = u
+	}
+}
+
+func TestCapacityGreedyServesTopGains(t *testing.T) {
+	// Two sites, shared trajectory; capacity forces serving the best.
+	cs := NewCoverSets(2, 3)
+	cs.AddPair(0, 0, 0.9)
+	cs.AddPair(0, 1, 0.5)
+	cs.AddPair(0, 2, 0.2)
+	res, err := CapacityGreedy(cs, CapacityOptions{K: 1, Caps: []int{2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serves the 0.9 and 0.5 trajectories.
+	if math.Abs(res.Utility-1.4) > 1e-12 {
+		t.Errorf("utility = %v, want 1.4", res.Utility)
+	}
+}
+
+func TestCapacityGreedyValidation(t *testing.T) {
+	cs := paperExample1()
+	if _, err := CapacityGreedy(cs, CapacityOptions{K: 0, Caps: []int{1, 1, 1}}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := CapacityGreedy(cs, CapacityOptions{K: 1, Caps: []int{1}}); err == nil {
+		t.Error("wrong cap count accepted")
+	}
+	if _, err := CapacityGreedy(cs, CapacityOptions{K: 1, Caps: []int{1, -1, 1}}); err == nil {
+		t.Error("negative cap accepted")
+	}
+}
