@@ -1,6 +1,7 @@
 // Package netclus is a Go reproduction of "NetClus: A Scalable Framework
 // for Locating Top-K Sites for Placement of Trajectory-Aware Services"
-// (Mitra, Saraf, Sharma, Bhattacharya, Ranu — ICDE 2017).
+// (Mitra, Saraf, Sharma, Bhattacharya, Ranu — ICDE 2017), grown into a
+// concurrent query-serving core.
 //
 // The library answers TOPS queries — given a road network, a set of user
 // trajectories and candidate sites, report the k sites maximizing total
@@ -9,6 +10,13 @@
 // branch-and-bound optimum, the INC-GREEDY baseline and its FM-sketch
 // acceleration, the cost/capacity/existing-services variants, and dynamic
 // updates.
+//
+// This package is the public facade (see netclus.go): external users build
+// an Index over an Instance, wrap it in an Engine, and serve concurrent
+// Query/QueryBatch traffic interleaved with updates — covering structures
+// are memoized per (ladder instance, preference) and filled in parallel, so
+// repeated and interactive (k, τ)-varying workloads skip the per-query
+// RepCover cost the paper's online phase pays.
 //
 // Layout:
 //
@@ -20,7 +28,10 @@
 //	internal/gen         synthetic cities, trajectories, GPS noise
 //	internal/dataset     Table-6-style dataset presets
 //	internal/tops        the TOPS problem and all non-indexed algorithms
-//	internal/core        the NETCLUS index (paper's contribution)
+//	internal/core        the NETCLUS index (paper's contribution) plus
+//	                     cached covering structures (CoverPlan / CoverFor)
+//	internal/engine      the concurrent serving layer (RWMutex protocol,
+//	                     QueryBatch grouping, traffic stats)
 //	internal/bench       one experiment per paper table/figure
 //	cmd/...              topsbench, topsgen, topsquery
 //	examples/...         runnable scenario walkthroughs

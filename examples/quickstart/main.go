@@ -1,9 +1,11 @@
-// Quickstart: the minimal end-to-end NetClus workflow.
+// Quickstart: the minimal end-to-end NetClus workflow, written entirely
+// against the public facade (the root netclus package).
 //
 //  1. Generate a synthetic city road network and commuter trajectories.
 //  2. Build the NETCLUS multi-resolution index (offline phase).
-//  3. Answer a TOPS query: "place k=5 fuel stations so that as many
-//     trajectories as possible pass within τ=0.8 km round-trip detour".
+//  3. Wrap it in an Engine and answer TOPS queries: "place k=5 fuel
+//     stations so that as many trajectories as possible pass within τ=0.8
+//     km round-trip detour".
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -13,15 +15,13 @@ import (
 	"log"
 	"time"
 
-	"netclus/internal/core"
-	"netclus/internal/gen"
-	"netclus/internal/tops"
+	"netclus"
 )
 
 func main() {
 	// 1. A mid-sized grid city with hotspot-skewed commuting.
-	city, err := gen.GenerateCity(gen.CityConfig{
-		Topology: gen.GridMesh,
+	city, err := netclus.GenerateCity(netclus.CityConfig{
+		Topology: netclus.GridMesh,
 		Nodes:    3000,
 		SpanKm:   15,
 		Jitter:   0.25,
@@ -30,17 +30,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trajs, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 2000, Seed: 2})
+	trajs, err := netclus.GenerateTrajectories(city, netclus.TrajConfig{Count: 2000, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Every road intersection is a candidate site, like the paper's
 	// default setup.
-	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{})
+	sites, err := netclus.SampleSites(city.Graph, netclus.SiteConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := tops.NewInstance(city.Graph, trajs, sites)
+	inst, err := netclus.NewInstance(city.Graph, trajs, sites)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,16 +49,23 @@ func main() {
 
 	// 2. Offline phase: build the index once; it then serves any (k, τ, ψ).
 	start := time.Now()
-	idx, err := core.Build(inst, core.Options{})
+	idx, err := netclus.Build(inst, netclus.BuildOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("NETCLUS index: %d resolution instances in %.1fs, %.1f MB\n",
 		len(idx.Instances), time.Since(start).Seconds(), float64(idx.MemoryBytes())/(1<<20))
 
+	// Wrap the index in the serving engine: queries share memoized
+	// covering structures and may run concurrently with updates.
+	eng, err := netclus.NewEngine(idx, netclus.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// 3. Online phase: the TOPS query.
 	start = time.Now()
-	res, err := idx.Query(core.QueryOptions{K: 5, Pref: tops.Binary(0.8)})
+	res, err := eng.Query(netclus.QueryOptions{K: 5, Pref: netclus.Binary(0.8)})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,13 +78,21 @@ func main() {
 	}
 
 	// Vary τ interactively — the index picks a different resolution, no
-	// rebuild needed.
+	// rebuild needed — then re-run the original query: the engine serves
+	// it straight from the cover cache.
 	for _, tau := range []float64{0.4, 1.6, 3.2} {
-		r, err := idx.Query(core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		r, err := eng.Query(netclus.QueryOptions{K: 5, Pref: netclus.Binary(tau)})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("τ=%.1f km -> instance %d, %.1f%% coverage\n",
 			tau, r.InstanceUsed, 100*float64(r.EstimatedCovered)/float64(trajs.Len()))
 	}
+	start = time.Now()
+	if _, err := eng.Query(netclus.QueryOptions{K: 5, Pref: netclus.Binary(0.8)}); err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("repeat query in %.2f ms (cover cache: %d hits, %d misses)\n",
+		time.Since(start).Seconds()*1000, st.CoverHits, st.CoverMisses)
 }

@@ -1,0 +1,3 @@
+module netclus
+
+go 1.24

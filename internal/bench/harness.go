@@ -17,6 +17,7 @@ import (
 
 	"netclus/internal/core"
 	"netclus/internal/dataset"
+	"netclus/internal/engine"
 	"netclus/internal/tops"
 )
 
@@ -55,6 +56,7 @@ type Harness struct {
 	datasets map[string]*dataset.Dataset
 	distIdxs map[string]*tops.DistanceIndex
 	ncIdxs   map[string]*core.Index
+	engines  map[string]*engine.Engine
 }
 
 // NewHarness returns a harness for the config.
@@ -64,6 +66,7 @@ func NewHarness(cfg Config) *Harness {
 		datasets: map[string]*dataset.Dataset{},
 		distIdxs: map[string]*tops.DistanceIndex{},
 		ncIdxs:   map[string]*core.Index{},
+		engines:  map[string]*engine.Engine{},
 	}
 }
 
@@ -129,6 +132,30 @@ func (h *Harness) NetClus(name dataset.Preset, gamma, tauMin, tauMax float64) (*
 	}
 	h.ncIdxs[key] = idx
 	return idx, nil
+}
+
+// Engine returns the serving engine wrapping the cached NETCLUS index of
+// the named dataset — one engine per index, honoring the engine's ownership
+// contract. The cover cache is disabled so that per-query timings keep the
+// paper's semantics (every query pays its own online phase); the engine
+// still parallelizes the cover fill.
+func (h *Harness) Engine(name dataset.Preset, gamma, tauMin, tauMax float64) (*engine.Engine, error) {
+	idx, err := h.NetClus(name, gamma, tauMin, tauMax)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%.3f|%.3f|%.3f", name, gamma, tauMin, tauMax)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.engines[key]; ok {
+		return e, nil
+	}
+	e, err := engine.New(idx, engine.Options{DisableCoverCache: true})
+	if err != nil {
+		return nil, err
+	}
+	h.engines[key] = e
+	return e, nil
 }
 
 // Standard ladder used by most experiments: serves τ in [0.2, 6.4).

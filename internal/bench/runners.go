@@ -62,24 +62,27 @@ func (h *Harness) runINCG(name dataset.Preset, pref tops.Preference, k int, useF
 	}, nil
 }
 
-// runNetClus runs the NETCLUS online phase against a prebuilt index and
+// runNetClus runs the NETCLUS online phase through the serving engine and
 // evaluates the answer's exact utility against the distance index, which is
-// how the paper reports NETCLUS quality.
+// how the paper reports NETCLUS quality. The harness engine disables the
+// cover cache so every run pays its own online phase, as the paper's
+// numbers do.
 func (h *Harness) runNetClus(name dataset.Preset, pref tops.Preference, k int, useFM bool) (AlgoResult, error) {
 	d, err := h.Dataset(name)
 	if err != nil {
 		return AlgoResult{}, err
 	}
-	idx, err := h.NetClus(name, stdGamma, stdTauMin, stdTauMax)
+	eng, err := h.Engine(name, stdGamma, stdTauMin, stdTauMax)
 	if err != nil {
 		return AlgoResult{}, err
 	}
+	idx := eng.Index()
 	distIdx, err := h.DistIndex(name, stdDmax)
 	if err != nil {
 		return AlgoResult{}, err
 	}
 	start := time.Now()
-	qr, err := idx.Query(core.QueryOptions{K: k, Pref: pref, UseFM: useFM, F: 30, Seed: uint64(h.cfg.Seed)})
+	qr, err := eng.Query(core.QueryOptions{K: k, Pref: pref, UseFM: useFM, F: 30, Seed: uint64(h.cfg.Seed)})
 	if err != nil {
 		return AlgoResult{}, err
 	}

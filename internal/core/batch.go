@@ -40,6 +40,7 @@ func (idx *Index) AddTrajectories(trs []*trajectory.Trajectory) ([]trajectory.ID
 			registerTrajectory(ins, ids[i], tr)
 		}
 	}
+	idx.invalidateCovers(false)
 	return ids, nil
 }
 
@@ -84,6 +85,7 @@ func (idx *Index) DeleteTrajectories(ids []trajectory.ID) error {
 			ins.Clusters[ci].TL = kept
 		}
 	}
+	idx.invalidateCovers(false)
 	return nil
 }
 
@@ -120,5 +122,6 @@ func (idx *Index) AddSites(nodes []roadnet.NodeID) error {
 			}
 		}
 	}
+	idx.invalidateCovers(true)
 	return nil
 }

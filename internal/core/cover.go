@@ -1,0 +1,308 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// This file splits the §5.1 RepCover computation into two halves with very
+// different lifetimes:
+//
+//   - CoverPlan: which clusters field a representative and, per
+//     representative, the ordered scan list (own cluster first, then CL
+//     neighbors with their center distances) plus dr(c_i, r_i). This depends
+//     only on the clustering and the site set, so it is computed once per
+//     instance and reused across every preference function until a site
+//     mutation moves a representative.
+//   - the fill: evaluating Eq. 9 over the scan lists for a concrete ψ. The
+//     fill shards representatives across workers, each with a dense
+//     epoch-stamped scratch array instead of the former per-representative
+//     map, and the results are memoized per (instance, ψ fingerprint) in a
+//     cache that every §6 mutation invalidates.
+//
+// The Index alone does not serialize queries against mutations; the
+// concurrency protocol (readers query, writers mutate+invalidate) is owned
+// by internal/engine.
+
+// coverScan is one entry of a representative's scan list: a cluster whose
+// trajectory list contributes Eq. 9 candidates, with dr(c_j, c_i).
+type coverScan struct {
+	cluster  ClusterID
+	centerDr float64
+}
+
+// CoverPlan is the reusable positional half of the covering-structure
+// computation for one instance.
+type CoverPlan struct {
+	// Reps maps dense representative index -> cluster id.
+	Reps []ClusterID
+	// repDr[ri] is dr(c_i, r_i) for Reps[ri], snapshotted at plan time.
+	repDr []float64
+	// scans[ri] lists the clusters whose TL feeds representative ri.
+	scans [][]coverScan
+}
+
+// coverKey identifies one memoized cover: the ladder instance and a
+// fingerprint of the preference function.
+type coverKey struct {
+	p  int
+	fp uint64
+}
+
+// coverEntry is a singleflight slot: the first goroutine to claim the key
+// fills it, concurrent claimants block on the Once and share the result.
+type coverEntry struct {
+	once sync.Once
+	cs   *tops.CoverSets
+	reps []ClusterID
+}
+
+// CoverCacheStats reports cover-cache effectiveness counters.
+type CoverCacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// PrefFingerprint derives a cache key from a preference function (also used
+// by internal/engine to group batch queries that can share one cover). Tau and
+// Name are hashed directly; a non-nil F is additionally sampled at 64 points
+// over its effective span so that functions sharing a name but differing in
+// shape (e.g. different ExpDecay λ) do not collide.
+//
+// The sampling is only sound at the sample points: two custom functions that
+// share Name and Tau and agree on every multiple of span/64 but differ in
+// between would alias to one cache entry. Give custom preference functions
+// distinct Names (as every constructor in tops does) to rule that out.
+func PrefFingerprint(pref tops.Preference) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	h.Write([]byte(pref.Name))
+	put(math.Float64bits(pref.Tau))
+	if pref.F != nil {
+		span := pref.Tau
+		if math.IsInf(span, 1) || span <= 0 {
+			span = 1e4
+		}
+		const samples = 64
+		for i := 0; i <= samples; i++ {
+			put(math.Float64bits(pref.F(span * float64(i) / samples)))
+		}
+	}
+	return h.Sum64()
+}
+
+// coverPlan returns instance p's plan, building it on first use.
+func (idx *Index) coverPlan(p int) *CoverPlan {
+	idx.coverMu.Lock()
+	if idx.coverPlans == nil {
+		idx.coverPlans = make([]*CoverPlan, len(idx.Instances))
+	}
+	if pl := idx.coverPlans[p]; pl != nil {
+		idx.coverMu.Unlock()
+		return pl
+	}
+	idx.coverMu.Unlock()
+
+	pl := idx.buildCoverPlan(p)
+
+	idx.coverMu.Lock()
+	idx.coverPlans[p] = pl
+	idx.coverMu.Unlock()
+	return pl
+}
+
+func (idx *Index) buildCoverPlan(p int) *CoverPlan {
+	ins := idx.Instances[p]
+	pl := &CoverPlan{}
+	for ci := range ins.Clusters {
+		cl := &ins.Clusters[ci]
+		if cl.Rep == roadnet.InvalidNode {
+			continue
+		}
+		pl.Reps = append(pl.Reps, ClusterID(ci))
+		pl.repDr = append(pl.repDr, cl.RepDr)
+		scans := make([]coverScan, 0, 1+len(cl.CL))
+		scans = append(scans, coverScan{cluster: ClusterID(ci), centerDr: 0})
+		for _, nb := range cl.CL {
+			scans = append(scans, coverScan{cluster: nb.Cluster, centerDr: nb.Dr})
+		}
+		pl.scans = append(pl.scans, scans)
+	}
+	return pl
+}
+
+// fillScratch is one worker's dense scratch state: dist[t] is valid iff
+// gen[t] == cur, so advancing cur resets the whole array in O(1) per
+// representative instead of clearing a map.
+type fillScratch struct {
+	dist    []float64
+	gen     []uint32
+	cur     uint32
+	touched []trajectory.ID
+}
+
+func newFillScratch(m int) *fillScratch {
+	return &fillScratch{
+		dist:    make([]float64, m),
+		gen:     make([]uint32, m),
+		touched: make([]trajectory.ID, 0, 256),
+	}
+}
+
+func (s *fillScratch) reset() {
+	s.cur++
+	if s.cur == 0 { // generation counter wrapped: hard-clear once per 2^32
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.cur = 1
+	}
+	s.touched = s.touched[:0]
+}
+
+// fillCover evaluates Eq. 9 for every representative of the plan under the
+// given preference, sharding representatives across NumCPU workers. Workers
+// write disjoint TC slots (tops.CoverSets.SetTC); the trajectory-side SC
+// lists are derived in one sequential pass afterwards.
+func (idx *Index) fillCover(p int, pl *CoverPlan, pref tops.Preference) *tops.CoverSets {
+	ins := idx.Instances[p]
+	m := idx.trajs.Len()
+	cs := tops.NewCoverSets(len(pl.Reps), m)
+	nReps := len(pl.Reps)
+	if nReps == 0 {
+		return cs
+	}
+	workers := runtime.NumCPU()
+	if workers > nReps {
+		workers = nReps
+	}
+	tau := pref.Tau
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newFillScratch(m)
+			for {
+				ri := int(next.Add(1)) - 1
+				if ri >= nReps {
+					return
+				}
+				sc.reset()
+				repDr := pl.repDr[ri]
+				for _, scan := range pl.scans[ri] {
+					base := scan.centerDr + repDr
+					for _, te := range ins.Clusters[scan.cluster].TL {
+						if !idx.alive[te.Traj] {
+							continue
+						}
+						dHat := te.Dr + base
+						if dHat > tau {
+							continue
+						}
+						if sc.gen[te.Traj] != sc.cur {
+							sc.gen[te.Traj] = sc.cur
+							sc.dist[te.Traj] = dHat
+							sc.touched = append(sc.touched, te.Traj)
+						} else if dHat < sc.dist[te.Traj] {
+							sc.dist[te.Traj] = dHat
+						}
+					}
+				}
+				tc := make([]tops.ScoredTraj, 0, len(sc.touched))
+				for _, t := range sc.touched {
+					if score := pref.Score(sc.dist[t]); score != 0 || pref.F == nil {
+						tc = append(tc, tops.ScoredTraj{Traj: int32(t), Score: score})
+					}
+				}
+				cs.SetTC(int32(ri), tc)
+			}
+		}()
+	}
+	wg.Wait()
+	cs.RebuildSC()
+	return cs
+}
+
+// CoverFor returns the §5.1 covering structure of instance p under pref,
+// memoized per (instance, preference fingerprint). The third return reports
+// whether the call was served from cache. The returned CoverSets is shared
+// between callers and must be treated as read-only (the greedy algorithms
+// already are).
+//
+// Every §6 mutation invalidates the cache, so a cached cover is always
+// consistent with the index state at call time — provided queries and
+// mutations are serialized by the caller (see internal/engine).
+func (idx *Index) CoverFor(p int, pref tops.Preference) (*tops.CoverSets, []ClusterID, bool) {
+	key := coverKey{p: p, fp: PrefFingerprint(pref)}
+	idx.coverMu.Lock()
+	if idx.coverCache == nil {
+		idx.coverCache = make(map[coverKey]*coverEntry)
+	}
+	e, ok := idx.coverCache[key]
+	if !ok {
+		e = &coverEntry{}
+		idx.coverCache[key] = e
+	}
+	idx.coverMu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		e.cs, e.reps = idx.RepCover(p, pref)
+	})
+	if hit {
+		idx.coverHits.Add(1)
+	} else {
+		idx.coverMisses.Add(1)
+	}
+	return e.cs, e.reps, hit
+}
+
+// invalidateCovers drops every memoized cover; sitesChanged additionally
+// drops the per-instance plans (a site mutation can move or remove a
+// representative). Trajectory mutations keep the plans: they only change TL
+// contents, which live in the fill, not the plan.
+//
+// Invalidation is deliberately whole-index: a trajectory registers in every
+// ladder instance and site renumbering is global, so there is no cheaper
+// sound granularity.
+func (idx *Index) invalidateCovers(sitesChanged bool) {
+	idx.coverMu.Lock()
+	defer idx.coverMu.Unlock()
+	if len(idx.coverCache) > 0 {
+		idx.coverCache = make(map[coverKey]*coverEntry, len(idx.coverCache))
+	}
+	if sitesChanged {
+		for i := range idx.coverPlans {
+			idx.coverPlans[i] = nil
+		}
+	}
+}
+
+// CoverCacheStats returns cumulative cover-cache counters.
+func (idx *Index) CoverCacheStats() CoverCacheStats {
+	idx.coverMu.Lock()
+	entries := len(idx.coverCache)
+	idx.coverMu.Unlock()
+	return CoverCacheStats{
+		Hits:    idx.coverHits.Load(),
+		Misses:  idx.coverMisses.Load(),
+		Entries: entries,
+	}
+}

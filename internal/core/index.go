@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netclus/internal/roadnet"
@@ -109,6 +110,16 @@ type Index struct {
 	// deletions.
 	trajs *trajectory.Store
 	alive []bool
+
+	// Cover caching (cover.go): per-instance CoverPlans plus memoized
+	// CoverSets keyed by (instance, preference fingerprint). coverMu guards
+	// the maps; mutation-vs-query serialization is the caller's job
+	// (internal/engine wraps the index in an RWMutex for that).
+	coverMu     sync.Mutex
+	coverPlans  []*CoverPlan
+	coverCache  map[coverKey]*coverEntry
+	coverHits   atomic.Uint64
+	coverMisses atomic.Uint64
 }
 
 // Build constructs the full NETCLUS index offline phase: the instance

@@ -31,7 +31,11 @@ type QueryOptions struct {
 type QueryResult struct {
 	// Sites lists the selected sites as road-network nodes.
 	Sites []roadnet.NodeID
-	// SiteIDs lists the same sites as dense ids of the TOPS instance.
+	// SiteIDs lists the same sites as dense ids of the TOPS instance,
+	// index-aligned with Sites: SiteIDs[i] identifies Sites[i], with
+	// tops.InvalidSiteID marking a node whose site registration vanished
+	// between cover construction and answer assembly (possible only when
+	// the caller interleaves queries with site deletions).
 	SiteIDs []tops.SiteID
 	// EstimatedUtility is U(Q) under the clustered-space distance
 	// estimates d̂r. Because d̂r >= dr (Eq. 9 over-estimates), this lower-
@@ -56,45 +60,15 @@ type QueryResult struct {
 // clusters keeps its smallest estimate.
 //
 // The returned slice maps dense representative index -> cluster id.
+//
+// The computation is split in two (cover.go): a CoverPlan holding the
+// representative list and per-representative scan order, built once per
+// instance and reused across preference functions, and a parallel fill that
+// shards representatives across workers with dense epoch-stamped scratch
+// arrays. RepCover always runs the fill; CoverFor memoizes the result.
 func (idx *Index) RepCover(p int, pref tops.Preference) (*tops.CoverSets, []ClusterID) {
-	ins := idx.Instances[p]
-	var repClusters []ClusterID
-	for ci := range ins.Clusters {
-		if ins.Clusters[ci].Rep != roadnet.InvalidNode {
-			repClusters = append(repClusters, ClusterID(ci))
-		}
-	}
-	cs := tops.NewCoverSets(len(repClusters), idx.trajs.Len())
-	tau := pref.Tau
-	bestDr := make(map[trajectory.ID]float64, 256)
-	for ri, ci := range repClusters {
-		cl := &ins.Clusters[ci]
-		clear(bestDr)
-		scan := func(tl []TrajEntry, centerDr float64) {
-			for _, te := range tl {
-				if !idx.alive[te.Traj] {
-					continue
-				}
-				dHat := te.Dr + centerDr + cl.RepDr
-				if dHat > tau {
-					continue
-				}
-				if old, ok := bestDr[te.Traj]; !ok || dHat < old {
-					bestDr[te.Traj] = dHat
-				}
-			}
-		}
-		scan(cl.TL, 0)
-		for _, nb := range cl.CL {
-			scan(ins.Clusters[nb.Cluster].TL, nb.Dr)
-		}
-		for tid, dHat := range bestDr {
-			if score := pref.Score(dHat); score != 0 || pref.F == nil {
-				cs.AddPair(int32(ri), int32(tid), score)
-			}
-		}
-	}
-	return cs, repClusters
+	pl := idx.coverPlan(p)
+	return idx.fillCover(p, pl, pref), pl.Reps
 }
 
 // Query answers a TOPS query online (§5): select the ladder instance for τ,
@@ -106,6 +80,18 @@ func (idx *Index) RepCover(p int, pref tops.Preference) (*tops.CoverSets, []Clus
 // means every site covers every trajectory, so any k representatives of the
 // coarsest instance are returned.
 func (idx *Index) Query(opts QueryOptions) (*QueryResult, error) {
+	return idx.query(opts, false)
+}
+
+// QueryCached is Query through the CoverFor memoization: repeated queries
+// sharing (instance, ψ) reuse one covering structure. The cache is
+// invalidated by every §6 mutation; callers that interleave queries and
+// mutations concurrently must serialize them (internal/engine does).
+func (idx *Index) QueryCached(opts QueryOptions) (*QueryResult, error) {
+	return idx.query(opts, true)
+}
+
+func (idx *Index) query(opts QueryOptions, cached bool) (*QueryResult, error) {
 	if err := opts.Pref.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,7 +99,22 @@ func (idx *Index) Query(opts QueryOptions) (*QueryResult, error) {
 		return nil, fmt.Errorf("core: k = %d must be positive", opts.K)
 	}
 	p := idx.InstanceFor(opts.Pref.Tau)
-	cs, repClusters := idx.RepCover(p, opts.Pref)
+	var cs *tops.CoverSets
+	var repClusters []ClusterID
+	if cached {
+		cs, repClusters, _ = idx.CoverFor(p, opts.Pref)
+	} else {
+		cs, repClusters = idx.RepCover(p, opts.Pref)
+	}
+	return idx.QueryOnCover(p, cs, repClusters, opts)
+}
+
+// QueryOnCover runs the greedy phase of a query over an already-built
+// covering structure of instance p. It is the second half of Query, exposed
+// so that callers managing cover reuse themselves (internal/engine's batch
+// path, benchmarks) can time and share the two phases independently. cs is
+// not mutated.
+func (idx *Index) QueryOnCover(p int, cs *tops.CoverSets, repClusters []ClusterID, opts QueryOptions) (*QueryResult, error) {
 	if len(repClusters) == 0 {
 		return nil, fmt.Errorf("core: instance %d has no cluster representatives (no candidate sites?)", p)
 	}
@@ -147,9 +148,14 @@ func (idx *Index) Query(opts QueryOptions) (*QueryResult, error) {
 	for _, ri := range res.Selected {
 		node := ins.Clusters[repClusters[ri]].Rep
 		out.Sites = append(out.Sites, node)
-		if sid := idx.siteID[node]; sid >= 0 {
-			out.SiteIDs = append(out.SiteIDs, tops.SiteID(sid))
+		// Keep SiteIDs index-aligned with Sites: a representative whose
+		// site registration disappeared maps to the sentinel instead of
+		// being silently skipped.
+		sid := tops.InvalidSiteID
+		if id := idx.siteID[node]; id >= 0 {
+			sid = tops.SiteID(id)
 		}
+		out.SiteIDs = append(out.SiteIDs, sid)
 	}
 	return out, nil
 }

@@ -38,6 +38,7 @@ func (idx *Index) AddSite(v roadnet.NodeID) error {
 			cl.RepDr = d
 		}
 	}
+	idx.invalidateCovers(true)
 	return nil
 }
 
@@ -70,6 +71,7 @@ func (idx *Index) DeleteSite(v roadnet.NodeID) error {
 			idx.chooseRepresentative(ins, ci)
 		}
 	}
+	idx.invalidateCovers(true)
 	return nil
 }
 
@@ -93,6 +95,7 @@ func (idx *Index) AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error
 	for _, ins := range idx.Instances {
 		registerTrajectory(ins, tid, tr)
 	}
+	idx.invalidateCovers(false)
 	return tid, nil
 }
 
@@ -121,6 +124,7 @@ func (idx *Index) DeleteTrajectory(tid trajectory.ID) error {
 		}
 		ins.CC[tid] = nil
 	}
+	idx.invalidateCovers(false)
 	return nil
 }
 

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/gen"
+	"netclus/internal/tops"
+)
+
+// benchIndex builds a mid-sized dataset once per benchmark binary: large
+// enough that cover construction dominates an uncached query, as it does at
+// city scale.
+func benchIndex(b *testing.B) *core.Index {
+	b.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 2500, SpanKm: 14, Jitter: 0.2, Seed: 941,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 800, Seed: 942})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 600, Seed: 943})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, store, sites)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := core.Build(inst, core.Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// BenchmarkEngineQPS measures sustained concurrent mixed-τ query throughput
+// through the engine, with the cover cache enabled (production path) and
+// disabled (the paper's per-query RepCover). The ISSUE acceptance bar is a
+// ≥5× cached/uncached ratio on the same dataset; EXPERIMENTS.md records the
+// measured numbers.
+func BenchmarkEngineQPS(b *testing.B) {
+	idx := benchIndex(b)
+	taus := []float64{0.4, 0.8, 1.6, 2.4}
+	run := func(b *testing.B, opts Options) {
+		eng, err := New(idx, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worker atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(worker.Add(1))
+			for pb.Next() {
+				q := core.QueryOptions{K: 5, Pref: tops.Binary(taus[i%len(taus)])}
+				i++
+				if _, err := eng.Query(q); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		st := eng.Stats()
+		if !opts.DisableCoverCache && b.N > len(taus) && st.CoverHits == 0 {
+			b.Fatalf("cached run recorded no cover hits: %+v", st)
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, Options{}) })
+	b.Run("uncached", func(b *testing.B) { run(b, Options{DisableCoverCache: true}) })
+}

@@ -1,0 +1,278 @@
+// Package engine is the concurrent query layer above the NETCLUS index:
+// it owns the reader/writer protocol that core.Index deliberately does not
+// (queries take a read lock and share memoized covering structures; §6
+// mutations take the write lock, which also fences cache invalidation), and
+// it measures the traffic it serves.
+//
+// The split follows a classic instrumentation-systems layering: keep the
+// measurement core pure and single-purpose, put lifecycle, concurrency, and
+// accounting in a thin layer above it. core stays a synchronous library;
+// engine turns it into something that can sustain query traffic.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// DisableCoverCache makes every query rebuild its covering structure
+	// instead of hitting the core memoization — the paper's per-query
+	// RepCover behaviour. Exists for memory-constrained deployments and as
+	// the baseline arm of BenchmarkEngineQPS.
+	DisableCoverCache bool
+	// BatchWorkers bounds the number of concurrent greedy runs inside one
+	// QueryBatch call. Zero means runtime.NumCPU().
+	BatchWorkers int
+}
+
+// Engine wraps a *core.Index for concurrent serving. All exported methods
+// are safe for concurrent use; an Index must be driven through at most one
+// Engine (mutating the Index directly while an Engine serves it breaks the
+// locking protocol).
+type Engine struct {
+	mu   sync.RWMutex
+	idx  *core.Index
+	opts Options
+
+	queries      atomic.Uint64
+	batchQueries atomic.Uint64
+	batches      atomic.Uint64
+	updates      atomic.Uint64
+	coverNanos   atomic.Int64
+	greedyNanos  atomic.Int64
+}
+
+// New wraps idx. The Engine takes ownership of the index's mutation
+// surface: all further updates must go through the Engine.
+func New(idx *core.Index, opts Options) (*Engine, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("engine: nil index")
+	}
+	if opts.BatchWorkers < 0 {
+		return nil, fmt.Errorf("engine: negative BatchWorkers %d", opts.BatchWorkers)
+	}
+	return &Engine{idx: idx, opts: opts}, nil
+}
+
+// Index exposes the wrapped index for read-only inspection (stats, exact
+// evaluation against a distance index). Mutating it directly bypasses the
+// Engine's locking — use the Engine's update methods instead.
+func (e *Engine) Index() *core.Index { return e.idx }
+
+// Stats is a snapshot of the engine's traffic counters.
+type Stats struct {
+	// Queries counts single Query calls; BatchQueries counts queries served
+	// through QueryBatch (Batches counts the batch calls themselves).
+	Queries      uint64
+	BatchQueries uint64
+	Batches      uint64
+	// Updates counts mutation calls (single or batch).
+	Updates uint64
+	// CoverHits / CoverMisses report the core cover-cache counters;
+	// CoverEntries is the number of covers currently memoized.
+	CoverHits    uint64
+	CoverMisses  uint64
+	CoverEntries int
+	// CoverTime and GreedyTime accumulate the wall time of the two query
+	// phases (cover fetch-or-build, greedy selection) across all queries.
+	CoverTime  time.Duration
+	GreedyTime time.Duration
+}
+
+// Stats returns a consistent-enough snapshot of the counters (individual
+// fields are atomically read; the set is not fenced against in-flight
+// queries, which is fine for monitoring).
+func (e *Engine) Stats() Stats {
+	cc := e.idx.CoverCacheStats()
+	return Stats{
+		Queries:      e.queries.Load(),
+		BatchQueries: e.batchQueries.Load(),
+		Batches:      e.batches.Load(),
+		Updates:      e.updates.Load(),
+		CoverHits:    cc.Hits,
+		CoverMisses:  cc.Misses,
+		CoverEntries: cc.Entries,
+		CoverTime:    time.Duration(e.coverNanos.Load()),
+		GreedyTime:   time.Duration(e.greedyNanos.Load()),
+	}
+}
+
+// cover fetches (or builds) the covering structure for instance p under the
+// engine's caching policy, accounting the time to the cover phase.
+func (e *Engine) cover(p int, pref tops.Preference) (*tops.CoverSets, []core.ClusterID) {
+	t0 := time.Now()
+	var cs *tops.CoverSets
+	var reps []core.ClusterID
+	if e.opts.DisableCoverCache {
+		cs, reps = e.idx.RepCover(p, pref)
+	} else {
+		cs, reps, _ = e.idx.CoverFor(p, pref)
+	}
+	e.coverNanos.Add(time.Since(t0).Nanoseconds())
+	return cs, reps
+}
+
+// Query answers one TOPS query under a read lock, so any number of Query
+// and QueryBatch calls proceed concurrently with each other and the cover
+// cache is shared between them.
+func (e *Engine) Query(opts core.QueryOptions) (*core.QueryResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	res, err := e.serve(opts)
+	if err == nil {
+		e.queries.Add(1)
+	}
+	return res, err
+}
+
+func (e *Engine) serve(opts core.QueryOptions) (*core.QueryResult, error) {
+	if err := opts.Pref.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("engine: k = %d must be positive", opts.K)
+	}
+	p := e.idx.InstanceFor(opts.Pref.Tau)
+	cs, reps := e.cover(p, opts.Pref)
+	t0 := time.Now()
+	res, err := e.idx.QueryOnCover(p, cs, reps, opts)
+	e.greedyNanos.Add(time.Since(t0).Nanoseconds())
+	return res, err
+}
+
+// BatchItem is one QueryBatch outcome, index-aligned with the input.
+type BatchItem struct {
+	Result *core.QueryResult
+	Err    error
+}
+
+// QueryBatch answers many queries under one read lock, grouping them by
+// (ladder instance, preference fingerprint) so that each group's covering
+// structure is fetched exactly once and then serves every (k, ψ-parameter)
+// combination in the group; the greedy runs fan out across BatchWorkers.
+// The interactive pattern the paper motivates — one analyst re-running a
+// query while varying k and τ — maps to groups of size > 1 here.
+func (e *Engine) QueryBatch(qs []core.QueryOptions) []BatchItem {
+	out := make([]BatchItem, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.batches.Add(1)
+
+	type groupKey struct {
+		p  int
+		fp uint64
+	}
+	groups := make(map[groupKey][]int)
+	for i, q := range qs {
+		if err := q.Pref.Validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if q.K <= 0 {
+			out[i].Err = fmt.Errorf("engine: k = %d must be positive", q.K)
+			continue
+		}
+		p := e.idx.InstanceFor(q.Pref.Tau)
+		key := groupKey{p: p, fp: core.PrefFingerprint(q.Pref)}
+		groups[key] = append(groups[key], i)
+	}
+
+	workers := e.opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for key, members := range groups {
+		cs, reps := e.cover(key.p, qs[members[0]].Pref)
+		for _, i := range members {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t0 := time.Now()
+				out[i].Result, out[i].Err = e.idx.QueryOnCover(key.p, cs, reps, qs[i])
+				e.greedyNanos.Add(time.Since(t0).Nanoseconds())
+				if out[i].Err == nil {
+					e.batchQueries.Add(1)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Mutations: every §6 update takes the write lock, so in-flight queries
+// drain first, and the core-side cache invalidation happens before any new
+// reader can observe the changed index.
+
+// AddSite registers a new candidate site.
+func (e *Engine) AddSite(v roadnet.NodeID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updates.Add(1)
+	return e.idx.AddSite(v)
+}
+
+// DeleteSite removes a candidate site.
+func (e *Engine) DeleteSite(v roadnet.NodeID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updates.Add(1)
+	return e.idx.DeleteSite(v)
+}
+
+// AddSites registers a batch of candidate sites atomically.
+func (e *Engine) AddSites(nodes []roadnet.NodeID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updates.Add(1)
+	return e.idx.AddSites(nodes)
+}
+
+// AddTrajectory ingests one trajectory.
+func (e *Engine) AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updates.Add(1)
+	return e.idx.AddTrajectory(tr)
+}
+
+// DeleteTrajectory removes one trajectory.
+func (e *Engine) DeleteTrajectory(tid trajectory.ID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updates.Add(1)
+	return e.idx.DeleteTrajectory(tid)
+}
+
+// AddTrajectories ingests a batch of trajectories atomically.
+func (e *Engine) AddTrajectories(trs []*trajectory.Trajectory) ([]trajectory.ID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updates.Add(1)
+	return e.idx.AddTrajectories(trs)
+}
+
+// DeleteTrajectories removes a batch of trajectories atomically.
+func (e *Engine) DeleteTrajectories(ids []trajectory.ID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updates.Add(1)
+	return e.idx.DeleteTrajectories(ids)
+}

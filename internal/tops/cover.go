@@ -57,6 +57,42 @@ func (cs *CoverSets) AddPair(s, t int32, score float64) {
 	cs.Weights[s] += score
 }
 
+// SetTC installs site s's complete trajectory list wholesale, replacing any
+// previous entries and recomputing the site weight. It exists for parallel
+// cover builders: workers fill disjoint TC slots concurrently, then a single
+// RebuildSC pass derives the trajectory-side lists. SC is NOT updated here.
+func (cs *CoverSets) SetTC(s int32, tc []ScoredTraj) {
+	cs.TC[s] = tc
+	var w float64
+	for _, st := range tc {
+		w += st.Score
+	}
+	cs.Weights[s] = w
+}
+
+// RebuildSC recomputes every SC list from TC. Call once after a sequence of
+// SetTC installs; AddPair-built cover sets never need it.
+func (cs *CoverSets) RebuildSC() {
+	counts := make([]int32, len(cs.SC))
+	for _, tc := range cs.TC {
+		for _, st := range tc {
+			counts[st.Traj]++
+		}
+	}
+	for t := range cs.SC {
+		if counts[t] == 0 {
+			cs.SC[t] = nil
+			continue
+		}
+		cs.SC[t] = make([]ScoredSite, 0, counts[t])
+	}
+	for s, tc := range cs.TC {
+		for _, st := range tc {
+			cs.SC[st.Traj] = append(cs.SC[st.Traj], ScoredSite{Site: int32(s), Score: st.Score})
+		}
+	}
+}
+
 // Pairs returns the total number of (site, trajectory) covering pairs.
 func (cs *CoverSets) Pairs() int {
 	total := 0

@@ -12,6 +12,11 @@ import (
 // site index space.
 type SiteID int32
 
+// InvalidSiteID is the sentinel dense id for a node that is not (or no
+// longer) a candidate site, e.g. a NETCLUS representative whose site was
+// deleted between cover construction and answer assembly.
+const InvalidSiteID SiteID = -1
+
 // Instance bundles the three inputs of the TOPS problem: the road network
 // G, the trajectory set T, and the candidate sites S ⊆ V.
 type Instance struct {

@@ -1,0 +1,163 @@
+package netclus
+
+// This file is the stable public facade of the module. Everything behind it
+// lives under internal/ and cannot be imported directly by other modules;
+// the aliases and constructors here re-export the supported surface:
+//
+//	problem types      Instance, Preference, QueryOptions, QueryResult
+//	index              Index, BuildOptions, Build
+//	serving            Engine, EngineOptions, EngineStats, NewEngine
+//	data               Graph, TrajectoryStore, Dataset presets and loaders
+//
+// Applications hold one Index per dataset, wrap it in one Engine, and send
+// all traffic — queries and §6 updates — through the Engine. See
+// examples/quickstart for the end-to-end pattern.
+
+import (
+	"netclus/internal/core"
+	"netclus/internal/dataset"
+	"netclus/internal/engine"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// Problem types.
+type (
+	// Instance bundles the TOPS inputs: road network, trajectories, sites.
+	Instance = tops.Instance
+	// Preference is the distance-decaying preference function ψ with its
+	// coverage threshold τ.
+	Preference = tops.Preference
+	// SiteID is a dense candidate-site id within an Instance.
+	SiteID = tops.SiteID
+	// NodeID is a road-network node id.
+	NodeID = roadnet.NodeID
+	// Graph is a directed road network.
+	Graph = roadnet.Graph
+	// TrajectoryStore is an indexed trajectory collection.
+	TrajectoryStore = trajectory.Store
+	// Trajectory is one map-matched user trajectory.
+	Trajectory = trajectory.Trajectory
+	// TrajectoryID addresses a trajectory within a store.
+	TrajectoryID = trajectory.ID
+	// GreedyOptions forwards advanced IncGreedy knobs (existing services,
+	// lazy evaluation, TOPS4 target coverage) through QueryOptions.Greedy.
+	GreedyOptions = tops.GreedyOptions
+)
+
+// InvalidSiteID marks a node that is not (or no longer) a candidate site in
+// QueryResult.SiteIDs.
+const InvalidSiteID = tops.InvalidSiteID
+
+// NewInstance validates and assembles a TOPS problem instance.
+func NewInstance(g *Graph, trajs *TrajectoryStore, sites []NodeID) (*Instance, error) {
+	return tops.NewInstance(g, trajs, sites)
+}
+
+// Preference constructors (Definition 2 instances).
+var (
+	// Binary covers a trajectory iff its detour is within τ (TOPS1).
+	Binary = tops.Binary
+	// Linear decays linearly from 1 at zero detour to 0 at τ.
+	Linear = tops.Linear
+	// ConvexQuadratic is the (1-d/τ)² market-share model (TOPS2).
+	ConvexQuadratic = tops.ConvexQuadratic
+	// ExpDecay is exp(-λ·d) truncated at τ.
+	ExpDecay = tops.ExpDecay
+	// NegativeDistance is the TOPS3 deviation-minimizing preference.
+	NegativeDistance = tops.NegativeDistance
+)
+
+// Index types.
+type (
+	// Index is the multi-resolution NETCLUS index.
+	Index = core.Index
+	// BuildOptions configures index construction (γ, τ range, clustering).
+	BuildOptions = core.Options
+	// QueryOptions carries the online TOPS query parameters (k, ψ, FM).
+	QueryOptions = core.QueryOptions
+	// QueryResult is the NETCLUS answer to a TOPS query.
+	QueryResult = core.QueryResult
+)
+
+// Build runs the NETCLUS offline phase: the instance ladder over inst.
+func Build(inst *Instance, opts BuildOptions) (*Index, error) {
+	return core.Build(inst, opts)
+}
+
+// Serving layer.
+type (
+	// Engine serves concurrent queries and updates over one Index.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine.
+	EngineOptions = engine.Options
+	// EngineStats snapshots an Engine's traffic and cache counters.
+	EngineStats = engine.Stats
+	// BatchItem is one QueryBatch outcome.
+	BatchItem = engine.BatchItem
+)
+
+// NewEngine wraps an Index for concurrent serving. All mutations must go
+// through the returned Engine from then on.
+func NewEngine(idx *Index, opts EngineOptions) (*Engine, error) {
+	return engine.New(idx, opts)
+}
+
+// Datasets and generation.
+type (
+	// Dataset is a fully assembled TOPS instance plus provenance.
+	Dataset = dataset.Dataset
+	// DatasetPreset names a Table-6-style dataset preset.
+	DatasetPreset = dataset.Preset
+	// DatasetConfig scales and seeds dataset synthesis.
+	DatasetConfig = dataset.Config
+	// City is a synthetic road network with its commuting hotspots.
+	City = gen.City
+	// CityConfig configures synthetic road-network generation.
+	CityConfig = gen.CityConfig
+	// Topology selects a synthetic city's road-network shape.
+	Topology = gen.Topology
+	// TrajConfig configures synthetic trajectory generation.
+	TrajConfig = gen.TrajConfig
+	// SiteConfig configures candidate-site sampling.
+	SiteConfig = gen.SiteConfig
+)
+
+// City topologies.
+const (
+	GridMesh    = gen.GridMesh
+	Star        = gen.Star
+	Polycentric = gen.Polycentric
+	RingMesh    = gen.RingMesh
+)
+
+// Synthetic data generators, so external users can assemble instances
+// without dataset presets.
+var (
+	// GenerateCity synthesizes a road network.
+	GenerateCity = gen.GenerateCity
+	// GenerateTrajectories synthesizes commuter trajectories over a city.
+	GenerateTrajectories = gen.GenerateTrajectories
+	// SampleSites samples candidate sites from a graph (empty config means
+	// every node, the paper's default).
+	SampleSites = gen.SampleSites
+)
+
+// Dataset presets mirroring Table 6 of the paper.
+const (
+	PresetBeijingSmall = dataset.BeijingSmall
+	PresetBeijing      = dataset.Beijing
+	PresetBangalore    = dataset.Bangalore
+	PresetNewYork      = dataset.NewYork
+	PresetAtlanta      = dataset.Atlanta
+)
+
+// LoadDataset synthesizes (or retrieves) a named dataset preset.
+func LoadDataset(name DatasetPreset, cfg DatasetConfig) (*Dataset, error) {
+	return dataset.Load(name, cfg)
+}
+
+// DatasetPresets lists all known presets.
+func DatasetPresets() []DatasetPreset { return dataset.Presets() }
