@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, so CI can archive benchmark runs (BENCH_PR2.json and friends)
+// and the performance trajectory across PRs stays diffable by machines,
+// not just eyeballs.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -out BENCH.json
+//	benchjson -in bench.txt -out BENCH.json -label pr2
+//
+// The parser understands standard testing.B lines — name, iteration count,
+// then (value, unit) pairs such as ns/op, B/op, allocs/op, MB/s, and any
+// custom b.ReportMetric units — plus the goos/goarch/pkg/cpu preamble.
+// Unparseable lines pass through into the "log" field rather than failing
+// the run: a benchmark that crashes should fail CI through its exit code,
+// not through the converter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed testing.B result line.
+type Benchmark struct {
+	// Pkg is the Go package the benchmark ran in (from the preamble).
+	Pkg string `json:"pkg"`
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -P GOMAXPROCS suffix (which lands in Procs). The text
+	// format is ambiguous at GOMAXPROCS=1 (no suffix is printed, so a
+	// name legitimately ending in -<digits> loses its tail here, same as
+	// benchstat); Raw always preserves the unstripped ground truth.
+	Name string `json:"name"`
+	// Raw is the full benchmark name as printed, suffix included.
+	Raw string `json:"raw"`
+	// Procs is the GOMAXPROCS the benchmark ran at.
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value (ns/op, B/op, allocs/op, MB/s, custom).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the archived document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Label      string      `json:"label,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Log preserves non-benchmark lines (PASS/FAIL/ok markers, prints).
+	Log []string `json:"log,omitempty"`
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Schema: "netclus-bench/v1", Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			} else {
+				rep.Log = append(rep.Log, line)
+			}
+		default:
+			rep.Log = append(rep.Log, line)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Pkg: pkg, Name: name, Procs: procs, Iterations: iters,
+		Raw:     strings.TrimPrefix(fields[0], "Benchmark"),
+		Metrics: map[string]float64{},
+	}
+	rest := fields[2:]
+	for i := 0; i+1 < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true
+}
+
+func main() {
+	var (
+		in         = flag.String("in", "", "read benchmark output from this file (default stdin)")
+		out        = flag.String("out", "", "write JSON to this file (default stdout)")
+		label      = flag.String("label", "", "free-form label recorded in the report (e.g. pr2, commit sha)")
+		allowEmpty = flag.Bool("allow-empty", false, "exit 0 even when no benchmark lines parse")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Label = *label
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	}
+	if len(rep.Benchmarks) == 0 && !*allowEmpty {
+		// An empty parse means the pipeline is misconfigured (the -bench
+		// pattern matched nothing, or the output format drifted); a perf
+		// archive that silently records nothing defeats its purpose.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed (pass -allow-empty to tolerate)")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: netclus/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkIndexBuild/sequential-8         	       1	 123456789 ns/op
+BenchmarkIndexBuild/parallel-8           	       1	  23456789 ns/op
+BenchmarkSnapshotLoad-8                  	      10	   1234567 ns/op	 512.34 MB/s	 2048 B/op	  12 allocs/op
+PASS
+ok  	netclus/internal/core	3.210s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU == "" {
+		t.Fatalf("preamble not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "IndexBuild/sequential" || b.Procs != 8 || b.Pkg != "netclus/internal/core" {
+		t.Fatalf("first benchmark misparsed: %+v", b)
+	}
+	if b.Raw != "IndexBuild/sequential-8" {
+		t.Fatalf("raw name not preserved: %q", b.Raw)
+	}
+	if b.Metrics["ns/op"] != 123456789 {
+		t.Fatalf("ns/op = %v", b.Metrics["ns/op"])
+	}
+	load := rep.Benchmarks[2]
+	if load.Iterations != 10 || load.Metrics["MB/s"] != 512.34 || load.Metrics["allocs/op"] != 12 {
+		t.Fatalf("multi-metric line misparsed: %+v", load)
+	}
+	// Non-benchmark lines survive in the log, not as silent drops.
+	foundOK := false
+	for _, l := range rep.Log {
+		if strings.HasPrefix(l, "ok") {
+			foundOK = true
+		}
+	}
+	if !foundOK {
+		t.Fatal("trailer lines missing from log")
+	}
+}
+
+func TestParseIgnoresMalformedBenchLines(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 || len(rep.Log) != 1 {
+		t.Fatalf("malformed line handling: %+v", rep)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,6 +29,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generation seed")
 		quick    = flag.Bool("quick", false, "trimmed grids and smaller datasets")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
+		saveDir  = flag.String("save", "", "write index snapshots into this directory after cold builds")
+		loadDir  = flag.String("load", "", "warm-start harness indexes from snapshots in this directory")
 	)
 	flag.Parse()
 
@@ -38,9 +41,20 @@ func main() {
 		return
 	}
 
-	h := bench.NewHarness(bench.Config{Scale: *scale, Seed: *seed, Quick: *quick})
-	cfg := h.Config()
-	fmt.Printf("netclus topsbench: scale=%.3f seed=%d quick=%v\n\n", cfg.Scale, cfg.Seed, cfg.Quick)
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	switch {
+	case *saveDir != "" && *loadDir != "" && filepath.Clean(*saveDir) != filepath.Clean(*loadDir):
+		fmt.Fprintln(os.Stderr, "-save and -load must name the same directory when both are set")
+		os.Exit(2)
+	case *saveDir != "":
+		cfg.SnapshotDir, cfg.SnapshotSave = *saveDir, true
+		cfg.SnapshotLoad = *loadDir != ""
+	case *loadDir != "":
+		cfg.SnapshotDir, cfg.SnapshotLoad = *loadDir, true
+	}
+	h := bench.NewHarness(cfg)
+	eff := h.Config()
+	fmt.Printf("netclus topsbench: scale=%.3f seed=%d quick=%v\n\n", eff.Scale, eff.Seed, eff.Quick)
 
 	var exps []bench.Experiment
 	if *expFlag == "all" {

@@ -10,6 +10,12 @@
 //	topsquery -preset beijing -scale 0.02 -k 5 -tau 0.8 -sweep
 //	topsquery -preset atlanta -k 10 -tau 1.6 -pref convex -compare
 //	topsquery -graph data/bj.graph -trajs data/bj.trajs -k 5 -tau 0.8
+//	topsquery -preset beijing -save bj.ncss          # build once, snapshot
+//	topsquery -preset beijing -load bj.ncss -sweep   # warm-start from it
+//
+// Index construction, persistence and serving all go through the public
+// netclus facade — this command is the reference consumer of the supported
+// surface.
 package main
 
 import (
@@ -18,9 +24,8 @@ import (
 	"os"
 	"time"
 
-	"netclus/internal/core"
+	"netclus"
 	"netclus/internal/dataset"
-	"netclus/internal/engine"
 	"netclus/internal/gen"
 	"netclus/internal/geojson"
 	"netclus/internal/roadnet"
@@ -47,10 +52,21 @@ func main() {
 		compare   = flag.Bool("compare", false, "also run INC-GREEDY and report the quality gap")
 		sweep     = flag.Bool("sweep", false, "re-answer the query for k=1..25 in one engine batch (shares one cached cover)")
 		geoOut    = flag.String("geojson", "", "write the network, a trajectory sample and the answer to this GeoJSON file")
+		savePath  = flag.String("save", "", "write the built index to this snapshot file")
+		loadPath  = flag.String("load", "", "warm-start from this snapshot instead of building (dataset must match)")
+		cacheDir  = flag.String("cache", "", "snapshot-cache directory for preset indexes (warm-starts repeat runs)")
+		workers   = flag.Int("workers", 0, "index build parallelism (0 = all cores)")
 	)
 	flag.Parse()
+	if *cacheDir != "" && *loadPath != "" {
+		fatal(fmt.Errorf("-cache and -load are mutually exclusive: the cache decides which snapshot to read"))
+	}
+	if *cacheDir != "" && (*graphPath != "" || *trajPath != "") {
+		fatal(fmt.Errorf("-cache only applies to -preset datasets; use -save/-load with -graph/-trajs"))
+	}
 
 	var inst *tops.Instance
+	var idx *netclus.Index
 	if *graphPath != "" && *trajPath != "" {
 		gf, err := os.Open(*graphPath)
 		if err != nil {
@@ -79,6 +95,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("loaded %d nodes, %d trajectories\n", g.NumNodes(), trajs.Len())
+	} else if *cacheDir != "" {
+		// Preset + snapshot cache: one call loads the dataset and serves
+		// its index warm when a valid cache entry exists.
+		t0 := time.Now()
+		di, err := netclus.LoadIndexedDataset(dataset.Preset(*preset),
+			netclus.DatasetConfig{Scale: *scale, Seed: *seed, CacheDir: *cacheDir},
+			netclus.BuildOptions{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		inst = di.Instance
+		idx = di.Index
+		fmt.Println(di.Summary())
+		how := "cold build + cache"
+		if di.WarmLoaded {
+			how = "warm load"
+		}
+		fmt.Printf("index via %s (%s) in %.3fs\n", how, di.SnapshotPath, time.Since(t0).Seconds())
 	} else {
 		d, err := dataset.Load(dataset.Preset(*preset), dataset.Config{Scale: *scale, Seed: *seed})
 		if err != nil {
@@ -102,25 +136,46 @@ func main() {
 		fatal(fmt.Errorf("unknown preference %q", *prefName))
 	}
 
-	fmt.Print("building NETCLUS index (offline phase)… ")
-	t0 := time.Now()
-	idx, err := core.Build(inst, core.Options{})
-	if err != nil {
-		fatal(err)
+	switch {
+	case idx != nil: // already warm-started via -cache
+	case *loadPath != "":
+		fmt.Printf("warm-starting from %s… ", *loadPath)
+		t0 := time.Now()
+		var err error
+		idx, err = netclus.LoadFile(*loadPath, inst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("done in %.3fs (%d instances, %.1f MB)\n",
+			time.Since(t0).Seconds(), len(idx.Instances), float64(idx.MemoryBytes())/(1<<20))
+	default:
+		fmt.Print("building NETCLUS index (offline phase)… ")
+		t0 := time.Now()
+		var err error
+		idx, err = netclus.Build(inst, netclus.BuildOptions{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("done in %.1fs (%d instances, %.1f MB)\n",
+			time.Since(t0).Seconds(), len(idx.Instances), float64(idx.MemoryBytes())/(1<<20))
 	}
-	fmt.Printf("done in %.1fs (%d instances, %.1f MB)\n",
-		time.Since(t0).Seconds(), len(idx.Instances), float64(idx.MemoryBytes())/(1<<20))
+	if *savePath != "" {
+		if err := netclus.SaveFile(idx, *savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved snapshot to %s\n", *savePath)
+	}
 
 	// Serve through the engine: the first query fills the cover cache for
 	// (instance, ψ); the k-sweep below then reuses it, which is the
 	// interactive usage pattern the paper motivates.
-	eng, err := engine.New(idx, engine.Options{})
+	eng, err := netclus.NewEngine(idx, netclus.EngineOptions{})
 	if err != nil {
 		fatal(err)
 	}
 
 	t1 := time.Now()
-	res, err := eng.Query(core.QueryOptions{K: *k, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
+	res, err := eng.Query(netclus.QueryOptions{K: *k, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
 	if err != nil {
 		fatal(err)
 	}
@@ -137,9 +192,9 @@ func main() {
 	if *sweep {
 		// Re-answer the query for a k ladder in one batch: all entries
 		// share one cached covering structure.
-		var qs []core.QueryOptions
+		var qs []netclus.QueryOptions
 		for _, kk := range []int{1, 2, 5, 10, 15, 20, 25} {
-			qs = append(qs, core.QueryOptions{K: kk, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
+			qs = append(qs, netclus.QueryOptions{K: kk, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
 		}
 		t2 := time.Now()
 		items := eng.QueryBatch(qs)

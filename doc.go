@@ -18,6 +18,12 @@
 // repeated and interactive (k, τ)-varying workloads skip the per-query
 // RepCover cost the paper's online phase pays.
 //
+// Index construction parallelizes across BuildOptions.Workers and is
+// deterministic for any worker count. Save/Load persist the index as a
+// versioned binary snapshot carrying a dataset fingerprint, so services
+// warm-start in milliseconds instead of re-clustering, and a snapshot can
+// never silently serve a mismatched dataset.
+//
 // Layout:
 //
 //	internal/roadnet     directed road networks, Dijkstra/A*, SCC
@@ -33,7 +39,7 @@
 //	internal/engine      the concurrent serving layer (RWMutex protocol,
 //	                     QueryBatch grouping, traffic stats)
 //	internal/bench       one experiment per paper table/figure
-//	cmd/...              topsbench, topsgen, topsquery
+//	cmd/...              topsbench, topsgen, topsquery, benchjson
 //	examples/...         runnable scenario walkthroughs
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured

@@ -34,10 +34,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			eng, err := h.Engine(dataset.Beijing, stdGamma, stdTauMin, stdTauMax)
+			if err != nil {
+				return nil, err
+			}
 			pref := tops.Binary(defaultTau)
 			m := float64(d.Instance.M())
 
-			baseQ, err := idx.Query(core.QueryOptions{K: defaultK, Pref: pref})
+			baseQ, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +82,11 @@ func init() {
 					}
 				}
 			}
-			freqQ, err := idx2.Query(core.QueryOptions{K: defaultK, Pref: pref})
+			eng2, err := wrapEngine(idx2)
+			if err != nil {
+				return nil, err
+			}
+			freqQ, err := eng2.Query(core.QueryOptions{K: defaultK, Pref: pref})
 			if err != nil {
 				return nil, err
 			}
@@ -224,12 +232,16 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			ncEng, err := wrapEngine(ncIdx)
+			if err != nil {
+				return nil, err
+			}
 			// NETCLUS first: it appends to the shared store, then the
 			// baseline indexes the same appended trajectories.
 			t0 := time.Now()
 			start := inst.M()
 			for i := 0; i < fresh.Len(); i++ {
-				if _, err := ncIdx.AddTrajectory(fresh.Get(trajectory.ID(i))); err != nil {
+				if _, err := ncEng.AddTrajectory(fresh.Get(trajectory.ID(i))); err != nil {
 					return nil, err
 				}
 			}

@@ -52,7 +52,11 @@ func init() {
 					return nil, err
 				}
 				buildSec := time.Since(t0).Seconds()
-				qr, err := idx.Query(core.QueryOptions{K: defaultK, Pref: pref})
+				eng, err := wrapEngine(idx)
+				if err != nil {
+					return nil, err
+				}
+				qr, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
 				if err != nil {
 					return nil, err
 				}
@@ -80,13 +84,17 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			eng, err := h.Engine(dataset.Beijing, stdGamma, stdTauMin, stdTauMax)
+			if err != nil {
+				return nil, err
+			}
 			distIdx, err := h.DistIndex(dataset.Beijing, stdDmax)
 			if err != nil {
 				return nil, err
 			}
 			pref := tops.Binary(defaultTau)
 			t0 := time.Now()
-			base, err := idx.Query(core.QueryOptions{K: defaultK, Pref: pref})
+			base, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +113,7 @@ func init() {
 			m := float64(idx.TopsInstance().M())
 			for _, f := range fs {
 				t1 := time.Now()
-				fmq, err := idx.Query(core.QueryOptions{K: defaultK, Pref: pref, UseFM: true, F: f, Seed: uint64(h.cfg.Seed)})
+				fmq, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref, UseFM: true, F: f, Seed: uint64(h.cfg.Seed)})
 				if err != nil {
 					return nil, err
 				}

@@ -66,8 +66,12 @@ func runScalePoint(inst *tops.Instance, seed int64) (incgSec, ncSec float64, err
 	if err != nil {
 		return
 	}
+	eng, err := wrapEngine(idx)
+	if err != nil {
+		return
+	}
 	t1 := time.Now()
-	if _, err = idx.Query(core.QueryOptions{K: defaultK, Pref: pref}); err != nil {
+	if _, err = eng.Query(core.QueryOptions{K: defaultK, Pref: pref}); err != nil {
 		return
 	}
 	ncSec = time.Since(t1).Seconds()
@@ -237,8 +241,12 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
+				eng, err := wrapEngine(idx)
+				if err != nil {
+					return nil, err
+				}
 				t1 := time.Now()
-				qr, err := idx.Query(core.QueryOptions{K: defaultK, Pref: pref})
+				qr, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
 				if err != nil {
 					return nil, err
 				}
@@ -285,6 +293,10 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			eng, err := wrapEngine(idx)
+			if err != nil {
+				return nil, err
+			}
 			// Fresh trajectories to add, generated over the same city.
 			batchSizes := []int{1000, 2000, 3000, 4000, 5000}
 			if h.cfg.Quick {
@@ -315,7 +327,7 @@ func init() {
 				for i := 0; i < b && next < fresh.Len(); i++ {
 					tr := fresh.Get(trajectory.ID(next))
 					next++
-					if _, err := idx.AddTrajectory(tr); err != nil {
+					if _, err := eng.AddTrajectory(tr); err != nil {
 						return nil, err
 					}
 				}
@@ -324,7 +336,7 @@ func init() {
 				added := 0
 				for added < b && int(nextNode) < inst.G.NumNodes() {
 					if !siteSet[nextNode] {
-						if err := idx.AddSite(roadnet.NodeID(nextNode)); err == nil {
+						if err := eng.AddSite(roadnet.NodeID(nextNode)); err == nil {
 							siteSet[nextNode] = true
 							added++
 						}

@@ -11,6 +11,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +32,13 @@ type Config struct {
 	// Quick trims parameter grids and shrinks datasets so the whole
 	// registry runs in CI time; results keep their shape but are noisier.
 	Quick bool
+	// SnapshotDir holds index snapshots (cmd/topsbench -save/-load).
+	// SnapshotLoad warm-starts harness indexes from it when a valid entry
+	// exists; SnapshotSave writes one after every cold build. Both are
+	// no-ops with an empty dir.
+	SnapshotDir  string
+	SnapshotLoad bool
+	SnapshotSave bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,7 +120,8 @@ func (h *Harness) DistIndex(name dataset.Preset, maxDetourKm float64) (*tops.Dis
 }
 
 // NetClus returns the NETCLUS index of the named dataset built with the
-// given γ and τ ladder, cached.
+// given γ and τ ladder, cached in-process and — when the config enables
+// snapshots — warm-started from (and saved to) the on-disk snapshot cache.
 func (h *Harness) NetClus(name dataset.Preset, gamma, tauMin, tauMax float64) (*core.Index, error) {
 	d, err := h.Dataset(name)
 	if err != nil {
@@ -123,12 +133,32 @@ func (h *Harness) NetClus(name dataset.Preset, gamma, tauMin, tauMax float64) (*
 	if idx, ok := h.ncIdxs[key]; ok {
 		return idx, nil
 	}
-	idx, err := core.Build(d.Instance, core.Options{
+	opts := core.Options{
 		Gamma: gamma, TauMin: tauMin, TauMax: tauMax,
 		GDSP: core.GDSPOptions{UseFM: true, F: 16, Seed: uint64(h.cfg.Seed)},
-	})
-	if err != nil {
-		return nil, err
+	}
+	var idx *core.Index
+	if h.cfg.SnapshotDir != "" {
+		snapKey := dataset.SnapshotKey(name, dataset.Config{Scale: h.cfg.Scale, Seed: h.cfg.Seed}, opts)
+		// An explicit -save that cannot write is a real failure (unlike the
+		// advisory dataset cache), so the write error propagates.
+		var warm bool
+		idx, warm, err = dataset.LoadOrBuild(filepath.Join(h.cfg.SnapshotDir, snapKey),
+			d.Instance, opts, h.cfg.SnapshotLoad, h.cfg.SnapshotSave)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		if h.cfg.SnapshotLoad && !warm {
+			// A cold build under -load would silently corrupt warm-start
+			// measurements; say so (mismatched scale/seed/options, or an
+			// empty snapshot dir).
+			fmt.Fprintf(os.Stderr, "bench: %s: snapshot miss (%s), cold build\n", name, snapKey)
+		}
+	} else {
+		idx, err = core.Build(d.Instance, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	h.ncIdxs[key] = idx
 	return idx, nil
@@ -150,12 +180,21 @@ func (h *Harness) Engine(name dataset.Preset, gamma, tauMin, tauMax float64) (*e
 	if e, ok := h.engines[key]; ok {
 		return e, nil
 	}
-	e, err := engine.New(idx, engine.Options{DisableCoverCache: true})
+	e, err := wrapEngine(idx)
 	if err != nil {
 		return nil, err
 	}
 	h.engines[key] = e
 	return e, nil
+}
+
+// wrapEngine wraps an experiment-local index in a throwaway serving engine
+// with the harness's paper-semantics caching policy (cover cache disabled,
+// so every query pays its own online phase). Experiments never call
+// core.Index query/update methods directly: all traffic goes through an
+// Engine, the same surface the CLIs and external users exercise.
+func wrapEngine(idx *core.Index) (*engine.Engine, error) {
+	return engine.New(idx, engine.Options{DisableCoverCache: true})
 }
 
 // Standard ladder used by most experiments: serves τ in [0.2, 6.4).

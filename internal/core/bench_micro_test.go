@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"io"
+	"runtime"
 	"testing"
 
 	"netclus/internal/tops"
@@ -26,11 +29,56 @@ func BenchmarkGDSPFM(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexBuild compares the sequential baseline against the
+// all-cores parallel build (the CI bench job records both; the acceptance
+// assertion lives in TestParallelBuildSpeedup).
 func BenchmarkIndexBuild(b *testing.B) {
 	_, inst := buildTestIndex(b, 203, false)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(inst, Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4, Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotSave measures snapshot encoding throughput.
+func BenchmarkSnapshotSave(b *testing.B) {
+	idx, _ := buildTestIndex(b, 208, false)
+	var probe bytes.Buffer
+	if _, err := idx.WriteTo(&probe); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(probe.Len()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(inst, Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4}); err != nil {
+		if _, err := idx.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures warm-start decoding (including structural
+// validation and the dataset fingerprint check).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	idx, inst := buildTestIndex(b, 209, false)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadIndex(bytes.NewReader(buf.Bytes()), inst); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -390,6 +390,17 @@ func TestBuildValidation(t *testing.T) {
 	if _, err := Build(inst, Options{Gamma: 0.75, TauMin: 5, TauMax: 1}); err == nil {
 		t.Error("τmin>τmax accepted")
 	}
+	// Near-zero γ over a wide τ range implies a ladder beyond the 4096-rung
+	// ceiling shared with the snapshot decoder; it must fail fast here, not
+	// build an unloadable index.
+	if _, err := Build(inst, Options{Gamma: 0.0005, TauMin: 0.4, TauMax: 6.4}); err == nil {
+		t.Error("5000+-rung ladder accepted")
+	}
+	// γ small enough that 1+γ == 1 in float64: ladderRungs degenerates to
+	// int(+Inf); must error, not panic in make().
+	if _, err := Build(inst, Options{Gamma: 1e-300, TauMin: 0.4, TauMax: 6.4}); err == nil {
+		t.Error("underflowing γ accepted")
+	}
 }
 
 func TestGammaTradeoff(t *testing.T) {

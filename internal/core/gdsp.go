@@ -27,6 +27,10 @@ type GDSPOptions struct {
 	F int
 	// Seed derives the sketch hash family.
 	Seed uint64
+	// Workers bounds the parallelism of the initial per-node dominating-set
+	// sweep (a build-time knob, not a clustering parameter: the clustering
+	// is identical for every value). <= 1 runs sequentially.
+	Workers int
 }
 
 // rawCluster is the output of clustering before metadata enrichment.
@@ -89,10 +93,12 @@ func gdspExact(g *roadnet.Graph, opts GDSPOptions) ([]rawCluster, error) {
 	scratch := roadnet.NewScratch(g)
 	twoR := 2 * opts.Radius
 
+	// Initial sweep: one bounded search per node, embarrassingly parallel
+	// (each worker owns a scratch and writes disjoint counts[v] slots).
+	counts := sweepDomCounts(g, twoR, opts.Workers)
 	h := make(domHeap, 0, n)
 	for v := 0; v < n; v++ {
-		dom := roadnet.BoundedRoundTripsFrom(g, scratch, roadnet.NodeID(v), twoR)
-		h = append(h, domHeapItem{node: roadnet.NodeID(v), count: float64(len(dom)), stamp: 0})
+		h = append(h, domHeapItem{node: roadnet.NodeID(v), count: counts[v], stamp: 0})
 	}
 	heap.Init(&h)
 
@@ -155,17 +161,21 @@ func gdspFM(g *roadnet.Graph, opts GDSPOptions) ([]rawCluster, error) {
 	scratch := roadnet.NewScratch(g)
 	twoR := 2 * opts.Radius
 
+	// Initial sweep: one bounded search + sketch per node, sharded across
+	// the build workers (disjoint sketches[v] / own[v] slots per worker).
 	sketches := make([]*fm.Sketch, n)
 	own := make([]float64, n)
-	for v := 0; v < n; v++ {
-		sk := fm.NewSketchSeeded(f, opts.Seed+1)
-		dom := roadnet.BoundedRoundTripsFrom(g, scratch, roadnet.NodeID(v), twoR)
-		for u := range dom {
-			sk.Add(uint64(u))
+	parallelSweep(g, n, opts.Workers, func(sc *roadnet.DijkstraScratch, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sk := fm.NewSketchSeeded(f, opts.Seed+1)
+			dom := roadnet.BoundedRoundTripsFrom(g, sc, roadnet.NodeID(v), twoR)
+			for u := range dom {
+				sk.Add(uint64(u))
+			}
+			sketches[v] = sk
+			own[v] = sk.Estimate()
 		}
-		sketches[v] = sk
-		own[v] = sk.Estimate()
-	}
+	})
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -224,6 +234,22 @@ func gdspFM(g *roadnet.Graph, opts GDSPOptions) ([]rawCluster, error) {
 		}
 	}
 	return clusters, nil
+}
+
+// sweepDomCounts computes |Λ(v)| (the size of each node's dominating set at
+// round-trip bound twoR) for every node, sharding the bounded searches across
+// workers. Each worker owns one scratch and writes disjoint slots, so the
+// result is identical for any worker count.
+func sweepDomCounts(g *roadnet.Graph, twoR float64, workers int) []float64 {
+	n := g.NumNodes()
+	counts := make([]float64, n)
+	parallelSweep(g, n, workers, func(sc *roadnet.DijkstraScratch, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			dom := roadnet.BoundedRoundTripsFrom(g, sc, roadnet.NodeID(v), twoR)
+			counts[v] = float64(len(dom))
+		}
+	})
+	return counts
 }
 
 // sortMembers orders cluster members by node id for determinism (map

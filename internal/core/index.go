@@ -83,6 +83,12 @@ type Options struct {
 	// and maximum round-trip distance between candidate sites (estimated
 	// by sampling; exact pairwise computation is quadratic).
 	TauMin, TauMax float64
+	// Workers bounds build parallelism, both across ladder rungs and
+	// inside each rung (the per-node clustering sweeps and the neighbor-
+	// list searches). Zero means runtime.NumCPU(); 1 builds fully
+	// sequentially. The built index is identical — and its snapshot
+	// byte-identical — for every worker count.
+	Workers int
 	// GDSP configures the clustering; Radius is overwritten per instance.
 	GDSP GDSPOptions
 }
@@ -90,6 +96,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Gamma == 0 {
 		o.Gamma = 0.75
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
 	}
 	return o
 }
@@ -162,15 +171,47 @@ func Build(inst *tops.Instance, opts Options) (*Index, error) {
 	}
 	idx.opts = opts
 
-	t := int(math.Floor(math.Log(opts.TauMax/opts.TauMin)/math.Log(1+opts.Gamma))) + 1
+	t := ladderRungs(opts.Gamma, opts.TauMin, opts.TauMax)
+	// Shares the exact formula and ceiling with the snapshot decoder, so
+	// save/load stay symmetric by construction — every index Build can
+	// produce, ReadIndex will accept. A >maxLadderRungs ladder only arises
+	// from a near-zero γ with a wide τ range: a misconfiguration, not a
+	// workload.
+	// t < 1 covers the float underflow at γ ≲ 1.1e-16, where 1+γ == 1
+	// makes ladderRungs divide by log(1) and the int conversion of +Inf
+	// go negative — without the guard, make() below would panic.
+	if t < 1 || t > maxLadderRungs {
+		return nil, fmt.Errorf("core: γ=%v over τ∈[%v,%v) yields a %d-rung ladder (max %d); increase γ or narrow the τ range", opts.Gamma, opts.TauMin, opts.TauMax, t, maxLadderRungs)
+	}
 	r0 := opts.TauMin / 4
 	// Ladder rungs are independent (each reads the shared immutable inputs
-	// and writes only its own Instance), so they build concurrently. The
-	// result is deterministic: rung p depends only on its radius.
+	// and writes only its own Instance), so they build concurrently — and
+	// the Workers budget is split globally, not granted per rung: at most
+	// rungPar rungs run at once, each fanning its clustering sweeps over
+	// ~Workers/rungPar inner workers, so peak goroutines and O(|V|)
+	// Dijkstra scratches stay ~Workers rather than Workers². rungPar
+	// scales with the budget (Workers/4, floored at 2) because each rung
+	// also has sequential phases (greedy selection, trajectory
+	// registration) that only rung-level overlap can hide — on a big
+	// machine a whole ladder still runs at once, on 4 cores two rungs
+	// pipeline. Rung p depends only on its radius, and the slice assembly
+	// below is by position, so the merge order — and therefore the built
+	// index — is deterministic for every worker count.
+	rungPar := opts.Workers / 4
+	if rungPar < 2 {
+		rungPar = 2
+	}
+	if rungPar > t {
+		rungPar = t
+	}
+	if rungPar > opts.Workers {
+		rungPar = opts.Workers
+	}
+	innerWorkers := (opts.Workers + rungPar - 1) / rungPar
 	idx.Instances = make([]*Instance, t)
 	errs := make([]error, t)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
+	sem := make(chan struct{}, rungPar)
 	for p := 0; p < t; p++ {
 		wg.Add(1)
 		go func(p int) {
@@ -178,7 +219,7 @@ func Build(inst *tops.Instance, opts Options) (*Index, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			radius := r0 * math.Pow(1+opts.Gamma, float64(p))
-			ins, err := idx.buildInstance(radius)
+			ins, err := idx.buildInstance(radius, innerWorkers)
 			if err != nil {
 				errs[p] = fmt.Errorf("core: instance %d (R=%v): %w", p, radius, err)
 				return
@@ -193,6 +234,18 @@ func Build(inst *tops.Instance, opts Options) (*Index, error) {
 		}
 	}
 	return idx, nil
+}
+
+// maxLadderRungs caps the resolution ladder. Build rejects configurations
+// beyond it and the snapshot decoder rejects counts beyond it, from the
+// same formula, so no writable index is unloadable.
+const maxLadderRungs = 4096
+
+// ladderRungs is the §4.4 ladder length t = ⌊log_{1+γ}(τmax/τmin)⌋ + 1.
+// Both Build and the snapshot decoder derive the expected instance count
+// from it.
+func ladderRungs(gamma, tauMin, tauMax float64) int {
+	return int(math.Floor(math.Log(tauMax/tauMin)/math.Log(1+gamma))) + 1
 }
 
 // estimateTauRange derives [τmin, τmax) per §4.4 as the min and max
@@ -258,12 +311,14 @@ func instIsSite(inst *tops.Instance, v roadnet.NodeID) bool {
 }
 
 // buildInstance clusters the network at the given radius and derives all
-// §4.3 cluster information.
-func (idx *Index) buildInstance(radius float64) (*Instance, error) {
+// §4.3 cluster information, fanning its parallel phases over the given
+// share of the build's worker budget.
+func (idx *Index) buildInstance(radius float64, workers int) (*Instance, error) {
 	start := time.Now()
 	g := idx.inst.G
 	gopts := idx.opts.GDSP
 	gopts.Radius = radius
+	gopts.Workers = workers
 	raw, err := greedyGDSP(g, gopts)
 	if err != nil {
 		return nil, err
@@ -298,7 +353,7 @@ func (idx *Index) buildInstance(radius float64) (*Instance, error) {
 		registerTrajectory(ins, tid, tr)
 	})
 	// Neighbor lists: centers within round-trip 4R(1+γ).
-	idx.buildNeighborLists(ins)
+	idx.buildNeighborLists(ins, workers)
 	ins.BuildTime = time.Since(start)
 	return ins, nil
 }
@@ -363,33 +418,37 @@ func bestOr(m map[ClusterID]float64, c ClusterID) float64 {
 
 // buildNeighborLists computes CL(g) for every cluster: clusters whose
 // centers are within round-trip distance 4·R·(1+γ) (§4.3; the bound is what
-// makes T̂C computable from neighbors only, §5.1).
-func (idx *Index) buildNeighborLists(ins *Instance) {
+// makes T̂C computable from neighbors only, §5.1). Each cluster's bounded
+// search is independent and writes only its own CL, so the clusters shard
+// across the build workers; the (distance, id) sort keeps every list
+// deterministic regardless of map iteration or worker interleaving.
+func (idx *Index) buildNeighborLists(ins *Instance, workers int) {
 	g := idx.inst.G
-	scratch := roadnet.NewScratch(g)
 	reach := 4 * ins.Radius * (1 + idx.opts.Gamma)
 	// center node -> cluster id for O(1) membership tests.
 	centerOf := make(map[roadnet.NodeID]ClusterID, len(ins.Clusters))
 	for ci := range ins.Clusters {
 		centerOf[ins.Clusters[ci].Center] = ClusterID(ci)
 	}
-	for ci := range ins.Clusters {
-		src := ins.Clusters[ci].Center
-		rts := roadnet.BoundedRoundTripsFrom(g, scratch, src, reach)
-		var nbrs []NeighborEntry
-		for v, rt := range rts {
-			if cj, ok := centerOf[v]; ok && cj != ClusterID(ci) {
-				nbrs = append(nbrs, NeighborEntry{Cluster: cj, Dr: rt})
+	parallelSweep(g, len(ins.Clusters), workers, func(scratch *roadnet.DijkstraScratch, lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			src := ins.Clusters[ci].Center
+			rts := roadnet.BoundedRoundTripsFrom(g, scratch, src, reach)
+			var nbrs []NeighborEntry
+			for v, rt := range rts {
+				if cj, ok := centerOf[v]; ok && cj != ClusterID(ci) {
+					nbrs = append(nbrs, NeighborEntry{Cluster: cj, Dr: rt})
+				}
 			}
+			sort.Slice(nbrs, func(a, b int) bool {
+				if nbrs[a].Dr != nbrs[b].Dr {
+					return nbrs[a].Dr < nbrs[b].Dr
+				}
+				return nbrs[a].Cluster < nbrs[b].Cluster
+			})
+			ins.Clusters[ci].CL = nbrs
 		}
-		sort.Slice(nbrs, func(a, b int) bool {
-			if nbrs[a].Dr != nbrs[b].Dr {
-				return nbrs[a].Dr < nbrs[b].Dr
-			}
-			return nbrs[a].Cluster < nbrs[b].Cluster
-		})
-		ins.Clusters[ci].CL = nbrs
-	}
+	})
 }
 
 // InstanceFor returns the ladder position p serving coverage threshold τ

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"netclus/internal/roadnet"
+)
+
+// parallelBlock is the work-unit granularity of parallelFor: small enough
+// to balance uneven bounded-search costs, large enough to amortize the
+// shared-counter hit.
+const parallelBlock = 16
+
+// effectiveWorkers clamps a requested worker count to what n items at
+// parallelBlock granularity can actually occupy (minimum 1).
+func effectiveWorkers(n, workers int) int {
+	if blocks := (n + parallelBlock - 1) / parallelBlock; workers > blocks {
+		workers = blocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelFor splits [0,n) into fixed-size blocks handed out from a shared
+// counter and runs fn(worker, lo, hi) on at most `workers` goroutines.
+// Block hand-out order is nondeterministic but every caller writes only
+// per-index results, so outputs are identical for any worker count — the
+// property the byte-identical-build guarantee rests on. workers <= 1 (or a
+// trivial n) runs inline on worker 0.
+func parallelFor(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = effectiveWorkers(n, workers)
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				lo := b * parallelBlock
+				if lo >= n {
+					return
+				}
+				hi := lo + parallelBlock
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelSweep is parallelFor for the build's bounded-search phases: it
+// owns the one-Dijkstra-scratch-per-worker pool (each scratch is an O(|V|)
+// allocation, so exactly as many are made as workers actually run) and
+// hands fn its worker's scratch alongside the index range.
+func parallelSweep(g *roadnet.Graph, n, workers int, fn func(sc *roadnet.DijkstraScratch, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	scratches := make([]*roadnet.DijkstraScratch, effectiveWorkers(n, workers))
+	for w := range scratches {
+		scratches[w] = roadnet.NewScratch(g)
+	}
+	// Pass the clamped count so worker ids are in-range by construction,
+	// not by parallelFor happening to apply the same clamp.
+	parallelFor(n, len(scratches), func(w, lo, hi int) {
+		fn(scratches[w], lo, hi)
+	})
+}

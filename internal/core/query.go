@@ -80,18 +80,6 @@ func (idx *Index) RepCover(p int, pref tops.Preference) (*tops.CoverSets, []Clus
 // means every site covers every trajectory, so any k representatives of the
 // coarsest instance are returned.
 func (idx *Index) Query(opts QueryOptions) (*QueryResult, error) {
-	return idx.query(opts, false)
-}
-
-// QueryCached is Query through the CoverFor memoization: repeated queries
-// sharing (instance, ψ) reuse one covering structure. The cache is
-// invalidated by every §6 mutation; callers that interleave queries and
-// mutations concurrently must serialize them (internal/engine does).
-func (idx *Index) QueryCached(opts QueryOptions) (*QueryResult, error) {
-	return idx.query(opts, true)
-}
-
-func (idx *Index) query(opts QueryOptions, cached bool) (*QueryResult, error) {
 	if err := opts.Pref.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,13 +87,7 @@ func (idx *Index) query(opts QueryOptions, cached bool) (*QueryResult, error) {
 		return nil, fmt.Errorf("core: k = %d must be positive", opts.K)
 	}
 	p := idx.InstanceFor(opts.Pref.Tau)
-	var cs *tops.CoverSets
-	var repClusters []ClusterID
-	if cached {
-		cs, repClusters, _ = idx.CoverFor(p, opts.Pref)
-	} else {
-		cs, repClusters = idx.RepCover(p, opts.Pref)
-	}
+	cs, repClusters := idx.RepCover(p, opts.Pref)
 	return idx.QueryOnCover(p, cs, repClusters, opts)
 }
 

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/tops"
+)
+
+func TestLoadIndexedCachesSnapshots(t *testing.T) {
+	cfg := Config{Scale: 0.01, Seed: 7, CacheDir: t.TempDir()}
+	opts := core.Options{Gamma: 0.75, TauMin: 0.3, TauMax: 4.8}
+
+	cold, err := LoadIndexed(BeijingSmall, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmLoaded {
+		t.Fatal("first load reported warm")
+	}
+	if _, err := os.Stat(cold.SnapshotPath); err != nil {
+		t.Fatalf("cold build did not cache a snapshot: %v", err)
+	}
+
+	warm, err := LoadIndexed(BeijingSmall, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmLoaded {
+		t.Fatal("second load did not hit the snapshot cache")
+	}
+
+	// Warm and cold indices must answer identically.
+	pref := tops.Binary(0.8)
+	a, err := cold.Index.Query(core.QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := warm.Index.Query(core.QueryOptions{K: 5, Pref: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EstimatedUtility != b.EstimatedUtility || len(a.Sites) != len(b.Sites) {
+		t.Fatalf("warm load answers differently: %v vs %v", a, b)
+	}
+	for i := range a.Sites {
+		if a.Sites[i] != b.Sites[i] {
+			t.Fatalf("site %d differs between cold and warm index", i)
+		}
+	}
+
+	// A corrupted cache entry must fall back to a cold rebuild, not fail.
+	if err := os.WriteFile(warm.SnapshotPath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := LoadIndexed(BeijingSmall, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.WarmLoaded {
+		t.Fatal("corrupted snapshot served as warm load")
+	}
+}
+
+func TestLoadIndexedToleratesUnwritableCache(t *testing.T) {
+	// The cache is best-effort: a read-only cache volume must not stop a
+	// process that has already built a perfectly good index.
+	dir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory write bits; cannot simulate a read-only cache")
+	}
+	cfg := Config{Scale: 0.01, Seed: 7, CacheDir: dir}
+	got, err := LoadIndexed(BeijingSmall, cfg, core.Options{Gamma: 0.75, TauMin: 0.3, TauMax: 4.8})
+	if err != nil {
+		t.Fatalf("read-only cache dir failed the load: %v", err)
+	}
+	if got.WarmLoaded || got.Index == nil {
+		t.Fatalf("unexpected result from cold build on read-only cache: %+v", got)
+	}
+}
+
+func TestLoadIndexedCacheKeySeparatesConfigs(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{Scale: 0.01, Seed: 7, CacheDir: dir}
+	if _, err := LoadIndexed(BeijingSmall, base, core.Options{Gamma: 0.75, TauMin: 0.3, TauMax: 4.8}); err != nil {
+		t.Fatal(err)
+	}
+	// A different γ must not collide with the cached entry.
+	other, err := LoadIndexed(BeijingSmall, base, core.Options{Gamma: 1.0, TauMin: 0.3, TauMax: 4.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.WarmLoaded {
+		t.Fatal("different build options hit the same cache entry")
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*"+SnapshotExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("expected 2 cache entries, found %d: %v", len(entries), entries)
+	}
+}

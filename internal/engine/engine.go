@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,17 @@ func New(idx *core.Index, opts Options) (*Engine, error) {
 // evaluation against a distance index). Mutating it directly bypasses the
 // Engine's locking — use the Engine's update methods instead.
 func (e *Engine) Index() *core.Index { return e.idx }
+
+// Snapshot serializes the wrapped index under the read lock, so a live
+// service can checkpoint while serving queries: concurrent queries proceed,
+// mutations wait, and the written snapshot is always a consistent state.
+// (Calling core.Index.WriteTo directly on a served index races with
+// updates; this is the supported path.)
+func (e *Engine) Snapshot(w io.Writer) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.WriteTo(w)
+}
 
 // Stats is a snapshot of the engine's traffic counters.
 type Stats struct {

@@ -14,6 +14,8 @@ package netclus
 // examples/quickstart for the end-to-end pattern.
 
 import (
+	"io"
+
 	"netclus/internal/core"
 	"netclus/internal/dataset"
 	"netclus/internal/engine"
@@ -83,9 +85,39 @@ type (
 )
 
 // Build runs the NETCLUS offline phase: the instance ladder over inst.
+// Construction parallelizes across BuildOptions.Workers (default all cores)
+// and is deterministic: the same instance and options produce an identical
+// index — and a byte-identical snapshot — for every worker count.
 func Build(inst *Instance, opts BuildOptions) (*Index, error) {
 	return core.Build(inst, opts)
 }
+
+// Index persistence. Save writes a versioned binary snapshot of the full
+// multi-resolution index; Load re-attaches one to the problem instance it
+// was built from, verifying a dataset fingerprint so a snapshot can never
+// silently serve a different (or differently ordered) dataset. The typical
+// lifecycle is: build once, Save, then warm-start every later process with
+// Load + NewEngine — dynamic §6 updates keep working on a loaded index.
+
+// Save writes idx as a binary snapshot. For an index currently served by
+// an Engine, use Engine.Snapshot instead — it takes the engine's read lock
+// so checkpointing cannot race with concurrent updates.
+func Save(idx *Index, w io.Writer) (int64, error) { return idx.WriteTo(w) }
+
+// Load reads a snapshot and re-attaches it to inst, which must be the
+// dataset the index was built from (enforced via fingerprint).
+func Load(r io.Reader, inst *Instance) (*Index, error) { return core.ReadIndex(r, inst) }
+
+// SaveFile writes a snapshot to path atomically (temp file + rename).
+func SaveFile(idx *Index, path string) error { return idx.WriteSnapshotFile(path) }
+
+// LoadFile reads a snapshot from path and re-attaches it to inst.
+func LoadFile(path string, inst *Instance) (*Index, error) {
+	return core.ReadIndexFile(path, inst)
+}
+
+// IndexFingerprint returns the dataset fingerprint snapshots of inst carry.
+func IndexFingerprint(inst *Instance) uint64 { return core.DatasetFingerprint(inst) }
 
 // Serving layer.
 type (
@@ -157,6 +189,18 @@ const (
 // LoadDataset synthesizes (or retrieves) a named dataset preset.
 func LoadDataset(name DatasetPreset, cfg DatasetConfig) (*Dataset, error) {
 	return dataset.Load(name, cfg)
+}
+
+// IndexedDataset couples a dataset preset with its NETCLUS index and the
+// index's provenance (cold build vs snapshot warm load).
+type IndexedDataset = dataset.IndexedDataset
+
+// LoadIndexedDataset materializes a preset and its index in one call. With
+// cfg.CacheDir set, the index warm-starts from the on-disk snapshot cache
+// when a valid entry exists and is cached after a cold build otherwise
+// (best-effort: an unwritable cache never fails the load).
+func LoadIndexedDataset(name DatasetPreset, cfg DatasetConfig, opts BuildOptions) (*IndexedDataset, error) {
+	return dataset.LoadIndexed(name, cfg, opts)
 }
 
 // DatasetPresets lists all known presets.
