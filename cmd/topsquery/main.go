@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -175,7 +176,7 @@ func main() {
 	}
 
 	t1 := time.Now()
-	res, err := eng.Query(netclus.QueryOptions{K: *k, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
+	res, err := eng.Query(context.Background(), netclus.QueryOptions{K: *k, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
 	if err != nil {
 		fatal(err)
 	}
@@ -197,7 +198,7 @@ func main() {
 			qs = append(qs, netclus.QueryOptions{K: kk, Pref: pref, UseFM: *useFM, Seed: uint64(*seed)})
 		}
 		t2 := time.Now()
-		items := eng.QueryBatch(qs)
+		items := eng.QueryBatch(context.Background(), qs)
 		fmt.Printf("\nk-sweep (%d queries in %.0f ms):\n", len(qs), time.Since(t2).Seconds()*1000)
 		for i, it := range items {
 			if it.Err != nil {

@@ -1,0 +1,192 @@
+// Command topsserve serves TOPS queries over HTTP: it materializes a
+// dataset preset, warm-starts the NETCLUS index from a snapshot when one is
+// available (the PR-2 lifecycle: -cache / -load), wraps it in the
+// concurrent engine, and exposes the internal/server JSON API with
+// micro-batched admission and graceful drain.
+//
+// Usage:
+//
+//	topsserve -preset beijing -scale 0.02 -cache .ncache
+//	topsserve -preset beijing -scale 0.02 -load bj.ncss -addr :8080
+//	topsserve -preset atlanta -batch-window 1ms -batch-max 128
+//
+// Query it:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/query -d '{"k":5,"tau":0.8}'
+//	curl -s -X POST localhost:8080/v1/update -d '{"op":"delete_site","node":17}'
+//	curl -s -X POST localhost:8080/v1/snapshot -o index.ncss
+//	curl -s localhost:8080/statsz
+//
+// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503 so load
+// balancers stop routing here, in-flight requests finish (bounded by
+// -drain-timeout), the micro-batcher delivers its last flush, and an
+// optional -snapshot-on-exit checkpoint is written before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"netclus"
+	"netclus/internal/dataset"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		preset       = flag.String("preset", "beijing", "dataset preset to serve")
+		scale        = flag.Float64("scale", 0.02, "dataset scale")
+		seed         = flag.Int64("seed", 42, "generation seed")
+		loadPath     = flag.String("load", "", "warm-start from this snapshot file (dataset must match)")
+		cacheDir     = flag.String("cache", "", "snapshot-cache directory (warm-starts repeat boots, caches cold builds)")
+		workers      = flag.Int("workers", 0, "index build parallelism for cold builds (0 = all cores)")
+		noCoverCache = flag.Bool("no-cover-cache", false, "disable the engine's cover memoization (paper's per-query behaviour)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window; 0 disables batching")
+		batchMax     = flag.Int("batch-max", 64, "micro-batch flush size")
+		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+		exitSnapshot = flag.String("snapshot-on-exit", "", "write a final index checkpoint here after draining")
+	)
+	flag.Parse()
+	if *cacheDir != "" && *loadPath != "" {
+		fatal(fmt.Errorf("-cache and -load are mutually exclusive: the cache decides which snapshot to read"))
+	}
+
+	// Materialize the dataset and its index, warm when possible.
+	t0 := time.Now()
+	var idx *netclus.Index
+	var inst *netclus.Instance
+	switch {
+	case *cacheDir != "":
+		di, err := netclus.LoadIndexedDataset(dataset.Preset(*preset),
+			netclus.DatasetConfig{Scale: *scale, Seed: *seed, CacheDir: *cacheDir},
+			netclus.BuildOptions{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		inst, idx = di.Instance, di.Index
+		how := "cold build + cache"
+		if di.WarmLoaded {
+			how = "warm load"
+		}
+		fmt.Printf("%s\nindex via %s (%s) in %.3fs\n", di.Summary(), how, di.SnapshotPath, time.Since(t0).Seconds())
+	default:
+		d, err := netclus.LoadDataset(dataset.Preset(*preset), netclus.DatasetConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		inst = d.Instance
+		fmt.Println(d.Summary())
+		if *loadPath != "" {
+			idx, err = netclus.LoadFile(*loadPath, inst)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("warm-started from %s in %.3fs\n", *loadPath, time.Since(t0).Seconds())
+		} else {
+			idx, err = netclus.Build(inst, netclus.BuildOptions{Workers: *workers})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("cold build in %.1fs (%d instances, %.1f MB)\n",
+				time.Since(t0).Seconds(), len(idx.Instances), float64(idx.MemoryBytes())/(1<<20))
+		}
+	}
+
+	eng, err := netclus.NewEngine(idx, netclus.EngineOptions{DisableCoverCache: *noCoverCache})
+	if err != nil {
+		fatal(err)
+	}
+	window := *batchWindow
+	if window == 0 {
+		window = -1 // server convention: negative disables batching
+	}
+	srv, err := netclus.NewServer(eng, netclus.ServeOptions{
+		BatchWindow:    window,
+		BatchMaxSize:   *batchMax,
+		DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving %d trajectories / %d sites on %s (batch window %v, max %d)\n",
+			inst.M(), inst.N(), *addr, *batchWindow, *batchMax)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Printf("\n%s: draining (up to %v)…\n", sig, *drainTimeout)
+	}
+
+	// Drain: stop advertising health, let in-flight requests finish, then
+	// stop the batcher (its last flush delivers before Close returns).
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	}
+	srv.Close()
+
+	if *exitSnapshot != "" {
+		if err := writeSnapshot(eng, *exitSnapshot); err != nil {
+			fatal(fmt.Errorf("final snapshot: %w", err))
+		}
+		fmt.Printf("final snapshot written to %s\n", *exitSnapshot)
+	}
+	fmt.Println("drained; bye")
+}
+
+// writeSnapshot checkpoints the engine's index atomically (temp file +
+// rename in the target directory).
+func writeSnapshot(eng *netclus.Engine, path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".topsserve-snap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	if _, err := eng.Snapshot(f); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

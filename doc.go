@@ -37,9 +37,12 @@
 //	internal/core        the NETCLUS index (paper's contribution) plus
 //	                     cached covering structures (CoverPlan / CoverFor)
 //	internal/engine      the concurrent serving layer (RWMutex protocol,
-//	                     QueryBatch grouping, traffic stats)
+//	                     QueryBatch grouping, context deadlines, traffic
+//	                     stats)
+//	internal/server      the HTTP JSON serving layer (micro-batched
+//	                     admission, strict decoding, drain, /statsz)
 //	internal/bench       one experiment per paper table/figure
-//	cmd/...              topsbench, topsgen, topsquery, benchjson
+//	cmd/...              topsserve, topsbench, topsgen, topsquery, benchjson
 //	examples/...         runnable scenario walkthroughs
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -65,7 +66,7 @@ func main() {
 
 	// 3. Online phase: the TOPS query.
 	start = time.Now()
-	res, err := eng.Query(netclus.QueryOptions{K: 5, Pref: netclus.Binary(0.8)})
+	res, err := eng.Query(context.Background(), netclus.QueryOptions{K: 5, Pref: netclus.Binary(0.8)})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func main() {
 	// rebuild needed — then re-run the original query: the engine serves
 	// it straight from the cover cache.
 	for _, tau := range []float64{0.4, 1.6, 3.2} {
-		r, err := eng.Query(netclus.QueryOptions{K: 5, Pref: netclus.Binary(tau)})
+		r, err := eng.Query(context.Background(), netclus.QueryOptions{K: 5, Pref: netclus.Binary(tau)})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func main() {
 			tau, r.InstanceUsed, 100*float64(r.EstimatedCovered)/float64(trajs.Len()))
 	}
 	start = time.Now()
-	if _, err := eng.Query(netclus.QueryOptions{K: 5, Pref: netclus.Binary(0.8)}); err != nil {
+	if _, err := eng.Query(context.Background(), netclus.QueryOptions{K: 5, Pref: netclus.Binary(0.8)}); err != nil {
 		log.Fatal(err)
 	}
 	st := eng.Stats()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -41,7 +42,7 @@ func init() {
 			pref := tops.Binary(defaultTau)
 			m := float64(d.Instance.M())
 
-			baseQ, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
+			baseQ, err := eng.Query(context.Background(), core.QueryOptions{K: defaultK, Pref: pref})
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +87,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			freqQ, err := eng2.Query(core.QueryOptions{K: defaultK, Pref: pref})
+			freqQ, err := eng2.Query(context.Background(), core.QueryOptions{K: defaultK, Pref: pref})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -56,7 +57,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				qr, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
+				qr, err := eng.Query(context.Background(), core.QueryOptions{K: defaultK, Pref: pref})
 				if err != nil {
 					return nil, err
 				}
@@ -94,7 +95,7 @@ func init() {
 			}
 			pref := tops.Binary(defaultTau)
 			t0 := time.Now()
-			base, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
+			base, err := eng.Query(context.Background(), core.QueryOptions{K: defaultK, Pref: pref})
 			if err != nil {
 				return nil, err
 			}
@@ -113,7 +114,7 @@ func init() {
 			m := float64(idx.TopsInstance().M())
 			for _, f := range fs {
 				t1 := time.Now()
-				fmq, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref, UseFM: true, F: f, Seed: uint64(h.cfg.Seed)})
+				fmq, err := eng.Query(context.Background(), core.QueryOptions{K: defaultK, Pref: pref, UseFM: true, F: f, Seed: uint64(h.cfg.Seed)})
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -71,7 +72,7 @@ func runScalePoint(inst *tops.Instance, seed int64) (incgSec, ncSec float64, err
 		return
 	}
 	t1 := time.Now()
-	if _, err = eng.Query(core.QueryOptions{K: defaultK, Pref: pref}); err != nil {
+	if _, err = eng.Query(context.Background(), core.QueryOptions{K: defaultK, Pref: pref}); err != nil {
 		return
 	}
 	ncSec = time.Since(t1).Seconds()
@@ -246,7 +247,7 @@ func init() {
 					return nil, err
 				}
 				t1 := time.Now()
-				qr, err := eng.Query(core.QueryOptions{K: defaultK, Pref: pref})
+				qr, err := eng.Query(context.Background(), core.QueryOptions{K: defaultK, Pref: pref})
 				if err != nil {
 					return nil, err
 				}

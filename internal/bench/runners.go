@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -82,7 +83,7 @@ func (h *Harness) runNetClus(name dataset.Preset, pref tops.Preference, k int, u
 		return AlgoResult{}, err
 	}
 	start := time.Now()
-	qr, err := eng.Query(core.QueryOptions{K: k, Pref: pref, UseFM: useFM, F: 30, Seed: uint64(h.cfg.Seed)})
+	qr, err := eng.Query(context.Background(), core.QueryOptions{K: k, Pref: pref, UseFM: useFM, F: 30, Seed: uint64(h.cfg.Seed)})
 	if err != nil {
 		return AlgoResult{}, err
 	}

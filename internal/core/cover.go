@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"runtime"
@@ -57,11 +58,14 @@ type coverKey struct {
 }
 
 // coverEntry is a singleflight slot: the first goroutine to claim the key
-// fills it, concurrent claimants block on the Once and share the result.
+// fills it, concurrent claimants block on the Once and share the result —
+// including a fill error (a canceled context), in which case the entry is
+// evicted so the next caller retries instead of inheriting the failure.
 type coverEntry struct {
 	once sync.Once
 	cs   *tops.CoverSets
 	reps []ClusterID
+	err  error
 }
 
 // CoverCacheStats reports cover-cache effectiveness counters.
@@ -178,13 +182,19 @@ func (s *fillScratch) reset() {
 // given preference, sharding representatives across NumCPU workers. Workers
 // write disjoint TC slots (tops.CoverSets.SetTC); the trajectory-side SC
 // lists are derived in one sequential pass afterwards.
-func (idx *Index) fillCover(p int, pl *CoverPlan, pref tops.Preference) *tops.CoverSets {
+//
+// The per-representative sweep is the expensive part of a query, so it is
+// also where request deadlines bite: every worker checks ctx between
+// representatives and the whole fill aborts with the context error once any
+// worker observes cancellation. A canceled fill is never returned (nor
+// memoized), so partially filled covers cannot leak into answers.
+func (idx *Index) fillCover(ctx context.Context, p int, pl *CoverPlan, pref tops.Preference) (*tops.CoverSets, error) {
 	ins := idx.Instances[p]
 	m := idx.trajs.Len()
 	cs := tops.NewCoverSets(len(pl.Reps), m)
 	nReps := len(pl.Reps)
 	if nReps == 0 {
-		return cs
+		return cs, nil
 	}
 	workers := runtime.NumCPU()
 	if workers > nReps {
@@ -192,6 +202,7 @@ func (idx *Index) fillCover(p int, pl *CoverPlan, pref tops.Preference) *tops.Co
 	}
 	tau := pref.Tau
 	var next atomic.Int64
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -201,6 +212,13 @@ func (idx *Index) fillCover(p int, pl *CoverPlan, pref tops.Preference) *tops.Co
 			for {
 				ri := int(next.Add(1)) - 1
 				if ri >= nReps {
+					return
+				}
+				if canceled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
 					return
 				}
 				sc.reset()
@@ -235,8 +253,11 @@ func (idx *Index) fillCover(p int, pl *CoverPlan, pref tops.Preference) *tops.Co
 		}()
 	}
 	wg.Wait()
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
 	cs.RebuildSC()
-	return cs
+	return cs, nil
 }
 
 // CoverFor returns the §5.1 covering structure of instance p under pref,
@@ -249,29 +270,56 @@ func (idx *Index) fillCover(p int, pl *CoverPlan, pref tops.Preference) *tops.Co
 // consistent with the index state at call time — provided queries and
 // mutations are serialized by the caller (see internal/engine).
 func (idx *Index) CoverFor(p int, pref tops.Preference) (*tops.CoverSets, []ClusterID, bool) {
-	key := coverKey{p: p, fp: PrefFingerprint(pref)}
-	idx.coverMu.Lock()
-	if idx.coverCache == nil {
-		idx.coverCache = make(map[coverKey]*coverEntry)
-	}
-	e, ok := idx.coverCache[key]
-	if !ok {
-		e = &coverEntry{}
-		idx.coverCache[key] = e
-	}
-	idx.coverMu.Unlock()
+	cs, reps, hit, _ := idx.CoverForCtx(context.Background(), p, pref)
+	return cs, reps, hit
+}
 
-	hit := true
-	e.once.Do(func() {
-		hit = false
-		e.cs, e.reps = idx.RepCover(p, pref)
-	})
-	if hit {
-		idx.coverHits.Add(1)
-	} else {
-		idx.coverMisses.Add(1)
+// CoverForCtx is CoverFor under a request context. Concurrent callers of
+// the same key singleflight onto one fill. A canceled fill is never
+// memoized: the poisoned entry is dropped, the filler returns its own
+// context error, and waiters whose contexts are still live retry — one
+// aggressive-deadline client therefore cannot fail well-behaved concurrent
+// requests for the same cover.
+func (idx *Index) CoverForCtx(ctx context.Context, p int, pref tops.Preference) (*tops.CoverSets, []ClusterID, bool, error) {
+	key := coverKey{p: p, fp: PrefFingerprint(pref)}
+	for {
+		idx.coverMu.Lock()
+		if idx.coverCache == nil {
+			idx.coverCache = make(map[coverKey]*coverEntry)
+		}
+		e, ok := idx.coverCache[key]
+		if !ok {
+			e = &coverEntry{}
+			idx.coverCache[key] = e
+		}
+		idx.coverMu.Unlock()
+
+		hit := true
+		e.once.Do(func() {
+			hit = false
+			e.cs, e.reps, e.err = idx.RepCoverCtx(ctx, p, pref)
+		})
+		if e.err == nil {
+			if hit {
+				idx.coverHits.Add(1)
+			} else {
+				idx.coverMisses.Add(1)
+			}
+			return e.cs, e.reps, hit, nil
+		}
+		idx.coverMu.Lock()
+		if idx.coverCache[key] == e {
+			delete(idx.coverCache, key)
+		}
+		idx.coverMu.Unlock()
+		// The fill aborted under the FILLER's context. Give up only if our
+		// own context is also done; otherwise loop — the entry is evicted,
+		// so the retry claims (or joins) a fresh fill. Each iteration
+		// consumes one completed fill attempt, so this cannot spin.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, false, err
+		}
 	}
-	return e.cs, e.reps, hit
 }
 
 // invalidateCovers drops every memoized cover; sitesChanged additionally

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -67,8 +68,21 @@ type QueryResult struct {
 // shards representatives across workers with dense epoch-stamped scratch
 // arrays. RepCover always runs the fill; CoverFor memoizes the result.
 func (idx *Index) RepCover(p int, pref tops.Preference) (*tops.CoverSets, []ClusterID) {
+	cs, reps, _ := idx.RepCoverCtx(context.Background(), p, pref)
+	return cs, reps
+}
+
+// RepCoverCtx is RepCover under a request context: the representative sweep
+// checks ctx between representatives and aborts with its error on
+// cancellation, which is how per-request deadlines reach the O(η_p · TL)
+// part of a query.
+func (idx *Index) RepCoverCtx(ctx context.Context, p int, pref tops.Preference) (*tops.CoverSets, []ClusterID, error) {
 	pl := idx.coverPlan(p)
-	return idx.fillCover(p, pl, pref), pl.Reps
+	cs, err := idx.fillCover(ctx, p, pl, pref)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, pl.Reps, nil
 }
 
 // Query answers a TOPS query online (§5): select the ladder instance for τ,
@@ -80,15 +94,29 @@ func (idx *Index) RepCover(p int, pref tops.Preference) (*tops.CoverSets, []Clus
 // means every site covers every trajectory, so any k representatives of the
 // coarsest instance are returned.
 func (idx *Index) Query(opts QueryOptions) (*QueryResult, error) {
+	return idx.QueryCtx(context.Background(), opts)
+}
+
+// QueryCtx is Query under a request context: cancellation checkpoints sit
+// before the cover sweep, inside it (every representative), and before the
+// greedy phase, so a lapsed deadline aborts the query at the next
+// checkpoint with the context's error.
+func (idx *Index) QueryCtx(ctx context.Context, opts QueryOptions) (*QueryResult, error) {
 	if err := opts.Pref.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: k = %d must be positive", opts.K)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p := idx.InstanceFor(opts.Pref.Tau)
-	cs, repClusters := idx.RepCover(p, opts.Pref)
-	return idx.QueryOnCover(p, cs, repClusters, opts)
+	cs, repClusters, err := idx.RepCoverCtx(ctx, p, opts.Pref)
+	if err != nil {
+		return nil, err
+	}
+	return idx.QueryOnCoverCtx(ctx, p, cs, repClusters, opts)
 }
 
 // QueryOnCover runs the greedy phase of a query over an already-built
@@ -97,8 +125,18 @@ func (idx *Index) Query(opts QueryOptions) (*QueryResult, error) {
 // path, benchmarks) can time and share the two phases independently. cs is
 // not mutated.
 func (idx *Index) QueryOnCover(p int, cs *tops.CoverSets, repClusters []ClusterID, opts QueryOptions) (*QueryResult, error) {
+	return idx.QueryOnCoverCtx(context.Background(), p, cs, repClusters, opts)
+}
+
+// QueryOnCoverCtx is QueryOnCover with a pre-greedy cancellation
+// checkpoint. The greedy itself runs to completion once started — it is the
+// cheap phase and produces no partial answers.
+func (idx *Index) QueryOnCoverCtx(ctx context.Context, p int, cs *tops.CoverSets, repClusters []ClusterID, opts QueryOptions) (*QueryResult, error) {
 	if len(repClusters) == 0 {
 		return nil, fmt.Errorf("core: instance %d has no cluster representatives (no candidate sites?)", p)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	k := opts.K
 	if k > len(repClusters) {
@@ -154,9 +192,13 @@ func (idx *Index) EstimatedDetour(p int, tid trajectory.ID, ci ClusterID) float6
 	}
 	best := math.Inf(1)
 	check := func(tl []TrajEntry, centerDr float64) {
+		// Association matches fillCover's `te.Dr + (centerDr + repDr)`
+		// exactly, so the differential oracle can compare estimates
+		// bit-for-bit instead of within a float tolerance.
+		base := centerDr + cl.RepDr
 		for _, te := range tl {
 			if te.Traj == tid {
-				if d := te.Dr + centerDr + cl.RepDr; d < best {
+				if d := te.Dr + base; d < best {
 					best = d
 				}
 			}

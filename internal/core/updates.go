@@ -45,23 +45,26 @@ func (idx *Index) AddSite(v roadnet.NodeID) error {
 // DeleteSite untags node v as a candidate site. If v was a cluster
 // representative, the next-closest site in the cluster takes over (§4.2);
 // clusters left without sites simply stop fielding a representative.
+//
+// The site list is maintained by swap-remove: the last site moves into the
+// deleted slot and only its dense id is patched, so the removal is O(1)
+// in the site count instead of the former O(|S|) splice-plus-renumber.
+// Site order therefore is not insertion order after a deletion; nothing
+// outside build-time τ estimation ever relied on it, and the siteID table
+// stays the single source of truth for the Sites index of every node.
 func (idx *Index) DeleteSite(v roadnet.NodeID) error {
 	if v < 0 || int(v) >= idx.inst.G.NumNodes() || !idx.isSite[v] {
 		return fmt.Errorf("core: DeleteSite: node %d is not a site", v)
 	}
+	slot := idx.siteID[v]
+	last := len(idx.inst.Sites) - 1
+	if moved := idx.inst.Sites[last]; moved != v {
+		idx.inst.Sites[slot] = moved
+		idx.siteID[moved] = slot
+	}
+	idx.inst.Sites = idx.inst.Sites[:last]
 	idx.isSite[v] = false
 	idx.siteID[v] = -1
-	// Remove from the instance's site list (order-preserving).
-	for i, s := range idx.inst.Sites {
-		if s == v {
-			idx.inst.Sites = append(idx.inst.Sites[:i], idx.inst.Sites[i+1:]...)
-			break
-		}
-	}
-	// Renumber the dense site ids above the removed one.
-	for i := range idx.inst.Sites {
-		idx.siteID[idx.inst.Sites[i]] = int32(i)
-	}
 	for _, ins := range idx.Instances {
 		ci := ins.NodeCluster[v]
 		if ci == InvalidCluster {

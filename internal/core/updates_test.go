@@ -104,6 +104,89 @@ func TestDeleteSiteErrors(t *testing.T) {
 	}
 }
 
+func TestDeleteSiteSwapRemoveConsistency(t *testing.T) {
+	// DeleteSite maintains the site list by swap-remove: the siteID table
+	// must stay the exact inverse of inst.Sites through any deletion
+	// pattern (first, middle, last), deleted representatives must hand
+	// over to the next-closest site, and queries must keep working.
+	idx, inst := buildTestIndex(t, 113, false)
+	checkInverse := func(when string) {
+		t.Helper()
+		for i, s := range inst.Sites {
+			if idx.siteID[s] != int32(i) {
+				t.Fatalf("%s: siteID[%d] = %d, want %d", when, s, idx.siteID[s], i)
+			}
+			if !idx.isSite[s] {
+				t.Fatalf("%s: listed site %d not marked", when, s)
+			}
+		}
+	}
+	checkInverse("before deletions")
+
+	// Delete the current first, last and a middle site, plus one cluster
+	// representative (takeover case), interleaved with inverse checks.
+	targets := []roadnet.NodeID{inst.Sites[0], inst.Sites[len(inst.Sites)-1], inst.Sites[len(inst.Sites)/2]}
+	ins := idx.Instances[len(idx.Instances)-1]
+	for ci := range ins.Clusters {
+		cl := &ins.Clusters[ci]
+		sitesIn := 0
+		for _, v := range cl.Members {
+			if idx.isSite[v] {
+				sitesIn++
+			}
+		}
+		if sitesIn >= 2 && cl.Rep != roadnet.InvalidNode {
+			already := false
+			for _, d := range targets {
+				if d == cl.Rep {
+					already = true
+				}
+			}
+			if !already {
+				targets = append(targets, cl.Rep)
+			}
+			break
+		}
+	}
+	nBefore := len(inst.Sites)
+	deleted := make(map[roadnet.NodeID]bool)
+	for _, v := range targets {
+		if deleted[v] {
+			continue
+		}
+		if err := idx.DeleteSite(v); err != nil {
+			t.Fatal(err)
+		}
+		deleted[v] = true
+		if idx.isSite[v] || idx.siteID[v] != -1 {
+			t.Fatalf("deleted site %d still registered", v)
+		}
+		checkInverse("after delete")
+		// Representative takeover: v must no longer represent any cluster,
+		// and any successor must be a live site.
+		for _, insp := range idx.Instances {
+			if ci := insp.NodeCluster[v]; ci != InvalidCluster {
+				if rep := insp.Clusters[ci].Rep; rep == v {
+					t.Fatalf("deleted site %d still a representative", v)
+				} else if rep != roadnet.InvalidNode && !idx.isSite[rep] {
+					t.Fatalf("successor representative %d is not a site", rep)
+				}
+			}
+		}
+	}
+	if got := len(inst.Sites); got != nBefore-len(deleted) {
+		t.Fatalf("site count %d after %d deletions of %d", got, len(deleted), nBefore)
+	}
+	if _, err := idx.Query(QueryOptions{K: 3, Pref: tops.Binary(0.8)}); err != nil {
+		t.Fatalf("query after swap-remove deletions: %v", err)
+	}
+	for p := range idx.Instances {
+		if err := idx.validateInstance(p); err != nil {
+			t.Fatalf("instance %d: %v", p, err)
+		}
+	}
+}
+
 func TestAddTrajectoryAffectsQueries(t *testing.T) {
 	idx, inst := buildTestIndex(t, 89, false)
 	pref := tops.Binary(0.8)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -59,7 +60,7 @@ func BenchmarkEngineQPS(b *testing.B) {
 			for pb.Next() {
 				q := core.QueryOptions{K: 5, Pref: tops.Binary(taus[i%len(taus)])}
 				i++
-				if _, err := eng.Query(q); err != nil {
+				if _, err := eng.Query(context.Background(), q); err != nil {
 					b.Error(err)
 					return
 				}

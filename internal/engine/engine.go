@@ -11,6 +11,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -49,6 +51,8 @@ type Engine struct {
 	batchQueries atomic.Uint64
 	batches      atomic.Uint64
 	updates      atomic.Uint64
+	errors       atomic.Uint64
+	canceled     atomic.Uint64
 	coverNanos   atomic.Int64
 	greedyNanos  atomic.Int64
 }
@@ -81,24 +85,32 @@ func (e *Engine) Snapshot(w io.Writer) (int64, error) {
 	return e.idx.WriteTo(w)
 }
 
-// Stats is a snapshot of the engine's traffic counters.
+// Stats is a snapshot of the engine's traffic counters. The json tags are
+// the /statsz wire contract of internal/server.
 type Stats struct {
 	// Queries counts single Query calls; BatchQueries counts queries served
 	// through QueryBatch (Batches counts the batch calls themselves).
-	Queries      uint64
-	BatchQueries uint64
-	Batches      uint64
+	Queries      uint64 `json:"queries"`
+	BatchQueries uint64 `json:"batch_queries"`
+	Batches      uint64 `json:"batches"`
 	// Updates counts mutation calls (single or batch).
-	Updates uint64
+	Updates uint64 `json:"updates"`
+	// Errors counts failed queries (single or batch items), including the
+	// Canceled subset below.
+	Errors uint64 `json:"errors"`
+	// Canceled counts queries aborted by context cancellation or a lapsed
+	// per-request deadline.
+	Canceled uint64 `json:"canceled"`
 	// CoverHits / CoverMisses report the core cover-cache counters;
 	// CoverEntries is the number of covers currently memoized.
-	CoverHits    uint64
-	CoverMisses  uint64
-	CoverEntries int
+	CoverHits    uint64 `json:"cover_hits"`
+	CoverMisses  uint64 `json:"cover_misses"`
+	CoverEntries int    `json:"cover_entries"`
 	// CoverTime and GreedyTime accumulate the wall time of the two query
-	// phases (cover fetch-or-build, greedy selection) across all queries.
-	CoverTime  time.Duration
-	GreedyTime time.Duration
+	// phases (cover fetch-or-build, greedy selection) across all queries,
+	// in nanoseconds on the wire.
+	CoverTime  time.Duration `json:"cover_time_ns"`
+	GreedyTime time.Duration `json:"greedy_time_ns"`
 }
 
 // Stats returns a consistent-enough snapshot of the counters (individual
@@ -111,6 +123,8 @@ func (e *Engine) Stats() Stats {
 		BatchQueries: e.batchQueries.Load(),
 		Batches:      e.batches.Load(),
 		Updates:      e.updates.Load(),
+		Errors:       e.errors.Load(),
+		Canceled:     e.canceled.Load(),
 		CoverHits:    cc.Hits,
 		CoverMisses:  cc.Misses,
 		CoverEntries: cc.Entries,
@@ -120,44 +134,67 @@ func (e *Engine) Stats() Stats {
 }
 
 // cover fetches (or builds) the covering structure for instance p under the
-// engine's caching policy, accounting the time to the cover phase.
-func (e *Engine) cover(p int, pref tops.Preference) (*tops.CoverSets, []core.ClusterID) {
+// engine's caching policy, accounting the time to the cover phase. The
+// context cancels the sweep between representatives (see core.RepCoverCtx).
+func (e *Engine) cover(ctx context.Context, p int, pref tops.Preference) (*tops.CoverSets, []core.ClusterID, error) {
 	t0 := time.Now()
 	var cs *tops.CoverSets
 	var reps []core.ClusterID
+	var err error
 	if e.opts.DisableCoverCache {
-		cs, reps = e.idx.RepCover(p, pref)
+		cs, reps, err = e.idx.RepCoverCtx(ctx, p, pref)
 	} else {
-		cs, reps, _ = e.idx.CoverFor(p, pref)
+		cs, reps, _, err = e.idx.CoverForCtx(ctx, p, pref)
 	}
 	e.coverNanos.Add(time.Since(t0).Nanoseconds())
-	return cs, reps
+	return cs, reps, err
+}
+
+// accountErr classifies a query failure into the Errors / Canceled
+// counters and passes it through.
+func (e *Engine) accountErr(err error) error {
+	if err != nil {
+		e.errors.Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.canceled.Add(1)
+		}
+	}
+	return err
 }
 
 // Query answers one TOPS query under a read lock, so any number of Query
 // and QueryBatch calls proceed concurrently with each other and the cover
-// cache is shared between them.
-func (e *Engine) Query(opts core.QueryOptions) (*core.QueryResult, error) {
+// cache is shared between them. The context carries the per-request
+// deadline: cancellation aborts the query at the next core checkpoint
+// (before the cover sweep, between representatives inside it, before the
+// greedy) with the context's error.
+func (e *Engine) Query(ctx context.Context, opts core.QueryOptions) (*core.QueryResult, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	res, err := e.serve(opts)
+	res, err := e.serve(ctx, opts)
 	if err == nil {
 		e.queries.Add(1)
 	}
-	return res, err
+	return res, e.accountErr(err)
 }
 
-func (e *Engine) serve(opts core.QueryOptions) (*core.QueryResult, error) {
+func (e *Engine) serve(ctx context.Context, opts core.QueryOptions) (*core.QueryResult, error) {
 	if err := opts.Pref.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("engine: k = %d must be positive", opts.K)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p := e.idx.InstanceFor(opts.Pref.Tau)
-	cs, reps := e.cover(p, opts.Pref)
+	cs, reps, err := e.cover(ctx, p, opts.Pref)
+	if err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
-	res, err := e.idx.QueryOnCover(p, cs, reps, opts)
+	res, err := e.idx.QueryOnCoverCtx(ctx, p, cs, reps, opts)
 	e.greedyNanos.Add(time.Since(t0).Nanoseconds())
 	return res, err
 }
@@ -173,8 +210,14 @@ type BatchItem struct {
 // structure is fetched exactly once and then serves every (k, ψ-parameter)
 // combination in the group; the greedy runs fan out across BatchWorkers.
 // The interactive pattern the paper motivates — one analyst re-running a
-// query while varying k and τ — maps to groups of size > 1 here.
-func (e *Engine) QueryBatch(qs []core.QueryOptions) []BatchItem {
+// query while varying k and τ — maps to groups of size > 1 here, and
+// internal/server's micro-batching admission layer coalesces concurrent
+// network queries into exactly this call.
+//
+// The context applies to the batch as a whole: cancellation fails the
+// not-yet-answered items with the context's error (already-computed items
+// keep their results).
+func (e *Engine) QueryBatch(ctx context.Context, qs []core.QueryOptions) []BatchItem {
 	out := make([]BatchItem, len(qs))
 	if len(qs) == 0 {
 		return out
@@ -190,11 +233,11 @@ func (e *Engine) QueryBatch(qs []core.QueryOptions) []BatchItem {
 	groups := make(map[groupKey][]int)
 	for i, q := range qs {
 		if err := q.Pref.Validate(); err != nil {
-			out[i].Err = err
+			out[i].Err = e.accountErr(err)
 			continue
 		}
 		if q.K <= 0 {
-			out[i].Err = fmt.Errorf("engine: k = %d must be positive", q.K)
+			out[i].Err = e.accountErr(fmt.Errorf("engine: k = %d must be positive", q.K))
 			continue
 		}
 		p := e.idx.InstanceFor(q.Pref.Tau)
@@ -209,7 +252,13 @@ func (e *Engine) QueryBatch(qs []core.QueryOptions) []BatchItem {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for key, members := range groups {
-		cs, reps := e.cover(key.p, qs[members[0]].Pref)
+		cs, reps, err := e.cover(ctx, key.p, qs[members[0]].Pref)
+		if err != nil {
+			for _, i := range members {
+				out[i].Err = e.accountErr(err)
+			}
+			continue
+		}
 		for _, i := range members {
 			wg.Add(1)
 			go func(i int) {
@@ -217,10 +266,12 @@ func (e *Engine) QueryBatch(qs []core.QueryOptions) []BatchItem {
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				t0 := time.Now()
-				out[i].Result, out[i].Err = e.idx.QueryOnCover(key.p, cs, reps, qs[i])
+				out[i].Result, out[i].Err = e.idx.QueryOnCoverCtx(ctx, key.p, cs, reps, qs[i])
 				e.greedyNanos.Add(time.Since(t0).Nanoseconds())
 				if out[i].Err == nil {
 					e.batchQueries.Add(1)
+				} else {
+					e.accountErr(out[i].Err)
 				}
 			}(i)
 		}

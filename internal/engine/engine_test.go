@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -85,12 +86,12 @@ func TestQueryMatchesCoreAndHitsCache(t *testing.T) {
 	}
 	taus := []float64{0.4, 0.8, 1.6}
 	for _, tau := range taus {
-		want, err := idx.Query(core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		want, err := idx.QueryCtx(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for rep := 0; rep < 3; rep++ {
-			got, err := eng.Query(core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
+			got, err := eng.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,7 +133,7 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 		}
 	}
 	qs = append(qs, core.QueryOptions{K: 0, Pref: tops.Binary(0.8)}) // invalid
-	items := eng.QueryBatch(qs)
+	items := eng.QueryBatch(context.Background(), qs)
 	if len(items) != len(qs) {
 		t.Fatalf("item count %d != %d", len(items), len(qs))
 	}
@@ -146,7 +147,7 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 		if items[i].Err != nil {
 			t.Fatalf("query %d: %v", i, items[i].Err)
 		}
-		want, err := idx.Query(q)
+		want, err := idx.QueryCtx(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func TestInvalidationMatchesColdIndex(t *testing.T) {
 	}
 	// Warm the cache pre-mutation.
 	for _, q := range grid {
-		if _, err := eng.Query(q); err != nil {
+		if _, err := eng.Query(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -231,11 +232,11 @@ func TestInvalidationMatchesColdIndex(t *testing.T) {
 		t.Fatalf("mutations left %d cached covers", eng.Stats().CoverEntries)
 	}
 	for _, q := range grid {
-		got, err := eng.Query(q)
+		got, err := eng.Query(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := mirrorIdx.Query(q)
+		want, err := mirrorIdx.QueryCtx(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -269,7 +270,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 				}
 				tau := taus[(r+i)%len(taus)]
 				if i%3 == 0 {
-					items := eng.QueryBatch([]core.QueryOptions{
+					items := eng.QueryBatch(context.Background(), []core.QueryOptions{
 						{K: 2, Pref: tops.Binary(tau)},
 						{K: 4, Pref: tops.Binary(tau)},
 					})
@@ -279,7 +280,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 							return
 						}
 					}
-				} else if _, err := eng.Query(core.QueryOptions{K: 3, Pref: tops.Binary(tau)}); err != nil {
+				} else if _, err := eng.Query(context.Background(), core.QueryOptions{K: 3, Pref: tops.Binary(tau)}); err != nil {
 					errCh <- err
 					return
 				}
@@ -297,11 +298,11 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 
 	applyMutations(t, mirrorIdx, mirrorInst, extra)
 	for _, tau := range taus {
-		got, err := eng.Query(core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		got, err := eng.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := mirrorIdx.Query(core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		want, err := mirrorIdx.QueryCtx(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +318,7 @@ func TestDisableCoverCache(t *testing.T) {
 	}
 	q := core.QueryOptions{K: 5, Pref: tops.Binary(0.8)}
 	for i := 0; i < 3; i++ {
-		if _, err := eng.Query(q); err != nil {
+		if _, err := eng.Query(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"netclus/internal/core"
@@ -33,11 +34,11 @@ func TestEngineWarmStart(t *testing.T) {
 	}
 
 	q := core.QueryOptions{K: 5, Pref: tops.Binary(0.8)}
-	a, err := cold.Query(q)
+	a, err := cold.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := warm.Query(q)
+	b, err := warm.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestEngineWarmStart(t *testing.T) {
 		t.Fatalf("update through warm engine left %d stale covers", st.CoverEntries)
 	}
 	missesBefore := warm.Stats().CoverMisses
-	if _, err := warm.Query(q); err != nil {
+	if _, err := warm.Query(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	if st := warm.Stats(); st.CoverMisses != missesBefore+1 {
@@ -92,7 +93,7 @@ func TestEngineSnapshotDuringTraffic(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if _, err := eng.Query(core.QueryOptions{K: 3, Pref: tops.Binary(0.8)}); err != nil {
+			if _, err := eng.Query(context.Background(), core.QueryOptions{K: 3, Pref: tops.Binary(0.8)}); err != nil {
 				t.Error(err)
 				return
 			}

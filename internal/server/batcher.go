@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+)
+
+// ErrDraining is returned to queries admitted after the server began
+// shutting down.
+var ErrDraining = errors.New("server: draining")
+
+// batcher is the micro-batching admission layer: concurrent single queries
+// rendezvous here and are coalesced into one Engine.QueryBatch call per
+// window. Coalescing pays off because QueryBatch groups its items by
+// (ladder instance, ψ fingerprint) and fetches each group's covering
+// structure exactly once — under update-heavy traffic (which continually
+// invalidates the cover cache) or with the cache disabled, a flush of b
+// look-alike queries does one cover sweep instead of b.
+//
+// A flush is cut when either maxSize queries have gathered or window has
+// elapsed since the first query of the batch arrived, whichever comes
+// first; an idle batcher sleeps in a channel receive and adds no latency
+// to the first query beyond one goroutine handoff.
+type batcher struct {
+	eng     *engine.Engine
+	window  time.Duration
+	maxSize int
+
+	// in is deliberately unbuffered: a send succeeds only by rendezvous
+	// with the collect loop, so once the loop has observed stop and
+	// returned, no query can be stranded half-admitted — late senders fall
+	// through to the stop case of their select.
+	in   chan *pendingQuery
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	flushes    atomic.Uint64
+	coalesced  atomic.Uint64
+	maxFlush   atomic.Uint64
+	flushInUse atomic.Int64
+}
+
+// pendingQuery is one admitted query waiting for its flush.
+type pendingQuery struct {
+	opts core.QueryOptions
+	// done is buffered so the flush can deliver without caring whether
+	// the submitter is still listening (it may have timed out).
+	done chan batchOutcome
+}
+
+type batchOutcome struct {
+	res *core.QueryResult
+	err error
+}
+
+func newBatcher(eng *engine.Engine, window time.Duration, maxSize int) *batcher {
+	b := &batcher{
+		eng:     eng,
+		window:  window,
+		maxSize: maxSize,
+		in:      make(chan *pendingQuery),
+		stop:    make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.collect()
+	return b
+}
+
+// Do admits one query into the current micro-batch and waits for its
+// answer. The context governs only the wait: a query whose deadline lapses
+// mid-flush is abandoned by its submitter (the flush still completes and
+// the delivery lands in the buffered channel).
+func (b *batcher) Do(ctx context.Context, opts core.QueryOptions) (*core.QueryResult, error) {
+	p := &pendingQuery{opts: opts, done: make(chan batchOutcome, 1)}
+	select {
+	case b.in <- p:
+	case <-b.stop:
+		return nil, ErrDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case out := <-p.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// collect is the admission loop: wait for the first query, then gather
+// until the window closes or the batch is full, then hand the batch to a
+// flush goroutine and start over. Flushing concurrently keeps admission
+// open while the engine computes, so a slow flush pipelines with the next
+// window instead of blocking it.
+func (b *batcher) collect() {
+	defer b.wg.Done()
+	timer := time.NewTimer(b.window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *pendingQuery
+		select {
+		case first = <-b.in:
+		case <-b.stop:
+			return
+		}
+		buf := make([]*pendingQuery, 1, b.maxSize)
+		buf[0] = first
+		timer.Reset(b.window)
+	gather:
+		for len(buf) < b.maxSize {
+			select {
+			case p := <-b.in:
+				buf = append(buf, p)
+			case <-timer.C:
+				break gather
+			case <-b.stop:
+				break gather
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		b.wg.Add(1)
+		go b.flush(buf)
+	}
+}
+
+// flush answers one coalesced batch. It runs under a background context:
+// per-query deadlines only abandon the wait in Do, they do not abort a
+// flush that other queries in the batch still depend on.
+func (b *batcher) flush(buf []*pendingQuery) {
+	defer b.wg.Done()
+	b.flushInUse.Add(1)
+	defer b.flushInUse.Add(-1)
+	qs := make([]core.QueryOptions, len(buf))
+	for i, p := range buf {
+		qs[i] = p.opts
+	}
+	items := b.eng.QueryBatch(context.Background(), qs)
+	for i, p := range buf {
+		p.done <- batchOutcome{res: items[i].Result, err: items[i].Err}
+	}
+	b.flushes.Add(1)
+	b.coalesced.Add(uint64(len(buf)))
+	for {
+		cur := b.maxFlush.Load()
+		if uint64(len(buf)) <= cur || b.maxFlush.CompareAndSwap(cur, uint64(len(buf))) {
+			break
+		}
+	}
+}
+
+// Close stops admission (in-flight Do calls get ErrDraining or their
+// flushed answers) and waits for running flushes to deliver.
+func (b *batcher) Close() {
+	close(b.stop)
+	b.wg.Wait()
+}
+
+// batcherStats is the /statsz slice of the admission layer.
+type batcherStats struct {
+	Flushes   uint64  `json:"flushes"`
+	Coalesced uint64  `json:"coalesced_queries"`
+	MaxFlush  uint64  `json:"max_flush_size"`
+	AvgFlush  float64 `json:"avg_flush_size"`
+	InFlight  int64   `json:"in_flight_flushes"`
+	WindowMs  float64 `json:"window_ms"`
+	MaxSize   int     `json:"max_size"`
+}
+
+func (b *batcher) stats() batcherStats {
+	fl := b.flushes.Load()
+	co := b.coalesced.Load()
+	st := batcherStats{
+		Flushes:   fl,
+		Coalesced: co,
+		MaxFlush:  b.maxFlush.Load(),
+		InFlight:  b.flushInUse.Load(),
+		WindowMs:  float64(b.window) / float64(time.Millisecond),
+		MaxSize:   b.maxSize,
+	}
+	if fl > 0 {
+		st.AvgFlush = float64(co) / float64(fl)
+	}
+	return st
+}

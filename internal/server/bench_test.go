@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+	"netclus/internal/gen"
+	"netclus/internal/tops"
+)
+
+// The ServeQPS benchmarks measure what the micro-batching admission layer
+// buys end-to-end: many concurrent HTTP clients issue the same class of
+// query, and the batched arm coalesces them into shared engine batches
+// while the unbatched arm sends each straight to Engine.Query.
+//
+// Both primary arms run with the cover cache disabled — the configuration
+// where every uncoalesced query pays a full §5.1 sweep, which is also what
+// serving looks like under update-heavy traffic (every §6 mutation
+// invalidates the cache, so back-to-back queries rebuild constantly). The
+// cached arm is included as the homogeneous-traffic reference point where
+// memoization already collapses the sweep and batching adds only window
+// latency.
+
+var (
+	benchOnce sync.Once
+	benchIdx  *core.Index
+)
+
+// benchFixture is larger than the test fixture so one cover sweep is
+// substantial enough for coalescing to matter.
+func benchFixture(b *testing.B) *core.Index {
+	b.Helper()
+	benchOnce.Do(func() {
+		city, err := gen.GenerateCity(gen.CityConfig{
+			Topology: gen.GridMesh, Nodes: 1200, SpanKm: 14, Jitter: 0.2,
+			OneWayFrac: 0.1, RemoveFrac: 0.05, Seed: 971,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 400, Seed: 972})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 400, Seed: 973})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := tops.NewInstance(city.Graph, store, sites)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchIdx, err = core.Build(inst, core.Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchIdx
+}
+
+func benchServeQPS(b *testing.B, engOpts engine.Options, srvOpts Options) {
+	idx := benchFixture(b)
+	eng, err := engine.New(idx, engOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(eng, srvOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512}}
+	defer client.CloseIdleConnections()
+
+	body := []byte(`{"k":5,"tau":0.8,"timeout_ms":60000}`)
+	// Many closed-loop clients: enough that a full micro-batch gathers
+	// before the window lapses, so the batched arm is measured on batch
+	// cutting, not on idle window waits.
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	qps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "qps")
+	if st := srv.Stats(); st.Batching != nil {
+		b.ReportMetric(st.Batching.AvgFlush, "avg-flush")
+	}
+}
+
+// BenchmarkServeQPS/unbatched vs /batched is the recorded micro-batching
+// comparison (EXPERIMENTS.md); /batched_cached is the reference point with
+// memoization on.
+func BenchmarkServeQPS(b *testing.B) {
+	b.Run("unbatched", func(b *testing.B) {
+		benchServeQPS(b, engine.Options{DisableCoverCache: true}, Options{BatchWindow: -1})
+	})
+	b.Run("batched", func(b *testing.B) {
+		benchServeQPS(b, engine.Options{DisableCoverCache: true},
+			Options{BatchWindow: time.Millisecond, BatchMaxSize: 64})
+	})
+	b.Run("batched_cached", func(b *testing.B) {
+		benchServeQPS(b, engine.Options{},
+			Options{BatchWindow: time.Millisecond, BatchMaxSize: 64})
+	})
+}

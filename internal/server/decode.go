@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/tops"
+)
+
+// Limits bound what the request decoder accepts. Every bound exists to
+// keep a hostile or buggy client from turning one request into unbounded
+// work: k caps the greedy, τ caps the ladder walk, the batch cap bounds
+// one coalesced engine call, and the body cap bounds the JSON parser.
+type Limits struct {
+	// MaxK rejects queries asking for more sites than any deployment
+	// plausibly serves.
+	MaxK int
+	// MaxTau rejects coverage thresholds beyond the index's design range
+	// (queries clamp to the ladder anyway; the bound exists to fail loudly
+	// instead of silently serving the coarsest instance).
+	MaxTau float64
+	// MaxBatch bounds the number of queries in one /v1/query/batch body.
+	MaxBatch int
+	// MaxBodyBytes bounds any request body.
+	MaxBodyBytes int64
+	// MaxTimeout caps the per-request deadline a client may ask for.
+	MaxTimeout time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxK <= 0 {
+		l.MaxK = 10_000
+	}
+	if l.MaxTau <= 0 {
+		l.MaxTau = 1e4
+	}
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = 1024
+	}
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = 1 << 20
+	}
+	if l.MaxTimeout <= 0 {
+		l.MaxTimeout = time.Minute
+	}
+	return l
+}
+
+// queryRequest is the wire form of one TOPS query.
+type queryRequest struct {
+	K    int     `json:"k"`
+	Tau  float64 `json:"tau"`
+	Pref string  `json:"pref"`
+	// Lambda is the decay rate of the exp preference; ignored otherwise.
+	Lambda float64 `json:"lambda,omitempty"`
+	FM     bool    `json:"fm,omitempty"`
+	F      int     `json:"f,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	// TimeoutMs is the per-request deadline; 0 means the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// batchRequest is the wire form of /v1/query/batch.
+type batchRequest struct {
+	Queries   []queryRequest `json:"queries"`
+	TimeoutMs int64          `json:"timeout_ms,omitempty"`
+}
+
+// updateRequest is the wire form of /v1/update.
+type updateRequest struct {
+	// Op is one of add_site, delete_site, add_trajectory,
+	// delete_trajectory.
+	Op string `json:"op"`
+	// Node addresses add_site / delete_site.
+	Node int64 `json:"node,omitempty"`
+	// Nodes is the node sequence of add_trajectory.
+	Nodes []int64 `json:"nodes,omitempty"`
+	// ID addresses delete_trajectory.
+	ID int64 `json:"id,omitempty"`
+}
+
+// strictUnmarshal decodes exactly one JSON value into v, rejecting unknown
+// fields and trailing garbage. encoding/json already rejects NaN/Inf
+// literals (they are not JSON) and out-of-range numbers like 1e999; the
+// validators behind this still guard the finite-range invariants so no
+// parser quirk can smuggle a non-finite float into the engine.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// toOptions validates one wire query against the limits and lowers it to
+// engine options plus its effective deadline.
+func (q queryRequest) toOptions(lim Limits) (core.QueryOptions, time.Duration, error) {
+	var zero core.QueryOptions
+	if q.K <= 0 {
+		return zero, 0, fmt.Errorf("k = %d must be positive", q.K)
+	}
+	if q.K > lim.MaxK {
+		return zero, 0, fmt.Errorf("k = %d exceeds limit %d", q.K, lim.MaxK)
+	}
+	if !finite(q.Tau) || q.Tau <= 0 {
+		return zero, 0, fmt.Errorf("tau = %v must be a positive finite number", q.Tau)
+	}
+	if q.Tau > lim.MaxTau {
+		return zero, 0, fmt.Errorf("tau = %v exceeds limit %v", q.Tau, lim.MaxTau)
+	}
+	var pref tops.Preference
+	switch q.Pref {
+	case "", "binary":
+		pref = tops.Binary(q.Tau)
+	case "linear":
+		pref = tops.Linear(q.Tau)
+	case "convex":
+		pref = tops.ConvexQuadratic(q.Tau)
+	case "exp":
+		lambda := q.Lambda
+		if lambda == 0 {
+			lambda = 1
+		}
+		if !finite(lambda) || lambda <= 0 {
+			return zero, 0, fmt.Errorf("lambda = %v must be a positive finite number", q.Lambda)
+		}
+		pref = tops.ExpDecay(q.Tau, lambda)
+	default:
+		return zero, 0, fmt.Errorf("unknown preference %q (want binary, linear, convex or exp)", q.Pref)
+	}
+	if q.Lambda != 0 && q.Pref != "exp" {
+		return zero, 0, fmt.Errorf("lambda applies only to the exp preference")
+	}
+	if q.FM {
+		if q.Pref != "" && q.Pref != "binary" {
+			return zero, 0, fmt.Errorf("fm requires the binary preference")
+		}
+		if q.F < 0 || q.F > 1024 {
+			return zero, 0, fmt.Errorf("f = %d outside [0, 1024]", q.F)
+		}
+	} else if q.F != 0 {
+		return zero, 0, fmt.Errorf("f applies only to fm queries")
+	}
+	if q.TimeoutMs < 0 {
+		return zero, 0, fmt.Errorf("timeout_ms = %d must be non-negative", q.TimeoutMs)
+	}
+	timeout := time.Duration(q.TimeoutMs) * time.Millisecond
+	if timeout > lim.MaxTimeout {
+		timeout = lim.MaxTimeout
+	}
+	return core.QueryOptions{
+		K:     q.K,
+		Pref:  pref,
+		UseFM: q.FM,
+		F:     q.F,
+		Seed:  q.Seed,
+	}, timeout, nil
+}
+
+// decodeQueryRequest parses and validates one /v1/query body. It is the
+// fuzz surface of the serving layer: for arbitrary bytes it must either
+// return an error (the request is answered 4xx) or produce options that
+// the engine accepts without panicking.
+func decodeQueryRequest(data []byte, lim Limits) (core.QueryOptions, time.Duration, error) {
+	lim = lim.withDefaults()
+	var q queryRequest
+	if err := strictUnmarshal(data, &q); err != nil {
+		return core.QueryOptions{}, 0, err
+	}
+	return q.toOptions(lim)
+}
+
+// decodeBatchRequest parses one /v1/query/batch body. Structural problems
+// (bad JSON, empty or oversized batch, bad batch timeout) fail the whole
+// request; per-item validation failures come back in itemErrs — index-
+// aligned with opts — so one bad query degrades only its own slot,
+// mirroring Engine.QueryBatch semantics.
+func decodeBatchRequest(data []byte, lim Limits) (opts []core.QueryOptions, itemErrs []error, timeout time.Duration, err error) {
+	lim = lim.withDefaults()
+	var b batchRequest
+	if err := strictUnmarshal(data, &b); err != nil {
+		return nil, nil, 0, err
+	}
+	if len(b.Queries) == 0 {
+		return nil, nil, 0, fmt.Errorf("empty batch")
+	}
+	if len(b.Queries) > lim.MaxBatch {
+		return nil, nil, 0, fmt.Errorf("batch of %d exceeds limit %d", len(b.Queries), lim.MaxBatch)
+	}
+	if b.TimeoutMs < 0 {
+		return nil, nil, 0, fmt.Errorf("timeout_ms = %d must be non-negative", b.TimeoutMs)
+	}
+	timeout = time.Duration(b.TimeoutMs) * time.Millisecond
+	if timeout > lim.MaxTimeout {
+		timeout = lim.MaxTimeout
+	}
+	opts = make([]core.QueryOptions, len(b.Queries))
+	itemErrs = make([]error, len(b.Queries))
+	for i, q := range b.Queries {
+		if q.TimeoutMs != 0 {
+			itemErrs[i] = fmt.Errorf("set timeout_ms on the batch, not its items")
+			continue
+		}
+		opts[i], _, itemErrs[i] = q.toOptions(lim)
+	}
+	return opts, itemErrs, timeout, nil
+}
+
+// decodeUpdateRequest parses and validates one /v1/update body. Range
+// checks against the live graph happen in the engine; here only structural
+// sanity is enforced.
+func decodeUpdateRequest(data []byte) (updateRequest, error) {
+	var u updateRequest
+	if err := strictUnmarshal(data, &u); err != nil {
+		return u, err
+	}
+	switch u.Op {
+	case "add_site", "delete_site":
+		if u.Node < 0 || u.Node > math.MaxInt32 {
+			return u, fmt.Errorf("node %d outside int32 range", u.Node)
+		}
+		if len(u.Nodes) != 0 || u.ID != 0 {
+			return u, fmt.Errorf("%s takes only the node field", u.Op)
+		}
+	case "add_trajectory":
+		if len(u.Nodes) == 0 {
+			return u, fmt.Errorf("add_trajectory needs a non-empty nodes sequence")
+		}
+		if len(u.Nodes) > 1<<16 {
+			return u, fmt.Errorf("trajectory of %d nodes exceeds limit %d", len(u.Nodes), 1<<16)
+		}
+		for i, v := range u.Nodes {
+			if v < 0 || v > math.MaxInt32 {
+				return u, fmt.Errorf("nodes[%d] = %d outside int32 range", i, v)
+			}
+		}
+		if u.Node != 0 || u.ID != 0 {
+			return u, fmt.Errorf("add_trajectory takes only the nodes field")
+		}
+	case "delete_trajectory":
+		if u.ID < 0 || u.ID > math.MaxInt32 {
+			return u, fmt.Errorf("trajectory id %d outside int32 range", u.ID)
+		}
+		if u.Node != 0 || len(u.Nodes) != 0 {
+			return u, fmt.Errorf("delete_trajectory takes only the id field")
+		}
+	case "":
+		return u, fmt.Errorf("missing op")
+	default:
+		return u, fmt.Errorf("unknown op %q (want add_site, delete_site, add_trajectory or delete_trajectory)", u.Op)
+	}
+	return u, nil
+}

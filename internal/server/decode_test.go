@@ -1,0 +1,116 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeQueryRequestValid(t *testing.T) {
+	opts, timeout, err := decodeQueryRequest([]byte(`{"k":5,"tau":0.8,"pref":"exp","lambda":2,"timeout_ms":250}`), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.K != 5 || opts.Pref.Tau != 0.8 || opts.Pref.Name != "exp-decay" {
+		t.Fatalf("decoded %+v", opts)
+	}
+	if timeout != 250*time.Millisecond {
+		t.Fatalf("timeout %v", timeout)
+	}
+	// Default preference is binary; zero timeout means "server default".
+	opts, timeout, err = decodeQueryRequest([]byte(`{"k":1,"tau":2}`), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Pref.Name != "binary" || timeout != 0 {
+		t.Fatalf("defaults: %+v timeout %v", opts, timeout)
+	}
+	// Client timeouts clamp to the limit instead of erroring.
+	_, timeout, err = decodeQueryRequest([]byte(`{"k":1,"tau":2,"timeout_ms":999999999}`), Limits{MaxTimeout: time.Second})
+	if err != nil || timeout != time.Second {
+		t.Fatalf("clamp: %v %v", timeout, err)
+	}
+}
+
+func TestDecodeUpdateRequestValid(t *testing.T) {
+	u, err := decodeUpdateRequest([]byte(`{"op":"add_trajectory","nodes":[1,2,3]}`))
+	if err != nil || len(u.Nodes) != 3 {
+		t.Fatalf("%+v %v", u, err)
+	}
+	if _, err := decodeUpdateRequest([]byte(`{"op":"delete_site","node":7}`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzDecodeQueryRequest is the serving layer's input-hardening gate,
+// mirroring PR-2's FuzzLoadSnapshot discipline for the snapshot codec: for
+// arbitrary request bytes the decoder must either reject (the handler
+// answers 4xx) or produce options that are in-range and engine-safe. It
+// must never panic, and NaN/Inf floats, huge k, negative τ or trailing
+// garbage must never survive into accepted options.
+func FuzzDecodeQueryRequest(f *testing.F) {
+	seeds := []string{
+		`{"k":5,"tau":0.8}`,
+		`{"k":1,"tau":6.4,"pref":"linear"}`,
+		`{"k":3,"tau":0.5,"pref":"exp","lambda":0.7,"timeout_ms":100}`,
+		`{"k":2,"tau":0.8,"fm":true,"f":32,"seed":9}`,
+		`{"k":-1,"tau":0.8}`,
+		`{"k":5,"tau":-3}`,
+		`{"k":5,"tau":1e999}`,
+		`{"k":99999999999999999999,"tau":0.8}`,
+		`{"k":5,"tau":NaN}`,
+		`{"k":5,"tau":Infinity}`,
+		`{"k":5,"tau":0.8,"unknown":true}`,
+		`{"k":5,"tau":0.8}trailing`,
+		`[{"k":5}]`,
+		`"string"`,
+		`null`,
+		``,
+		`{`,
+		strings.Repeat(`{"a":`, 64) + "1" + strings.Repeat(`}`, 64),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := Limits{}.withDefaults()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		opts, timeout, err := decodeQueryRequest(data, lim)
+		if err == nil {
+			if opts.K <= 0 || opts.K > lim.MaxK {
+				t.Fatalf("accepted k = %d outside (0, %d]", opts.K, lim.MaxK)
+			}
+			if math.IsNaN(opts.Pref.Tau) || math.IsInf(opts.Pref.Tau, 0) || opts.Pref.Tau <= 0 || opts.Pref.Tau > lim.MaxTau {
+				t.Fatalf("accepted tau = %v outside (0, %v]", opts.Pref.Tau, lim.MaxTau)
+			}
+			if verr := opts.Pref.Validate(); verr != nil {
+				t.Fatalf("accepted preference fails engine validation: %v", verr)
+			}
+			if opts.UseFM && opts.Pref.Name != "binary" {
+				t.Fatalf("accepted FM over %s", opts.Pref.Name)
+			}
+			if timeout < 0 || timeout > lim.MaxTimeout {
+				t.Fatalf("accepted timeout %v outside [0, %v]", timeout, lim.MaxTimeout)
+			}
+		}
+		// The sibling decoders share strictUnmarshal and the same
+		// validators; drive them over the same corpus for free coverage.
+		if opts2, itemErrs, _, err := decodeBatchRequest(data, lim); err == nil {
+			for i := range opts2 {
+				if itemErrs[i] == nil && (opts2[i].K <= 0 || opts2[i].K > lim.MaxK) {
+					t.Fatalf("batch accepted k = %d", opts2[i].K)
+				}
+			}
+		}
+		if u, err := decodeUpdateRequest(data); err == nil {
+			switch u.Op {
+			case "add_site", "delete_site", "add_trajectory", "delete_trajectory":
+			default:
+				t.Fatalf("accepted op %q", u.Op)
+			}
+			if u.Node < 0 || u.ID < 0 {
+				t.Fatalf("accepted negative identifier: %+v", u)
+			}
+		}
+	})
+}

@@ -1,0 +1,496 @@
+// Package server is the network serving layer over the NETCLUS engine: an
+// HTTP JSON API with a micro-batching admission path, per-request
+// deadlines, graceful drain, and an atomic metrics block.
+//
+// Endpoints:
+//
+//	POST /v1/query        one TOPS query (coalesced into engine batches)
+//	POST /v1/query/batch  many queries in one engine call
+//	POST /v1/update       §6 dynamic updates (site/trajectory add/delete)
+//	POST /v1/snapshot     stream a consistent checkpoint of the live index
+//	GET  /healthz         liveness; 503 once draining
+//	GET  /statsz          engine + server counters
+//
+// The layering mirrors the rest of the module: core stays synchronous,
+// engine owns the reader/writer protocol, and this package owns transport
+// concerns only — decoding, limits, deadlines, admission batching, drain.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+// Options configures a Server.
+type Options struct {
+	// BatchWindow is how long /v1/query waits to coalesce concurrent
+	// queries into one engine batch. Zero selects the default (2ms);
+	// negative disables micro-batching entirely (every query goes to
+	// Engine.Query directly).
+	BatchWindow time.Duration
+	// BatchMaxSize flushes a micro-batch early once this many queries
+	// have gathered. Zero selects the default (64).
+	BatchMaxSize int
+	// DefaultTimeout is the per-request deadline applied when the client
+	// does not send timeout_ms. Zero selects the default (10s).
+	DefaultTimeout time.Duration
+	// Limits bound request decoding; zero fields take their defaults.
+	Limits Limits
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.BatchMaxSize <= 0 {
+		o.BatchMaxSize = 64
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 10 * time.Second
+	}
+	o.Limits = o.Limits.withDefaults()
+	return o
+}
+
+// routeMetrics is one endpoint's atomic counter block.
+type routeMetrics struct {
+	requests  atomic.Uint64
+	errors4xx atomic.Uint64
+	errors5xx atomic.Uint64
+	totalNs   atomic.Int64
+	maxNs     atomic.Int64
+}
+
+func (m *routeMetrics) observe(status int, d time.Duration) {
+	m.requests.Add(1)
+	switch {
+	case status >= 500:
+		m.errors5xx.Add(1)
+	case status >= 400:
+		m.errors4xx.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// routeStats is the JSON form of a routeMetrics block.
+type routeStats struct {
+	Requests  uint64  `json:"requests"`
+	Errors4xx uint64  `json:"errors_4xx"`
+	Errors5xx uint64  `json:"errors_5xx"`
+	TotalMs   float64 `json:"total_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+func (m *routeMetrics) stats() routeStats {
+	return routeStats{
+		Requests:  m.requests.Load(),
+		Errors4xx: m.errors4xx.Load(),
+		Errors5xx: m.errors5xx.Load(),
+		TotalMs:   float64(m.totalNs.Load()) / 1e6,
+		MaxMs:     float64(m.maxNs.Load()) / 1e6,
+	}
+}
+
+// Server serves one Engine over HTTP. Create it with New, mount it as an
+// http.Handler, and Close it after the http.Server has drained.
+type Server struct {
+	eng  *engine.Engine
+	opts Options
+	bat  *batcher // nil when micro-batching is disabled
+	mux  *http.ServeMux
+
+	start    time.Time
+	draining atomic.Bool
+
+	mQuery    routeMetrics
+	mBatch    routeMetrics
+	mUpdate   routeMetrics
+	mSnapshot routeMetrics
+	mHealth   routeMetrics
+	mStats    routeMetrics
+
+	snapshotBytes atomic.Int64
+}
+
+// New wraps eng in a serving layer. The caller keeps ownership of the
+// engine (e.g. for a final snapshot after drain).
+func New(eng *engine.Engine, opts Options) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	batching := opts.BatchWindow >= 0
+	opts = opts.withDefaults()
+	s := &Server{eng: eng, opts: opts, start: time.Now()}
+	if batching {
+		s.bat = newBatcher(eng, opts.BatchWindow, opts.BatchMaxSize)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.instrument(&s.mQuery, http.MethodPost, s.handleQuery))
+	mux.HandleFunc("/v1/query/batch", s.instrument(&s.mBatch, http.MethodPost, s.handleBatch))
+	mux.HandleFunc("/v1/update", s.instrument(&s.mUpdate, http.MethodPost, s.handleUpdate))
+	mux.HandleFunc("/v1/snapshot", s.instrument(&s.mSnapshot, http.MethodPost, s.handleSnapshot))
+	mux.HandleFunc("/healthz", s.instrument(&s.mHealth, http.MethodGet, s.handleHealth))
+	mux.HandleFunc("/statsz", s.instrument(&s.mStats, http.MethodGet, s.handleStats))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the health signal: load balancers polling /healthz see
+// 503 and stop routing new traffic while in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Close stops the micro-batcher after the HTTP server has drained. Safe to
+// call once, after http.Server.Shutdown has returned.
+func (s *Server) Close() {
+	if s.bat != nil {
+		s.bat.Close()
+	}
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with method filtering, body limiting and the
+// endpoint's metrics block.
+func (s *Server) instrument(m *routeMetrics, method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a handler that aborts the connection (snapshot
+		// stream failure panics with http.ErrAbortHandler) is still
+		// counted; the panic continues unwinding afterwards.
+		defer func() { m.observe(sw.status, time.Since(t0)) }()
+		if r.Method != method {
+			writeError(sw, http.StatusMethodNotAllowed, fmt.Errorf("%s requires %s", r.URL.Path, method))
+			return
+		}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.opts.Limits.MaxBodyBytes)
+		h(sw, r)
+	}
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// queryStatus maps an engine-side query failure to an HTTP status.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		// Structurally valid requests that the engine still rejects (an
+		// instance left without representatives, FM over a non-binary ψ
+		// that slipped the decoder) are client-resolvable.
+		return http.StatusBadRequest
+	}
+}
+
+// queryResponse is the wire form of one answer.
+type queryResponse struct {
+	Sites              []int64 `json:"sites"`
+	SiteIDs            []int32 `json:"site_ids"`
+	EstimatedUtility   float64 `json:"estimated_utility"`
+	EstimatedCovered   int     `json:"estimated_covered"`
+	InstanceUsed       int     `json:"instance_used"`
+	NumRepresentatives int     `json:"num_representatives"`
+	Batched            bool    `json:"batched,omitempty"`
+	ElapsedMs          float64 `json:"elapsed_ms"`
+}
+
+func toQueryResponse(res *core.QueryResult, batched bool, elapsed time.Duration) queryResponse {
+	out := queryResponse{
+		Sites:              make([]int64, len(res.Sites)),
+		SiteIDs:            make([]int32, len(res.SiteIDs)),
+		EstimatedUtility:   res.EstimatedUtility,
+		EstimatedCovered:   res.EstimatedCovered,
+		InstanceUsed:       res.InstanceUsed,
+		NumRepresentatives: res.NumRepresentatives,
+		Batched:            batched,
+		ElapsedMs:          float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	for i, v := range res.Sites {
+		out.Sites[i] = int64(v)
+	}
+	for i, v := range res.SiteIDs {
+		out.SiteIDs[i] = int32(v)
+	}
+	return out
+}
+
+// requestCtx derives the per-request context: the client's timeout (or the
+// server default) on top of the connection context, so a disconnecting
+// client cancels its own query at the next engine checkpoint.
+func (s *Server) requestCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		// Only genuine MaxBytesReader overruns are 413; a client that
+		// resets mid-upload is a plain bad request.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	opts, timeout, err := decodeQueryRequest(data, s.opts.Limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, timeout)
+	defer cancel()
+	t0 := time.Now()
+	var res *core.QueryResult
+	batched := s.bat != nil
+	if batched {
+		res, err = s.bat.Do(ctx, opts)
+	} else {
+		res, err = s.eng.Query(ctx, opts)
+	}
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	writeJSON(w, toQueryResponse(res, batched, time.Since(t0)))
+}
+
+// batchResponse is the wire form of /v1/query/batch: results and errors
+// are index-aligned with the request's queries.
+type batchResponse struct {
+	Results []batchItemResponse `json:"results"`
+}
+
+type batchItemResponse struct {
+	Result *queryResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	qs, itemErrs, timeout, err := decodeBatchRequest(data, s.opts.Limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Only structurally valid items reach the engine; invalid ones keep
+	// their decode error in the index-aligned response.
+	valid := make([]core.QueryOptions, 0, len(qs))
+	slot := make([]int, 0, len(qs))
+	for i := range qs {
+		if itemErrs[i] == nil {
+			valid = append(valid, qs[i])
+			slot = append(slot, i)
+		}
+	}
+	ctx, cancel := s.requestCtx(r, timeout)
+	defer cancel()
+	t0 := time.Now()
+	items := s.eng.QueryBatch(ctx, valid)
+	elapsed := time.Since(t0)
+	out := batchResponse{Results: make([]batchItemResponse, len(qs))}
+	for i, err := range itemErrs {
+		if err != nil {
+			out.Results[i].Error = err.Error()
+		}
+	}
+	for j, it := range items {
+		i := slot[j]
+		if it.Err != nil {
+			out.Results[i].Error = it.Err.Error()
+			continue
+		}
+		qr := toQueryResponse(it.Result, true, elapsed)
+		out.Results[i].Result = &qr
+	}
+	writeJSON(w, out)
+}
+
+// updateResponse acknowledges one mutation.
+type updateResponse struct {
+	OK bool `json:"ok"`
+	// TrajectoryID reports the id assigned by add_trajectory.
+	TrajectoryID *int32 `json:"trajectory_id,omitempty"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	u, err := decodeUpdateRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp updateResponse
+	switch u.Op {
+	case "add_site":
+		err = s.eng.AddSite(roadnet.NodeID(u.Node))
+	case "delete_site":
+		err = s.eng.DeleteSite(roadnet.NodeID(u.Node))
+	case "add_trajectory":
+		nodes := make([]roadnet.NodeID, len(u.Nodes))
+		for i, v := range u.Nodes {
+			nodes[i] = roadnet.NodeID(v)
+		}
+		var tr *trajectory.Trajectory
+		tr, err = trajectory.New(s.eng.Index().TopsInstance().G, nodes)
+		if err == nil {
+			var tid trajectory.ID
+			tid, err = s.eng.AddTrajectory(tr)
+			if err == nil {
+				id := int32(tid)
+				resp.TrajectoryID = &id
+			}
+		}
+	case "delete_trajectory":
+		err = s.eng.DeleteTrajectory(trajectory.ID(u.ID))
+	}
+	if err != nil {
+		// Engine update errors are state conflicts (node already a site,
+		// id already deleted, node outside graph): the client's fault.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	resp.OK = true
+	writeJSON(w, resp)
+}
+
+// handleSnapshot streams a consistent checkpoint of the live index. The
+// engine takes its read lock for the duration, so concurrent queries
+// proceed and updates wait — the §6 lifecycle's live-checkpoint story over
+// HTTP.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="index.ncss"`)
+	n, err := s.eng.Snapshot(w)
+	s.snapshotBytes.Add(n)
+	if err != nil {
+		// Headers are already on the wire; aborting the connection is the
+		// only honest failure signal left. Mark the metrics status first so
+		// the abort shows up as a 5xx on /statsz.
+		if sw, ok := w.(*statusWriter); ok {
+			sw.status = http.StatusInternalServerError
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()}
+	if s.draining.Load() {
+		h.Status = "draining"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
+}
+
+// statszResponse is the /statsz body: transport-level counters plus the
+// engine's own Stats block.
+type statszResponse struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Draining      bool                  `json:"draining"`
+	Engine        engine.Stats          `json:"engine"`
+	Routes        map[string]routeStats `json:"routes"`
+	Batching      *batcherStats         `json:"batching,omitempty"`
+	SnapshotBytes int64                 `json:"snapshot_bytes"`
+}
+
+// Stats assembles the full metrics block (also used by tests directly).
+func (s *Server) Stats() statszResponse {
+	resp := statszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		Engine:        s.eng.Stats(),
+		Routes: map[string]routeStats{
+			"/v1/query":       s.mQuery.stats(),
+			"/v1/query/batch": s.mBatch.stats(),
+			"/v1/update":      s.mUpdate.stats(),
+			"/v1/snapshot":    s.mSnapshot.stats(),
+			"/healthz":        s.mHealth.stats(),
+			"/statsz":         s.mStats.stats(),
+		},
+		SnapshotBytes: s.snapshotBytes.Load(),
+	}
+	if s.bat != nil {
+		st := s.bat.stats()
+		resp.Batching = &st
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}

@@ -1,0 +1,536 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+)
+
+// buildFixture generates a small deterministic dataset and a NETCLUS index
+// over it (same shape as the engine package's fixture; duplicated because
+// test helpers do not cross packages).
+func buildFixture(t testing.TB, seed int64) (*core.Index, *tops.Instance) {
+	t.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 500, SpanKm: 10, Jitter: 0.2,
+		OneWayFrac: 0.1, RemoveFrac: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 60, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 120, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, store, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.Build(inst, core.Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, inst
+}
+
+// newTestServer boots an in-process serving stack over a fresh fixture.
+func newTestServer(t testing.TB, seed int64, opts Options) (*httptest.Server, *Server, *engine.Engine, *core.Index) {
+	t.Helper()
+	idx, _ := buildFixture(t, seed)
+	eng, err := engine.New(idx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts, srv, eng, idx
+}
+
+func postJSON(t testing.TB, client *http.Client, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestQueryEndpointMatchesEngine(t *testing.T) {
+	ts, _, eng, _ := newTestServer(t, 311, Options{})
+	code, data := postJSON(t, ts.Client(), ts.URL+"/v1/query", `{"k":5,"tau":0.8}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var got queryResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(0.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EstimatedUtility != want.EstimatedUtility || len(got.Sites) != len(want.Sites) {
+		t.Fatalf("HTTP answer %+v does not match engine %+v", got, want)
+	}
+	for i := range want.Sites {
+		if got.Sites[i] != int64(want.Sites[i]) || got.SiteIDs[i] != int32(want.SiteIDs[i]) {
+			t.Fatalf("site %d differs: %v/%v vs %v/%v", i, got.Sites[i], got.SiteIDs[i], want.Sites[i], want.SiteIDs[i])
+		}
+	}
+	if !got.Batched {
+		t.Error("default server should answer via the micro-batcher")
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, 313, Options{})
+	cases := []string{
+		``,
+		`{`,
+		`not json`,
+		`{"k":0,"tau":0.8}`,
+		`{"k":-3,"tau":0.8}`,
+		`{"k":5}`,
+		`{"k":5,"tau":-1}`,
+		`{"k":5,"tau":0}`,
+		`{"k":5,"tau":1e999}`,
+		`{"k":1000000000,"tau":0.8}`,
+		`{"k":5,"tau":0.8,"pref":"cubic"}`,
+		`{"k":5,"tau":0.8,"lambda":2}`,
+		`{"k":5,"tau":0.8,"pref":"linear","fm":true}`,
+		`{"k":5,"tau":0.8,"timeout_ms":-4}`,
+		`{"k":5,"tau":0.8,"bogus":1}`,
+		`{"k":5,"tau":0.8}{"k":1,"tau":1}`,
+	}
+	for _, body := range cases {
+		code, data := postJSON(t, ts.Client(), ts.URL+"/v1/query", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d (%s), want 400", body, code, data)
+		}
+	}
+	// Method filtering.
+	resp, err := ts.Client().Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, 317, Options{})
+	code, data := postJSON(t, ts.Client(), ts.URL+"/v1/query/batch",
+		`{"queries":[{"k":1,"tau":0.8},{"k":5,"tau":0.8},{"k":0,"tau":0.8}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(out.Results))
+	}
+	if out.Results[0].Error != "" || out.Results[1].Error != "" {
+		t.Fatalf("valid items errored: %+v", out.Results)
+	}
+	if out.Results[2].Error == "" {
+		t.Fatal("k=0 item did not error")
+	}
+	if out.Results[0].Result.EstimatedUtility > out.Results[1].Result.EstimatedUtility {
+		t.Fatal("k=1 beats k=5: submodularity violated over the wire")
+	}
+	// Whole-batch validation errors.
+	for _, body := range []string{`{"queries":[]}`, `{}`, `{"queries":[{"k":1,"tau":0.8}],"timeout_ms":-1}`} {
+		if code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/query/batch", body); code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, code)
+		}
+	}
+	// Per-item timeout_ms degrades only its own slot.
+	code, data = postJSON(t, ts.Client(), ts.URL+"/v1/query/batch",
+		`{"queries":[{"k":1,"tau":0.8,"timeout_ms":5},{"k":2,"tau":0.8}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("mixed batch: %d %s", code, data)
+	}
+	out = batchResponse{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Error == "" || out.Results[1].Error != "" {
+		t.Fatalf("per-item timeout handling wrong: %+v", out.Results)
+	}
+}
+
+func TestUpdateEndpoints(t *testing.T) {
+	ts, _, _, idx := newTestServer(t, 331, Options{})
+	inst := idx.TopsInstance()
+	// Find a non-site node.
+	var free int64 = -1
+	for v := 0; v < inst.G.NumNodes(); v++ {
+		if _, ok := inst.SiteIDOf(roadnet.NodeID(v)); !ok {
+			free = int64(v)
+			break
+		}
+	}
+	if free < 0 {
+		t.Skip("all nodes are sites")
+	}
+	code, data := postJSON(t, ts.Client(), ts.URL+"/v1/update", fmt.Sprintf(`{"op":"add_site","node":%d}`, free))
+	if code != http.StatusOK {
+		t.Fatalf("add_site: %d %s", code, data)
+	}
+	// Duplicate add conflicts.
+	if code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/update", fmt.Sprintf(`{"op":"add_site","node":%d}`, free)); code != http.StatusConflict {
+		t.Fatalf("duplicate add_site: %d, want 409", code)
+	}
+	if code, data = postJSON(t, ts.Client(), ts.URL+"/v1/update", fmt.Sprintf(`{"op":"delete_site","node":%d}`, free)); code != http.StatusOK {
+		t.Fatalf("delete_site: %d %s", code, data)
+	}
+	// Trajectory round trip: clone an existing trajectory's node sequence.
+	nodes := inst.Trajs.Get(0).Nodes
+	payload, _ := json.Marshal(map[string]any{"op": "add_trajectory", "nodes": nodes})
+	code, data = postJSON(t, ts.Client(), ts.URL+"/v1/update", string(payload))
+	if code != http.StatusOK {
+		t.Fatalf("add_trajectory: %d %s", code, data)
+	}
+	var ur updateResponse
+	if err := json.Unmarshal(data, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.TrajectoryID == nil {
+		t.Fatal("add_trajectory returned no id")
+	}
+	if code, data = postJSON(t, ts.Client(), ts.URL+"/v1/update", fmt.Sprintf(`{"op":"delete_trajectory","id":%d}`, *ur.TrajectoryID)); code != http.StatusOK {
+		t.Fatalf("delete_trajectory: %d %s", code, data)
+	}
+	if code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/update", fmt.Sprintf(`{"op":"delete_trajectory","id":%d}`, *ur.TrajectoryID)); code != http.StatusConflict {
+		t.Fatalf("double delete_trajectory: %d, want 409", code)
+	}
+	// Structural validation.
+	for _, body := range []string{`{}`, `{"op":"nuke"}`, `{"op":"add_site","node":-1}`, `{"op":"add_trajectory"}`, `{"op":"add_site","node":1,"id":2}`} {
+		if code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/update", body); code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, code)
+		}
+	}
+}
+
+func TestSnapshotEndpointRoundTrip(t *testing.T) {
+	ts, _, eng, idx := newTestServer(t, 337, Options{})
+	resp, err := ts.Client().Post(ts.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	loaded, err := core.ReadIndex(bytes.NewReader(data), idx.TopsInstance())
+	if err != nil {
+		t.Fatalf("downloaded snapshot does not load: %v", err)
+	}
+	q := core.QueryOptions{K: 5, Pref: tops.Binary(0.8)}
+	a, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EstimatedUtility != b.EstimatedUtility {
+		t.Fatalf("snapshot answers differently: %v vs %v", a.EstimatedUtility, b.EstimatedUtility)
+	}
+}
+
+func TestHealthzDraining(t *testing.T) {
+	ts, srv, _, _ := newTestServer(t, 347, Options{})
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d, want 200", resp.StatusCode)
+	}
+	srv.SetDraining(true)
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining healthz: %d %q", resp.StatusCode, h.Status)
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	ts, srv, _, _ := newTestServer(t, 349, Options{BatchWindow: 40 * time.Millisecond, BatchMaxSize: 64})
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, data := postJSON(t, ts.Client(), ts.URL+"/v1/query", `{"k":5,"tau":0.8}`)
+			if code != http.StatusOK {
+				t.Errorf("status %d: %s", code, data)
+			}
+		}()
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Batching == nil {
+		t.Fatal("batching stats missing")
+	}
+	if st.Batching.Coalesced != n {
+		t.Fatalf("coalesced %d queries, want %d", st.Batching.Coalesced, n)
+	}
+	if st.Batching.Flushes >= n {
+		t.Fatalf("%d flushes for %d queries: no coalescing happened", st.Batching.Flushes, n)
+	}
+	if st.Engine.BatchQueries != n || st.Engine.Queries != 0 {
+		t.Fatalf("engine saw %d batch / %d single queries, want %d/0", st.Engine.BatchQueries, st.Engine.Queries, n)
+	}
+}
+
+// TestServeEndToEndRace is the whole-stack adversarial test: concurrent
+// queries (single and batch), §6 updates, live snapshots and stats polls
+// hammer one in-process server while the race detector watches, and every
+// stats sample must be monotone against the previous one.
+func TestServeEndToEndRace(t *testing.T) {
+	ts, srv, _, idx := newTestServer(t, 353, Options{BatchWindow: time.Millisecond, BatchMaxSize: 32})
+	client := ts.Client()
+	client.Timeout = 30 * time.Second
+	iters := 60
+	if testing.Short() {
+		iters = 25
+	}
+
+	var wg sync.WaitGroup
+	// Single-query workers (some deliberately invalid → 400).
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + w)))
+			for i := 0; i < iters; i++ {
+				k := 1 + rng.Intn(8)
+				tau := 0.4 + rng.Float64()*3
+				body := fmt.Sprintf(`{"k":%d,"tau":%.3f}`, k, tau)
+				wantOK := true
+				if i%7 == 3 { // malformed draw
+					body = fmt.Sprintf(`{"k":%d,"tau":-1}`, k)
+					wantOK = false
+				}
+				code, data := postJSON(t, client, ts.URL+"/v1/query", body)
+				if wantOK && code != http.StatusOK {
+					t.Errorf("query %q: %d %s", body, code, data)
+				}
+				if !wantOK && code != http.StatusBadRequest {
+					t.Errorf("bad query %q: %d, want 400", body, code)
+				}
+			}
+		}(w)
+	}
+	// Batch worker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/2; i++ {
+			code, data := postJSON(t, client, ts.URL+"/v1/query/batch",
+				`{"queries":[{"k":2,"tau":0.8},{"k":4,"tau":1.6},{"k":6,"tau":0.8}]}`)
+			if code != http.StatusOK {
+				t.Errorf("batch: %d %s", code, data)
+			}
+		}
+	}()
+	// Update worker: flip one site on and off, stream trajectories in.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inst := idx.TopsInstance()
+		var free int64 = -1
+		for v := 0; v < inst.G.NumNodes(); v++ {
+			if _, ok := inst.SiteIDOf(roadnet.NodeID(v)); !ok {
+				free = int64(v)
+				break
+			}
+		}
+		nodes := inst.Trajs.Get(1).Nodes
+		payload, _ := json.Marshal(map[string]any{"op": "add_trajectory", "nodes": nodes})
+		for i := 0; i < iters/2; i++ {
+			if free >= 0 {
+				if code, data := postJSON(t, client, ts.URL+"/v1/update", fmt.Sprintf(`{"op":"add_site","node":%d}`, free)); code != http.StatusOK {
+					t.Errorf("add_site: %d %s", code, data)
+				}
+				if code, data := postJSON(t, client, ts.URL+"/v1/update", fmt.Sprintf(`{"op":"delete_site","node":%d}`, free)); code != http.StatusOK {
+					t.Errorf("delete_site: %d %s", code, data)
+				}
+			}
+			if i%5 == 0 {
+				if code, data := postJSON(t, client, ts.URL+"/v1/update", string(payload)); code != http.StatusOK {
+					t.Errorf("add_trajectory: %d %s", code, data)
+				}
+			}
+		}
+	}()
+	// Snapshot worker: live checkpoints must stream while traffic runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			resp, err := client.Post(ts.URL+"/v1/snapshot", "", nil)
+			if err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+			n, err := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err != nil || n == 0 {
+				t.Errorf("snapshot stream: %d bytes, %v", n, err)
+			}
+		}
+	}()
+	// Stats poller: every counter must be monotone non-decreasing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev statszResponse
+		for i := 0; i < iters; i++ {
+			resp, err := client.Get(ts.URL + "/statsz")
+			if err != nil {
+				t.Errorf("statsz: %v", err)
+				return
+			}
+			var cur statszResponse
+			err = json.NewDecoder(resp.Body).Decode(&cur)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("statsz decode: %v", err)
+				return
+			}
+			checkMonotone(t, prev, cur)
+			prev = cur
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Engine.Queries+st.Engine.BatchQueries == 0 {
+		t.Fatal("engine served no queries")
+	}
+	if st.Routes["/v1/query"].Requests == 0 || st.Routes["/v1/update"].Requests == 0 {
+		t.Fatalf("route counters empty: %+v", st.Routes)
+	}
+	if st.Routes["/v1/query"].Errors4xx == 0 {
+		t.Error("deliberately malformed queries were never counted as 4xx")
+	}
+	if st.Batching == nil || st.Batching.Coalesced == 0 {
+		t.Error("no queries went through the micro-batcher")
+	}
+}
+
+// checkMonotone asserts no counter in cur regressed against prev (torn
+// reads across the atomic blocks would show up as regressions under load).
+func checkMonotone(t *testing.T, prev, cur statszResponse) {
+	t.Helper()
+	type pair struct {
+		name     string
+		old, new uint64
+	}
+	pairs := []pair{
+		{"engine.queries", prev.Engine.Queries, cur.Engine.Queries},
+		{"engine.batch_queries", prev.Engine.BatchQueries, cur.Engine.BatchQueries},
+		{"engine.batches", prev.Engine.Batches, cur.Engine.Batches},
+		{"engine.updates", prev.Engine.Updates, cur.Engine.Updates},
+		{"engine.errors", prev.Engine.Errors, cur.Engine.Errors},
+		{"engine.cover_hits", prev.Engine.CoverHits, cur.Engine.CoverHits},
+		{"engine.cover_misses", prev.Engine.CoverMisses, cur.Engine.CoverMisses},
+	}
+	for route, rp := range prev.Routes {
+		rc, ok := cur.Routes[route]
+		if !ok {
+			t.Errorf("route %s vanished from statsz", route)
+			continue
+		}
+		pairs = append(pairs,
+			pair{route + ".requests", rp.Requests, rc.Requests},
+			pair{route + ".errors_4xx", rp.Errors4xx, rc.Errors4xx},
+			pair{route + ".errors_5xx", rp.Errors5xx, rc.Errors5xx},
+		)
+	}
+	if prev.Batching != nil && cur.Batching != nil {
+		pairs = append(pairs,
+			pair{"batching.flushes", prev.Batching.Flushes, cur.Batching.Flushes},
+			pair{"batching.coalesced", prev.Batching.Coalesced, cur.Batching.Coalesced},
+			pair{"batching.max_flush", prev.Batching.MaxFlush, cur.Batching.MaxFlush},
+		)
+	}
+	for _, p := range pairs {
+		if p.new < p.old {
+			t.Errorf("counter %s regressed: %d -> %d", p.name, p.old, p.new)
+		}
+	}
+}
+
+// TestDrainRefusesNewBatchedQueries pins the shutdown contract of the
+// admission layer: after Close, Do returns ErrDraining instead of hanging.
+func TestDrainRefusesNewBatchedQueries(t *testing.T) {
+	idx, _ := buildFixture(t, 359)
+	eng, err := engine.New(idx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatcher(eng, time.Millisecond, 8)
+	if _, err := b.Do(context.Background(), core.QueryOptions{K: 3, Pref: tops.Binary(0.8)}); err != nil {
+		t.Fatalf("pre-drain query: %v", err)
+	}
+	b.Close()
+	if _, err := b.Do(context.Background(), core.QueryOptions{K: 3, Pref: tops.Binary(0.8)}); err != ErrDraining {
+		t.Fatalf("post-drain query: %v, want ErrDraining", err)
+	}
+}

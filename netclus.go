@@ -7,6 +7,7 @@ package netclus
 //	problem types      Instance, Preference, QueryOptions, QueryResult
 //	index              Index, BuildOptions, Build
 //	serving            Engine, EngineOptions, EngineStats, NewEngine
+//	network serving    Server, ServeOptions, ServeLimits, NewServer
 //	data               Graph, TrajectoryStore, Dataset presets and loaders
 //
 // Applications hold one Index per dataset, wrap it in one Engine, and send
@@ -21,6 +22,7 @@ import (
 	"netclus/internal/engine"
 	"netclus/internal/gen"
 	"netclus/internal/roadnet"
+	"netclus/internal/server"
 	"netclus/internal/tops"
 	"netclus/internal/trajectory"
 )
@@ -135,6 +137,27 @@ type (
 // through the returned Engine from then on.
 func NewEngine(idx *Index, opts EngineOptions) (*Engine, error) {
 	return engine.New(idx, opts)
+}
+
+// Network serving layer.
+type (
+	// Server exposes an Engine over an HTTP JSON API: /v1/query (with
+	// micro-batched admission), /v1/query/batch, /v1/update, /v1/snapshot,
+	// /healthz and /statsz. It implements http.Handler; mount it on an
+	// http.Server and Close it after shutdown. cmd/topsserve is the
+	// reference deployment.
+	Server = server.Server
+	// ServeOptions configures the serving layer: batching window/size,
+	// default per-request deadline, and decode limits.
+	ServeOptions = server.Options
+	// ServeLimits bounds what the server's request decoder accepts.
+	ServeLimits = server.Limits
+)
+
+// NewServer wraps an Engine in the HTTP serving layer. The caller keeps
+// ownership of the engine (e.g. for a final snapshot after drain).
+func NewServer(eng *Engine, opts ServeOptions) (*Server, error) {
+	return server.New(eng, opts)
 }
 
 // Datasets and generation.
