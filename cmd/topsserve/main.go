@@ -8,6 +8,7 @@
 //
 //	topsserve -preset beijing -scale 0.02 -cache .ncache
 //	topsserve -preset beijing -scale 0.02 -load bj.ncss -addr :8080
+//	topsserve -preset beijing -scale 0.02 -shards 4 -cache .ncache
 //	topsserve -preset atlanta -batch-window 1ms -batch-max 128
 //
 // Query it:
@@ -39,6 +40,20 @@ import (
 	"netclus/internal/dataset"
 )
 
+// fileExists reports whether path exists (used only to decide whether a
+// failed warm load deserves a diagnostic).
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// shardedCacheDir derives the snapshot-cache location for a sharded build:
+// sharded manifests live next to the single-index cache entries, keyed by
+// everything that changes the partition.
+func shardedCacheDir(cacheDir, preset string, scale float64, seed int64, shards int, partitioner string) string {
+	return filepath.Join(cacheDir, fmt.Sprintf("sharded-%s-s%g-seed%d-%dx-%s", preset, scale, seed, shards, partitioner))
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
@@ -59,16 +74,80 @@ func main() {
 		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
 		exitSnapshot = flag.String("snapshot-on-exit", "", "write a final index checkpoint here after draining")
+		shards       = flag.Int("shards", 1, "number of engine shards; queries scatter-gather across them and site updates invalidate only the owning shard")
+		partitioner  = flag.String("partitioner", netclus.ShardByHash, "site partitioner for -shards > 1: hash or grid")
 	)
 	flag.Parse()
 	if *cacheDir != "" && *loadPath != "" {
 		fatal(fmt.Errorf("-cache and -load are mutually exclusive: the cache decides which snapshot to read"))
 	}
+	nShards, shardWarn, err := netclus.ValidateShardCount(*shards)
+	if err != nil {
+		fatal(err)
+	}
+	if shardWarn != "" {
+		fmt.Fprintln(os.Stderr, shardWarn)
+	}
+	if nShards > 1 && *loadPath != "" {
+		fatal(fmt.Errorf("-load reads a single-index snapshot; with -shards > 1 use -cache, which stores a sharded manifest"))
+	}
 
-	// Materialize the dataset and its index, warm when possible.
+	// Materialize the dataset and its serving engine, warm when possible.
 	t0 := time.Now()
-	var idx *netclus.Index
 	var inst *netclus.Instance
+	var serveEng netclus.ServerEngine
+	if nShards > 1 {
+		d, err := netclus.LoadDataset(dataset.Preset(*preset), netclus.DatasetConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		inst = d.Instance
+		fmt.Println(d.Summary())
+		sopts := netclus.ShardedOptions{
+			Shards:      nShards,
+			Partitioner: *partitioner,
+			Build:       netclus.BuildOptions{Workers: *workers},
+			Engine:      netclus.EngineOptions{DisableCoverCache: *noCoverCache},
+		}
+		var sh *netclus.ShardedEngine
+		dir := ""
+		if *cacheDir != "" {
+			dir = shardedCacheDir(*cacheDir, *preset, *scale, *seed, nShards, *partitioner)
+			warm, err := netclus.LoadShardedDir(dir, inst, sopts)
+			switch {
+			case err == nil:
+				sh = warm
+				fmt.Printf("sharded warm load (%d shards) from %s in %.3fs\n", nShards, dir, time.Since(t0).Seconds())
+			case fileExists(filepath.Join(dir, netclus.ShardedManifestName)):
+				// A manifest exists but would not load (corrupt file,
+				// dataset/generator drift): say why before the expensive
+				// cold rebuild overwrites the evidence.
+				fmt.Fprintf(os.Stderr, "sharded cache at %s unusable (%v); rebuilding cold\n", dir, err)
+			}
+		}
+		if sh == nil {
+			var err error
+			sh, err = netclus.NewShardedEngine(inst, sopts)
+			if err != nil {
+				fatal(err)
+			}
+			how := "sharded cold build"
+			if dir != "" {
+				// Best-effort cache population, mirroring LoadIndexedDataset:
+				// an unwritable cache never fails the boot.
+				if err := netclus.SaveShardedDir(sh, dir); err != nil {
+					fmt.Fprintf(os.Stderr, "sharded snapshot cache not written: %v\n", err)
+				} else {
+					how += " + cache"
+				}
+			}
+			fmt.Printf("%s (%d shards, partitioner %s) in %.1fs\n", how, nShards, *partitioner, time.Since(t0).Seconds())
+		}
+		serveEng = sh
+		startServer(serveEng, inst, addr, batchWindow, batchMax, timeout, drainTimeout, exitSnapshot)
+		return
+	}
+	var idx *netclus.Index
 	switch {
 	case *cacheDir != "":
 		di, err := netclus.LoadIndexedDataset(dataset.Preset(*preset),
@@ -110,6 +189,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	startServer(eng, inst, addr, batchWindow, batchMax, timeout, drainTimeout, exitSnapshot)
+}
+
+// startServer mounts the HTTP layer over any serving engine (single-index
+// or sharded), runs until SIGTERM/SIGINT, drains, and optionally writes a
+// final checkpoint.
+func startServer(eng netclus.ServerEngine, inst *netclus.Instance, addr *string, batchWindow *time.Duration, batchMax *int, timeout, drainTimeout *time.Duration, exitSnapshot *string) {
 	window := *batchWindow
 	if window == 0 {
 		window = -1 // server convention: negative disables batching
@@ -160,8 +246,10 @@ func main() {
 }
 
 // writeSnapshot checkpoints the engine's index atomically (temp file +
-// rename in the target directory).
-func writeSnapshot(eng *netclus.Engine, path string) error {
+// rename in the target directory). A sharded engine writes its container
+// format (manifest + per-shard streams); reload it with
+// netclus.LoadShardedSnapshot against the same full dataset.
+func writeSnapshot(eng netclus.ServerEngine, path string) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".topsserve-snap-*")
 	if err != nil {

@@ -39,6 +39,9 @@
 //	internal/engine      the concurrent serving layer (RWMutex protocol,
 //	                     QueryBatch grouping, context deadlines, traffic
 //	                     stats)
+//	internal/shard       scatter-gather sharding (site partitioners,
+//	                     cluster ownership, distributed greedy, manifest
+//	                     snapshots) — bit-exact vs the single engine
 //	internal/server      the HTTP JSON serving layer (micro-batched
 //	                     admission, strict decoding, drain, /statsz)
 //	internal/bench       one experiment per paper table/figure

@@ -115,11 +115,7 @@ func (idx *Index) AddSites(nodes []roadnet.NodeID) error {
 			if ci == InvalidCluster {
 				continue
 			}
-			cl := &ins.Clusters[ci]
-			if d := ins.nodeCenterDr[v]; d < cl.RepDr {
-				cl.Rep = v
-				cl.RepDr = d
-			}
+			maybeTakeRep(&ins.Clusters[ci], v, ins.nodeCenterDr[v])
 		}
 	}
 	idx.invalidateCovers(true)

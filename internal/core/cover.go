@@ -32,29 +32,27 @@ import (
 // concurrency protocol (readers query, writers mutate+invalidate) is owned
 // by internal/engine.
 
-// coverScan is one entry of a representative's scan list: a cluster whose
-// trajectory list contributes Eq. 9 candidates, with dr(c_j, c_i).
-type coverScan struct {
-	cluster  ClusterID
-	centerDr float64
-}
-
 // CoverPlan is the reusable positional half of the covering-structure
-// computation for one instance.
+// computation for one instance. The per-representative scan order (own
+// cluster first, then CL neighbors with their center distances) is read
+// straight off the immutable CL lists at fill time — CL is built once per
+// instance and no §6 mutation touches it, so the plan only needs the
+// representative list and its dr snapshot.
 type CoverPlan struct {
 	// Reps maps dense representative index -> cluster id.
 	Reps []ClusterID
 	// repDr[ri] is dr(c_i, r_i) for Reps[ri], snapshotted at plan time.
 	repDr []float64
-	// scans[ri] lists the clusters whose TL feeds representative ri.
-	scans [][]coverScan
 }
 
-// coverKey identifies one memoized cover: the ladder instance and a
-// fingerprint of the preference function.
+// coverKey identifies one memoized cover: the ladder instance, a
+// fingerprint of the preference function, and — for masked fills driven by
+// the sharded engine — a fingerprint of the cluster mask. Full covers use
+// mask 0; MaskFingerprint never returns 0.
 type coverKey struct {
-	p  int
-	fp uint64
+	p    int
+	fp   uint64
+	mask uint64
 }
 
 // coverEntry is a singleflight slot: the first goroutine to claim the key
@@ -133,20 +131,21 @@ func (idx *Index) buildCoverPlan(p int) *CoverPlan {
 	ins := idx.Instances[p]
 	pl := &CoverPlan{}
 	for ci := range ins.Clusters {
-		cl := &ins.Clusters[ci]
-		if cl.Rep == roadnet.InvalidNode {
-			continue
-		}
-		pl.Reps = append(pl.Reps, ClusterID(ci))
-		pl.repDr = append(pl.repDr, cl.RepDr)
-		scans := make([]coverScan, 0, 1+len(cl.CL))
-		scans = append(scans, coverScan{cluster: ClusterID(ci), centerDr: 0})
-		for _, nb := range cl.CL {
-			scans = append(scans, coverScan{cluster: nb.Cluster, centerDr: nb.Dr})
-		}
-		pl.scans = append(pl.scans, scans)
+		appendPlanEntry(pl, ins, ClusterID(ci))
 	}
 	return pl
+}
+
+// appendPlanEntry adds cluster ci's representative (if any) to the plan.
+// Shared by the full plan builder and the masked plans the sharding layer
+// requests.
+func appendPlanEntry(pl *CoverPlan, ins *Instance, ci ClusterID) {
+	cl := &ins.Clusters[ci]
+	if cl.Rep == roadnet.InvalidNode {
+		return
+	}
+	pl.Reps = append(pl.Reps, ci)
+	pl.repDr = append(pl.repDr, cl.RepDr)
 }
 
 // fillScratch is one worker's dense scratch state: dist[t] is valid iff
@@ -223,9 +222,13 @@ func (idx *Index) fillCover(ctx context.Context, p int, pl *CoverPlan, pref tops
 				}
 				sc.reset()
 				repDr := pl.repDr[ri]
-				for _, scan := range pl.scans[ri] {
-					base := scan.centerDr + repDr
-					for _, te := range ins.Clusters[scan.cluster].TL {
+				cl := &ins.Clusters[pl.Reps[ri]]
+				// Scan order matches the former materialized scan lists —
+				// own cluster (centerDr 0) first, then CL neighbors — with
+				// the identical float association, so fills are bit-stable
+				// across this representation change.
+				sweep := func(tl []TrajEntry, base float64) {
+					for _, te := range tl {
 						if !idx.alive[te.Traj] {
 							continue
 						}
@@ -241,6 +244,10 @@ func (idx *Index) fillCover(ctx context.Context, p int, pl *CoverPlan, pref tops
 							sc.dist[te.Traj] = dHat
 						}
 					}
+				}
+				sweep(cl.TL, 0+repDr)
+				for _, nb := range cl.CL {
+					sweep(ins.Clusters[nb.Cluster].TL, nb.Dr+repDr)
 				}
 				tc := make([]tops.ScoredTraj, 0, len(sc.touched))
 				for _, t := range sc.touched {
@@ -316,6 +323,170 @@ func (idx *Index) CoverForCtx(ctx context.Context, p int, pref tops.Preference) 
 		// own context is also done; otherwise loop — the entry is evicted,
 		// so the retry claims (or joins) a fresh fill. Each iteration
 		// consumes one completed fill attempt, so this cannot spin.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, false, err
+		}
+	}
+}
+
+// Masked covers: the sharding layer (internal/shard) partitions cluster
+// ownership across per-shard indexes and asks each shard to fill covering
+// structures only for the clusters it owns. The fill machinery is the full
+// RepCover pipeline over a filtered plan; memoization reuses the cover
+// cache under a (instance, ψ fingerprint, mask fingerprint) key.
+//
+// At any moment a shard serves exactly one mask per instance (its current
+// ownership), so when a new mask shows up for an instance the entries under
+// the instance's previous mask are purged — this is the cross-shard
+// invalidation hook: a site mutation on one shard changes ownership masks
+// elsewhere, and the stale masked covers on those shards evaporate on first
+// contact instead of accumulating.
+
+// RepInfo describes one cluster representative of an instance: the cluster,
+// the representative's node, and dr(c_i, r_i). The sharding layer reduces
+// RepInfos across shards to find each cluster's globally closest site.
+type RepInfo struct {
+	Cluster ClusterID
+	Node    roadnet.NodeID
+	Dr      float64
+}
+
+// RepInfos lists the representatives of instance p in ascending cluster
+// order — the same order the cover plan (and therefore the dense
+// representative index space of a query) uses.
+func (idx *Index) RepInfos(p int) []RepInfo {
+	ins := idx.Instances[p]
+	out := make([]RepInfo, 0, len(ins.Clusters))
+	for ci := range ins.Clusters {
+		cl := &ins.Clusters[ci]
+		if cl.Rep == roadnet.InvalidNode {
+			continue
+		}
+		out = append(out, RepInfo{Cluster: ClusterID(ci), Node: cl.Rep, Dr: cl.RepDr})
+	}
+	return out
+}
+
+// ClusterOf returns the cluster of node v at instance p, or InvalidCluster
+// when v is outside the graph. Site mutations change representatives only
+// inside this cluster, which is what lets the sharding layer maintain its
+// cluster-ownership tables incrementally instead of re-reducing every
+// cluster after each update.
+func (idx *Index) ClusterOf(p int, v roadnet.NodeID) ClusterID {
+	ins := idx.Instances[p]
+	if v < 0 || int(v) >= len(ins.NodeCluster) {
+		return InvalidCluster
+	}
+	return ins.NodeCluster[v]
+}
+
+// RepOfCluster returns cluster ci's representative at instance p, reporting
+// false when the cluster fields none (or ci is out of range).
+func (idx *Index) RepOfCluster(p int, ci ClusterID) (RepInfo, bool) {
+	ins := idx.Instances[p]
+	if ci < 0 || int(ci) >= len(ins.Clusters) {
+		return RepInfo{}, false
+	}
+	cl := &ins.Clusters[ci]
+	if cl.Rep == roadnet.InvalidNode {
+		return RepInfo{}, false
+	}
+	return RepInfo{Cluster: ci, Node: cl.Rep, Dr: cl.RepDr}, true
+}
+
+// MaskFingerprint hashes a sorted cluster-id mask into a cover-cache key
+// component. It never returns 0 (0 is the full, unmasked cover).
+func MaskFingerprint(keep []ClusterID) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, c := range keep {
+		buf[0] = byte(c)
+		buf[1] = byte(c >> 8)
+		buf[2] = byte(c >> 16)
+		buf[3] = byte(c >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64() | 1
+}
+
+// maskedPlan assembles a cover plan for exactly the clusters in keep
+// (sorted ascending), straight from the instance — deliberately NOT via the
+// cached full plan, whose post-mutation rebuild costs O(all
+// representatives) when the mask needs only its own slice. Clusters in keep
+// that currently field no representative are silently absent from the
+// result, so a slightly stale mask degrades to a smaller cover instead of
+// failing.
+func (idx *Index) maskedPlan(p int, keep []ClusterID) *CoverPlan {
+	ins := idx.Instances[p]
+	sub := &CoverPlan{}
+	for _, ci := range keep {
+		if ci < 0 || int(ci) >= len(ins.Clusters) {
+			continue
+		}
+		appendPlanEntry(sub, ins, ci)
+	}
+	return sub
+}
+
+// RepCoverMaskedCtx is RepCoverCtx restricted to the representatives of the
+// clusters in keep (sorted ascending). The returned dense representative
+// space is the filtered plan: index i maps to the i-th returned cluster.
+func (idx *Index) RepCoverMaskedCtx(ctx context.Context, p int, pref tops.Preference, keep []ClusterID) (*tops.CoverSets, []ClusterID, error) {
+	pl := idx.maskedPlan(p, keep)
+	cs, err := idx.fillCover(ctx, p, pl, pref)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, pl.Reps, nil
+}
+
+// CoverForMaskedCtx is the memoized form of RepCoverMaskedCtx. Presenting a
+// new mask for an instance purges the instance's entries under its previous
+// mask (see the package comment above on cross-shard invalidation).
+func (idx *Index) CoverForMaskedCtx(ctx context.Context, p int, pref tops.Preference, keep []ClusterID) (*tops.CoverSets, []ClusterID, bool, error) {
+	mask := MaskFingerprint(keep)
+	key := coverKey{p: p, fp: PrefFingerprint(pref), mask: mask}
+	for {
+		idx.coverMu.Lock()
+		if idx.coverCache == nil {
+			idx.coverCache = make(map[coverKey]*coverEntry)
+		}
+		if idx.coverMasks == nil {
+			idx.coverMasks = make(map[int]uint64)
+		}
+		if cur, ok := idx.coverMasks[p]; ok && cur != mask {
+			for k := range idx.coverCache {
+				if k.p == p && k.mask == cur {
+					delete(idx.coverCache, k)
+				}
+			}
+		}
+		idx.coverMasks[p] = mask
+		e, ok := idx.coverCache[key]
+		if !ok {
+			e = &coverEntry{}
+			idx.coverCache[key] = e
+		}
+		idx.coverMu.Unlock()
+
+		hit := true
+		e.once.Do(func() {
+			hit = false
+			e.cs, e.reps, e.err = idx.RepCoverMaskedCtx(ctx, p, pref, keep)
+		})
+		if e.err == nil {
+			if hit {
+				idx.coverHits.Add(1)
+			} else {
+				idx.coverMisses.Add(1)
+			}
+			return e.cs, e.reps, hit, nil
+		}
+		idx.coverMu.Lock()
+		if idx.coverCache[key] == e {
+			delete(idx.coverCache, key)
+		}
+		idx.coverMu.Unlock()
 		if err := ctx.Err(); err != nil {
 			return nil, nil, false, err
 		}

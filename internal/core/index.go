@@ -121,12 +121,15 @@ type Index struct {
 	alive []bool
 
 	// Cover caching (cover.go): per-instance CoverPlans plus memoized
-	// CoverSets keyed by (instance, preference fingerprint). coverMu guards
-	// the maps; mutation-vs-query serialization is the caller's job
+	// CoverSets keyed by (instance, preference fingerprint, cluster mask).
+	// coverMasks tracks the one masked-fill fingerprint currently live per
+	// instance (the sharded engine's ownership mask). coverMu guards the
+	// maps; mutation-vs-query serialization is the caller's job
 	// (internal/engine wraps the index in an RWMutex for that).
 	coverMu     sync.Mutex
 	coverPlans  []*CoverPlan
 	coverCache  map[coverKey]*coverEntry
+	coverMasks  map[int]uint64
 	coverHits   atomic.Uint64
 	coverMisses atomic.Uint64
 }
@@ -246,6 +249,16 @@ const maxLadderRungs = 4096
 // from it.
 func ladderRungs(gamma, tauMin, tauMax float64) int {
 	return int(math.Floor(math.Log(tauMax/tauMin)/math.Log(1+gamma))) + 1
+}
+
+// EstimateTauRange exposes the §4.4 τ-range derivation Build applies when
+// Options leaves TauMin/TauMax zero. The sharded engine needs the estimate
+// up front: every shard must be built over the SAME ladder, so the range is
+// derived once from the full site set and passed to each shard explicitly —
+// which also makes a sharded build ladder-identical to a single-shard build
+// of the same dataset.
+func EstimateTauRange(inst *tops.Instance) (float64, float64) {
+	return estimateTauRange(inst)
 }
 
 // estimateTauRange derives [τmin, τmax) per §4.4 as the min and max

@@ -32,14 +32,25 @@ func (idx *Index) AddSite(v roadnet.NodeID) error {
 		if ci == InvalidCluster {
 			continue
 		}
-		cl := &ins.Clusters[ci]
-		if d := ins.nodeCenterDr[v]; d < cl.RepDr {
-			cl.Rep = v
-			cl.RepDr = d
-		}
+		maybeTakeRep(&ins.Clusters[ci], v, ins.nodeCenterDr[v])
 	}
 	idx.invalidateCovers(true)
 	return nil
+}
+
+// maybeTakeRep installs v as cluster representative when it beats the
+// current one under the canonical (distance, node id) order — the same
+// order chooseRepresentative selects by. Breaking exact-distance ties by
+// node id (rather than keeping the incumbent) makes the representative a
+// pure function of the current site set, independent of update history,
+// which the sharded engine's cross-shard ownership reduction relies on:
+// a stateless reduce over per-shard representatives can only reproduce the
+// single-shard representative if both are the same canonical argmin.
+func maybeTakeRep(cl *Cluster, v roadnet.NodeID, d float64) {
+	if d < cl.RepDr || (d == cl.RepDr && v < cl.Rep) {
+		cl.Rep = v
+		cl.RepDr = d
+	}
 }
 
 // DeleteSite untags node v as a candidate site. If v was a cluster
@@ -158,6 +169,20 @@ func (idx *Index) validateInstance(p int) error {
 			if math.IsInf(cl.RepDr, 1) {
 				return fmt.Errorf("representative %d with infinite distance", cl.Rep)
 			}
+		}
+		// The representative must be canonical: the (distance, node id)
+		// argmin over the cluster's sites, never a history-dependent
+		// leftover. The sharded ownership reduction depends on this.
+		want := roadnet.InvalidNode
+		wantDr := math.Inf(1)
+		for i, v := range cl.Members {
+			if idx.isSite[v] && (cl.MemberDr[i] < wantDr || (cl.MemberDr[i] == wantDr && v < want)) {
+				want = v
+				wantDr = cl.MemberDr[i]
+			}
+		}
+		if cl.Rep != want {
+			return fmt.Errorf("cluster %d representative %d is not the canonical argmin %d", ci, cl.Rep, want)
 		}
 		// TL sorted-unique per trajectory id is not required, but entries
 		// must be alive-or-dead consistent and unique.

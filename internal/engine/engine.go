@@ -199,6 +199,72 @@ func (e *Engine) serve(ctx context.Context, opts core.QueryOptions) (*core.Query
 	return res, err
 }
 
+// Sharding hooks. internal/shard runs one Engine per shard and drives the
+// scatter phase through these read-locked accessors: ladder selection,
+// per-cluster representative summaries (for the cross-shard winner
+// reduction), and masked cover fills restricted to the clusters the shard
+// currently owns. They are exported for the shard layer, not for general
+// use — applications query through Query/QueryBatch.
+
+// Graph returns the road network the served index is built over.
+func (e *Engine) Graph() *roadnet.Graph { return e.idx.TopsInstance().G }
+
+// InstanceFor returns the ladder position serving threshold τ, under the
+// read lock so it cannot interleave with a mutation.
+func (e *Engine) InstanceFor(tau float64) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.InstanceFor(tau)
+}
+
+// RepInfos summarizes instance p's cluster representatives (cluster, node,
+// dr) under the read lock.
+func (e *Engine) RepInfos(p int) []core.RepInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.RepInfos(p)
+}
+
+// ClusterOf returns node v's cluster at instance p (InvalidCluster when v
+// is outside the graph), under the read lock.
+func (e *Engine) ClusterOf(p int, v roadnet.NodeID) core.ClusterID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.ClusterOf(p, v)
+}
+
+// RepOfCluster returns cluster ci's representative at instance p, under the
+// read lock.
+func (e *Engine) RepOfCluster(p int, ci core.ClusterID) (core.RepInfo, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.RepOfCluster(p, ci)
+}
+
+// CoverMasked fetches (or fills) the covering structure of instance p under
+// pref restricted to the clusters in keep (sorted ascending), memoized in
+// the index's cover cache under the mask — or filled fresh per call when
+// the engine's cover cache is disabled, mirroring the Query path's policy.
+// Cover time is accounted like any other cover fetch.
+func (e *Engine) CoverMasked(ctx context.Context, p int, pref tops.Preference, keep []core.ClusterID) (*tops.CoverSets, []core.ClusterID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t0 := time.Now()
+	var cs *tops.CoverSets
+	var reps []core.ClusterID
+	var err error
+	if e.opts.DisableCoverCache {
+		cs, reps, err = e.idx.RepCoverMaskedCtx(ctx, p, pref, keep)
+	} else {
+		cs, reps, _, err = e.idx.CoverForMaskedCtx(ctx, p, pref, keep)
+	}
+	e.coverNanos.Add(time.Since(t0).Nanoseconds())
+	if err != nil {
+		return nil, nil, e.accountErr(err)
+	}
+	return cs, reps, nil
+}
+
 // BatchItem is one QueryBatch outcome, index-aligned with the input.
 type BatchItem struct {
 	Result *core.QueryResult

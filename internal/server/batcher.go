@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"netclus/internal/core"
-	"netclus/internal/engine"
 )
 
 // ErrDraining is returned to queries admitted after the server began
@@ -28,7 +27,7 @@ var ErrDraining = errors.New("server: draining")
 // first; an idle batcher sleeps in a channel receive and adds no latency
 // to the first query beyond one goroutine handoff.
 type batcher struct {
-	eng     *engine.Engine
+	eng     Engine
 	window  time.Duration
 	maxSize int
 
@@ -59,7 +58,7 @@ type batchOutcome struct {
 	err error
 }
 
-func newBatcher(eng *engine.Engine, window time.Duration, maxSize int) *batcher {
+func newBatcher(eng Engine, window time.Duration, maxSize int) *batcher {
 	b := &batcher{
 		eng:     eng,
 		window:  window,

@@ -29,8 +29,32 @@ import (
 	"netclus/internal/core"
 	"netclus/internal/engine"
 	"netclus/internal/roadnet"
+	"netclus/internal/shard"
 	"netclus/internal/trajectory"
 )
+
+// Engine is the serving surface the HTTP layer drives: queries, batches,
+// §6 updates, live checkpoints, and counters. Both the single-index engine
+// (engine.Engine) and the scatter-gather sharded engine (shard.Sharded)
+// satisfy it, so one server binary fronts either topology.
+type Engine interface {
+	Query(ctx context.Context, opts core.QueryOptions) (*core.QueryResult, error)
+	QueryBatch(ctx context.Context, qs []core.QueryOptions) []engine.BatchItem
+	Stats() engine.Stats
+	Snapshot(w io.Writer) (int64, error)
+	Graph() *roadnet.Graph
+	AddSite(v roadnet.NodeID) error
+	DeleteSite(v roadnet.NodeID) error
+	AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error)
+	DeleteTrajectory(tid trajectory.ID) error
+}
+
+// shardStatser is the optional per-shard metrics surface: when the served
+// engine is sharded, /statsz additionally exposes the per-shard counters
+// (sites, scatter calls, queue depths, cover-cache effectiveness).
+type shardStatser interface {
+	ShardStats() []shard.Stat
+}
 
 // Options configures a Server.
 type Options struct {
@@ -112,7 +136,7 @@ func (m *routeMetrics) stats() routeStats {
 // Server serves one Engine over HTTP. Create it with New, mount it as an
 // http.Handler, and Close it after the http.Server has drained.
 type Server struct {
-	eng  *engine.Engine
+	eng  Engine
 	opts Options
 	bat  *batcher // nil when micro-batching is disabled
 	mux  *http.ServeMux
@@ -132,7 +156,7 @@ type Server struct {
 
 // New wraps eng in a serving layer. The caller keeps ownership of the
 // engine (e.g. for a final snapshot after drain).
-func New(eng *engine.Engine, opts Options) (*Server, error) {
+func New(eng Engine, opts Options) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
@@ -397,7 +421,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			nodes[i] = roadnet.NodeID(v)
 		}
 		var tr *trajectory.Trajectory
-		tr, err = trajectory.New(s.eng.Index().TopsInstance().G, nodes)
+		tr, err = trajectory.New(s.eng.Graph(), nodes)
 		if err == nil {
 			var tid trajectory.ID
 			tid, err = s.eng.AddTrajectory(tr)
@@ -460,9 +484,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // statszResponse is the /statsz body: transport-level counters plus the
 // engine's own Stats block.
 type statszResponse struct {
-	UptimeSeconds float64               `json:"uptime_seconds"`
-	Draining      bool                  `json:"draining"`
-	Engine        engine.Stats          `json:"engine"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Draining      bool         `json:"draining"`
+	Engine        engine.Stats `json:"engine"`
+	// Shards carries the per-shard counter blocks (scatter calls, queue
+	// depths, cover-cache effectiveness) when the served engine is sharded.
+	Shards        []shard.Stat          `json:"shards,omitempty"`
 	Routes        map[string]routeStats `json:"routes"`
 	Batching      *batcherStats         `json:"batching,omitempty"`
 	SnapshotBytes int64                 `json:"snapshot_bytes"`
@@ -483,6 +510,9 @@ func (s *Server) Stats() statszResponse {
 			"/statsz":         s.mStats.stats(),
 		},
 		SnapshotBytes: s.snapshotBytes.Load(),
+	}
+	if ss, ok := s.eng.(shardStatser); ok {
+		resp.Shards = ss.ShardStats()
 	}
 	if s.bat != nil {
 		st := s.bat.stats()

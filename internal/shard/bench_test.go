@@ -1,0 +1,271 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+)
+
+// benchInstance synthesizes the mid-sized city the engine benchmarks use,
+// fresh per call (engines mutate their instance's site list in place).
+func benchInstance(b testing.TB) *tops.Instance {
+	b.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 2500, SpanKm: 14, Jitter: 0.2, Seed: 941,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 800, Seed: 942})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 600, Seed: 943})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, store, sites)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+var benchBuild = core.Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4}
+
+// querier abstracts the two engines under benchmark.
+type querier interface {
+	Query(ctx context.Context, opts core.QueryOptions) (*core.QueryResult, error)
+	DeleteSite(v roadnet.NodeID) error
+	AddSite(v roadnet.NodeID) error
+}
+
+// queryMix is the benchmark's per-iteration query battery: one query per
+// ladder-distinct τ, k=5, binary ψ.
+var benchTaus = []float64{0.4, 0.8, 1.6, 2.4}
+
+func runQueryMix(b testing.TB, q querier) {
+	for _, tau := range benchTaus {
+		if _, err := q.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedHotQPS measures single-client query throughput with
+// every cover cached (the all-reads steady state) for the single-shard
+// engine and 1/2/4 shards. This regime is where sharding has nothing to
+// amortize: at one core the scatter/round machinery is pure overhead, and
+// only multi-core hosts recover it through the per-query fan-out. The
+// headline sharded benchmark is BenchmarkShardedQPS below, which measures
+// the update-mixed regime sharding exists for.
+func BenchmarkShardedHotQPS(b *testing.B) {
+	runArm := func(b *testing.B, q querier) {
+		runQueryMix(b, q) // warm covers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tau := benchTaus[i%len(benchTaus)]
+			if _, err := q.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	}
+	b.Run("engine", func(b *testing.B) {
+		idx, err := core.Build(benchInstance(b), benchBuild)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := engine.New(idx, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runArm(b, eng)
+	})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			s, err := Build(benchInstance(b), Options{Shards: n, Build: benchBuild})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runArm(b, s)
+		})
+	}
+}
+
+// runUpdateMix is one update-heavy iteration: a site flip (delete + re-add,
+// which keeps the dataset stable across iterations) followed by the query
+// battery. Every flip invalidates covers — ALL of them on the single-shard
+// engine, only the owning shard's on the sharded one — so this benchmark
+// isolates the partial-invalidation win, which holds at any core count.
+func runUpdateMix(b testing.TB, q querier, site roadnet.NodeID) {
+	if err := q.DeleteSite(site); err != nil {
+		b.Fatal(err)
+	}
+	if err := q.AddSite(site); err != nil {
+		b.Fatal(err)
+	}
+	runQueryMix(b, q)
+}
+
+// BenchmarkShardedQPS is the headline sharded-serving benchmark: sustained
+// throughput under the update-mixed workload (runUpdateMix) that models
+// production traffic with continuous §6 churn. This is the workload the
+// ≥2×-at-4-shards acceptance bar refers to and TestShardedSpeedup gates.
+func BenchmarkShardedQPS(b *testing.B) {
+	runArm := func(b *testing.B, q querier, site roadnet.NodeID) {
+		runQueryMix(b, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runUpdateMix(b, q, site)
+		}
+		b.StopTimer()
+		// One flip plus len(benchTaus) queries per iteration.
+		b.ReportMetric(float64(b.N*len(benchTaus))/b.Elapsed().Seconds(), "qps")
+	}
+	b.Run("engine", func(b *testing.B) {
+		inst := benchInstance(b)
+		site := inst.Sites[11]
+		idx, err := core.Build(inst, benchBuild)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := engine.New(idx, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runArm(b, eng, site)
+	})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			inst := benchInstance(b)
+			site := inst.Sites[11]
+			s, err := Build(inst, Options{Shards: n, Build: benchBuild})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runArm(b, s, site)
+		})
+	}
+}
+
+// BenchmarkShardedBuild records the offline cost of the shard-replicated
+// build (every shard clusters the full network) for the scaling table.
+func BenchmarkShardedBuild(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			inst := benchInstance(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(inst, Options{Shards: n, Build: benchBuild}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSpeedup is the ≥2× acceptance gate over the
+// BenchmarkShardedQPS workload: at 4 shards the update-mixed mix must run
+// at least twice the single-shard engine's throughput on a ≥4-core machine
+// (the acceptance bar; CI runs it in the bench job on its multi-core
+// runners, like the parallel-build speedup gate). The win is mostly algorithmic — a site update invalidates one
+// shard's covers instead of all of them, so each post-update query refills
+// ~1/N of the covering pairs — with the parallel scatter and distributed
+// gather adding on multi-core machines. On smaller boxes only the
+// algorithmic share is observable, so the gate relaxes to a ≥1.3×
+// regression floor there. Skipped in -short.
+func TestShardedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short")
+	}
+	bar := 2.0
+	if runtime.NumCPU() < 4 {
+		bar = 1.3
+		t.Logf("only %d CPUs: relaxing the 4-shard bar from 2x to %.1fx (the parallel scatter/gather share needs >=4 cores)", runtime.NumCPU(), bar)
+	}
+	// Throughput is the best of several short blocks: the minimum is robust
+	// against background load and GC pauses, which on shared CI runners
+	// otherwise dominate a single long measurement.
+	measure := func(q querier, site roadnet.NodeID) float64 {
+		runQueryMix(t, q) // warm
+		const blocks, iters = 6, 4
+		best := time.Duration(1 << 62)
+		for b := 0; b < blocks; b++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				runUpdateMix(t, q, site)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return float64(iters*len(benchTaus)) / best.Seconds()
+	}
+
+	inst := benchInstance(t)
+	site := inst.Sites[11]
+	idx, err := core.Build(inst, benchBuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(idx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := measure(eng, site)
+
+	shInst := benchInstance(t)
+	s, err := Build(shInst, Options{Shards: 4, Build: benchBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := measure(s, shInst.Sites[11])
+
+	ratio := sharded / single
+	t.Logf("update-mixed throughput: single %.0f qps, 4-shard %.0f qps (%.2fx)", single, sharded, ratio)
+	if ratio < bar {
+		t.Fatalf("4-shard update-mixed throughput %.0f qps is only %.2fx the single-shard %.0f qps (want >= %.1fx)", sharded, ratio, single, bar)
+	}
+}
+
+// TestShardedConcurrentQPSSmoke exercises the scatter under concurrent
+// clients briefly (sanity, not a gate): results must stay error-free with
+// the cover caches shared.
+func TestShardedConcurrentQPSSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke skipped in -short")
+	}
+	inst, _ := buildFixture(t, 733)
+	s := shardedEngine(t, inst, 4, HashPartitioner)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tau := benchTaus[(c+i)%len(benchTaus)]
+				if _, err := s.Query(context.Background(), core.QueryOptions{K: 3, Pref: tops.Binary(tau)}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

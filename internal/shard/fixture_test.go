@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// buildFixture generates a deterministic dataset. Two calls with the same
+// seed yield independent but identical instances, which the differential
+// tests rely on: one copy feeds the single-shard reference engine, another
+// the sharded engine, and both absorb the same update sequences.
+func buildFixture(t testing.TB, seed int64) (*tops.Instance, *gen.City) {
+	t.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 500, SpanKm: 10, Jitter: 0.2,
+		OneWayFrac: 0.1, RemoveFrac: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 60, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 120, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, store, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, city
+}
+
+// fixtureBuild are the reference build options every differential test
+// uses; the explicit τ range keeps ladders comparable across fixtures.
+var fixtureBuild = core.Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4}
+
+// singleEngine builds the single-shard reference engine over inst.
+func singleEngine(t testing.TB, inst *tops.Instance) *engine.Engine {
+	t.Helper()
+	idx, err := core.Build(inst, fixtureBuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(idx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// shardedEngine builds a sharded engine over inst.
+func shardedEngine(t testing.TB, inst *tops.Instance, shards int, partitioner string) *Sharded {
+	t.Helper()
+	s, err := Build(inst, Options{Shards: shards, Partitioner: partitioner, Build: fixtureBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// extraTrajectories generates trajectories over the same city that are not
+// part of the fixture store, for ingestion during update tests.
+func extraTrajectories(t testing.TB, city *gen.City, n int, seed int64) []*trajectory.Trajectory {
+	t.Helper()
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*trajectory.Trajectory, 0, n)
+	store.ForEach(func(_ trajectory.ID, tr *trajectory.Trajectory) {
+		out = append(out, tr)
+	})
+	return out
+}
+
+// drawPref picks a random preference family and threshold, mirroring the
+// engine oracle's draw distribution.
+func drawPref(rng *rand.Rand) tops.Preference {
+	tau := 0.3 + rng.Float64()*6.0
+	switch rng.Intn(4) {
+	case 0:
+		return tops.Binary(tau)
+	case 1:
+		return tops.Linear(tau)
+	case 2:
+		return tops.ConvexQuadratic(tau)
+	default:
+		return tops.ExpDecay(tau, 0.5+rng.Float64()*1.5)
+	}
+}
+
+// sameAnswer asserts BIT-exact equality of two query answers: same sites in
+// the same order, same dense site ids, identical utility bits. This is the
+// shard-differential bar — stronger than the engine oracle's tolerance.
+func sameAnswer(t *testing.T, label string, got, want *core.QueryResult) {
+	t.Helper()
+	if got.EstimatedUtility != want.EstimatedUtility {
+		t.Fatalf("%s: utility %v != %v (diff %g)", label, got.EstimatedUtility, want.EstimatedUtility, got.EstimatedUtility-want.EstimatedUtility)
+	}
+	if got.EstimatedCovered != want.EstimatedCovered {
+		t.Fatalf("%s: covered %d != %d", label, got.EstimatedCovered, want.EstimatedCovered)
+	}
+	if got.InstanceUsed != want.InstanceUsed {
+		t.Fatalf("%s: instance %d != %d", label, got.InstanceUsed, want.InstanceUsed)
+	}
+	if got.NumRepresentatives != want.NumRepresentatives {
+		t.Fatalf("%s: representatives %d != %d", label, got.NumRepresentatives, want.NumRepresentatives)
+	}
+	if len(got.Sites) != len(want.Sites) {
+		t.Fatalf("%s: %d sites != %d", label, len(got.Sites), len(want.Sites))
+	}
+	for i := range got.Sites {
+		if got.Sites[i] != want.Sites[i] {
+			t.Fatalf("%s: site %d: node %d != %d", label, i, got.Sites[i], want.Sites[i])
+		}
+		if got.SiteIDs[i] != want.SiteIDs[i] {
+			t.Fatalf("%s: site %d: dense id %d != %d", label, i, got.SiteIDs[i], want.SiteIDs[i])
+		}
+	}
+}
+
+// nonSiteNode finds a node that is not currently a site of inst, scanning
+// from a random start.
+func nonSiteNode(g *roadnet.Graph, inst *tops.Instance, rng *rand.Rand) (roadnet.NodeID, bool) {
+	start := rng.Intn(g.NumNodes())
+	for d := 0; d < g.NumNodes(); d++ {
+		v := roadnet.NodeID((start + d) % g.NumNodes())
+		if _, ok := inst.SiteIDOf(v); !ok {
+			return v, true
+		}
+	}
+	return 0, false
+}

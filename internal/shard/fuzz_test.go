@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"sync"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// fuzzState is one shared sharded engine for the fuzz battery. The engine
+// is thread-safe and every driven operation must keep it consistent, so
+// reusing it across fuzz executions both speeds the fuzz loop up and
+// compounds state: later executions run against whatever site/trajectory
+// churn earlier ones left behind.
+var (
+	fuzzOnce sync.Once
+	fuzzEng  *Sharded
+	fuzzGrid Partitioner
+)
+
+func fuzzFixture(t testing.TB) (*Sharded, Partitioner) {
+	t.Helper()
+	fuzzOnce.Do(func() {
+		city, err := gen.GenerateCity(gen.CityConfig{
+			Topology: gen.GridMesh, Nodes: 150, SpanKm: 6, Jitter: 0.2, Seed: 601,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 20, Seed: 602})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 40, Seed: 603})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := tops.NewInstance(city.Graph, store, sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzEng, err = Build(inst, Options{Shards: 3, Build: core.Options{Gamma: 0.75, TauMin: 0.3, TauMax: 4.8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzGrid, err = NewPartitioner(GridPartitioner, 3, inst.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return fuzzEng, fuzzGrid
+}
+
+// FuzzShardRouter holds the partitioner and scatter/merge path to a
+// "reject or serve, never panic" contract under adversarial site and
+// trajectory ids, hostile k/τ values, and arbitrary op interleavings. The
+// input is consumed as a little op stream: one op byte, then 4-byte
+// operands.
+func FuzzShardRouter(f *testing.F) {
+	f.Add([]byte{0, 0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0})
+	f.Add([]byte{2, 7, 0, 0, 0, 3, 200, 0, 0, 0, 4, 5, 0, 0, 0})
+	f.Add([]byte{5, 0x00, 0x00, 0x80, 0x7f, 6, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 12, 0, 0, 0, 0, 12, 0, 0, 0, 2, 12, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, grid := fuzzFixture(t)
+		ctx := context.Background()
+		pos := 0
+		next := func() (uint32, bool) {
+			if pos+4 > len(data) {
+				return 0, false
+			}
+			v := binary.LittleEndian.Uint32(data[pos:])
+			pos += 4
+			return v, true
+		}
+		for pos < len(data) {
+			op := data[pos]
+			pos++
+			switch op % 7 {
+			case 0: // partitioner probes with a raw id
+				raw, ok := next()
+				if !ok {
+					return
+				}
+				v := roadnet.NodeID(int32(raw))
+				for _, p := range []Partitioner{s.part, grid} {
+					if j := p.Shard(v); j < 0 || j >= p.Shards() {
+						t.Fatalf("partitioner %s mapped node %d to shard %d of %d", p.Name(), v, j, p.Shards())
+					}
+				}
+			case 1: // add a site at a raw id (errors allowed, panics not)
+				raw, ok := next()
+				if !ok {
+					return
+				}
+				_ = s.AddSite(roadnet.NodeID(int32(raw)))
+			case 2: // delete a site at a raw id
+				raw, ok := next()
+				if !ok {
+					return
+				}
+				_ = s.DeleteSite(roadnet.NodeID(int32(raw)))
+			case 3: // delete a trajectory at a raw id
+				raw, ok := next()
+				if !ok {
+					return
+				}
+				_ = s.DeleteTrajectory(trajectory.ID(int32(raw)))
+			case 4: // ingest a two-node trajectory from raw ids
+				a, ok := next()
+				if !ok {
+					return
+				}
+				b, ok := next()
+				if !ok {
+					return
+				}
+				tr, err := trajectory.New(s.g, []roadnet.NodeID{roadnet.NodeID(int32(a) % 150), roadnet.NodeID(int32(b) % 150)})
+				if err == nil {
+					_, _ = s.AddTrajectory(tr)
+				}
+			case 5: // query with hostile k and τ (NaN, ±Inf, huge, negative)
+				kraw, ok := next()
+				if !ok {
+					return
+				}
+				traw, ok := next()
+				if !ok {
+					return
+				}
+				tau := float64(math.Float32frombits(traw))
+				_, _ = s.Query(ctx, core.QueryOptions{K: int(int32(kraw)), Pref: tops.Binary(tau)})
+			default: // batch with a duplicated hostile query
+				kraw, ok := next()
+				if !ok {
+					return
+				}
+				q := core.QueryOptions{K: int(int32(kraw % 64)), Pref: tops.Linear(0.2 + float64(kraw%400)/100)}
+				items := s.QueryBatch(ctx, []core.QueryOptions{q, q})
+				if (items[0].Err == nil) != (items[1].Err == nil) {
+					t.Fatalf("identical batch items diverged: %v vs %v", items[0].Err, items[1].Err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"sync"
+
+	"netclus/internal/tops"
+)
+
+// The distributed gather greedy: the paper's Algorithm 1 (tops.plainGreedy)
+// restructured as synchronized rounds over the per-shard covers, without
+// ever materializing the merged covering structure.
+//
+// State split:
+//
+//   - the gather owns the per-trajectory utility vector U and the covered
+//     count (it holds the winning representative's TC list each round);
+//   - each shard owns the marginals of its own representatives and the
+//     local SC lists needed to maintain them.
+//
+// One round = each shard applies the previous winner's utility deltas to
+// its marginals and reports its local argmax (under the GLOBAL dense index
+// tie-break); the gather reduces the candidates with the same comparator
+// and broadcasts the new winner's deltas. Every float64 operation — the
+// initial marginal sums in TC order, the `marg -= oldGain - newGain`
+// updates in the winner's TC order, the utility accumulation — replays
+// tops.plainGreedy's op for op, so Selected/Utility/Covered carry identical
+// bits. The oracle test battery (oracle_test.go) holds this equality
+// against the single-shard engine across random workloads.
+
+// utilDelta is one trajectory's utility improvement from a selection round,
+// broadcast from the gather to the shards.
+type utilDelta struct {
+	traj       int32
+	oldU, newU float64
+}
+
+// shardGreedy is one shard's per-query greedy state.
+type shardGreedy struct {
+	sc       *shardCover
+	marg     []float64
+	selected []bool
+	cand     gatherCand
+}
+
+// gatherCand is a shard's per-round argmax candidate.
+type gatherCand struct {
+	ok     bool
+	li     int     // local dense index in the shard's cover
+	gi     int32   // global dense index (single-shard representative space)
+	marg   float64 // marginal gain at this round
+	weight float64 // site weight, for the tie-break
+}
+
+// greedy runs the distributed plain greedy for k selections. When parallel
+// is set, the per-shard round work fans out across goroutines (one per
+// shard); the reduce is order-invariant either way because the comparator
+// is a strict total order over distinct global indices.
+func (gs *gatherSet) greedy(k int, parallel bool) tops.Result {
+	util := make([]float64, gs.m)
+	states := make([]*shardGreedy, len(gs.loc))
+	forEach(parallel, len(gs.loc), func(si int) {
+		sc := gs.loc[si]
+		st := &shardGreedy{
+			sc:       sc,
+			marg:     make([]float64, len(sc.g2l)),
+			selected: make([]bool, len(sc.g2l)),
+		}
+		for li := range sc.g2l {
+			if sc.g2l[li] < 0 {
+				// Not a current winner (possible only under concurrent
+				// mutation): never a candidate.
+				st.selected[li] = true
+				continue
+			}
+			var m float64
+			for _, st1 := range sc.cs.TC[li] {
+				if g := st1.Score - util[st1.Traj]; g > 0 { // util is all zeros here
+					m += g
+				}
+			}
+			st.marg[li] = m
+		}
+		states[si] = st
+	})
+
+	var res tops.Result
+	covered := 0
+	var deltas []utilDelta
+	for len(res.Selected) < k {
+		forEach(parallel, len(states), func(si int) {
+			st := states[si]
+			// Absorb the previous round's winner into this shard's
+			// marginals — the exact update loop of Algorithm 1 lines 11–17,
+			// restricted to the sites this shard owns.
+			for _, d := range deltas {
+				if int(d.traj) >= len(st.sc.cs.SC) {
+					continue
+				}
+				for _, ss := range st.sc.cs.SC[d.traj] {
+					li := ss.Site
+					if st.selected[li] {
+						continue
+					}
+					oldGain := ss.Score - d.oldU
+					if oldGain <= 0 {
+						continue
+					}
+					newGain := ss.Score - d.newU
+					if newGain < 0 {
+						newGain = 0
+					}
+					st.marg[li] -= oldGain - newGain
+				}
+			}
+			best := -1
+			for li := range st.marg {
+				if st.selected[li] {
+					continue
+				}
+				if best < 0 || tops.GreaterSite(st.marg[li], st.sc.cs.Weights[li], int(st.sc.g2l[li]),
+					st.marg[best], st.sc.cs.Weights[best], int(st.sc.g2l[best])) {
+					best = li
+				}
+			}
+			if best < 0 {
+				st.cand = gatherCand{}
+				return
+			}
+			st.cand = gatherCand{
+				ok:     true,
+				li:     best,
+				gi:     st.sc.g2l[best],
+				marg:   st.marg[best],
+				weight: st.sc.cs.Weights[best],
+			}
+		})
+		// Reduce the candidates under the greedy's total order.
+		win := -1
+		for si, st := range states {
+			if !st.cand.ok {
+				continue
+			}
+			if win < 0 || tops.GreaterSite(st.cand.marg, st.cand.weight, int(st.cand.gi),
+				states[win].cand.marg, states[win].cand.weight, int(states[win].cand.gi)) {
+				win = si
+			}
+		}
+		if win < 0 {
+			break // every representative selected
+		}
+		st := states[win]
+		c := st.cand
+		st.selected[c.li] = true
+		res.Selected = append(res.Selected, tops.SiteID(c.gi))
+		res.Utility += c.marg
+		deltas = deltas[:0]
+		for _, st1 := range st.sc.cs.TC[c.li] {
+			oldU := util[st1.Traj]
+			if st1.Score <= oldU {
+				continue
+			}
+			util[st1.Traj] = st1.Score
+			if oldU == 0 {
+				covered++
+			}
+			deltas = append(deltas, utilDelta{traj: st1.Traj, oldU: oldU, newU: st1.Score})
+		}
+		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
+	}
+	res.Covered = covered
+	return res
+}
+
+// forEach runs fn(0..n-1), across goroutines when parallel (the shard-fan
+// of one greedy round), inline otherwise (batch members already fan out).
+func forEach(parallel bool, n int, fn func(i int)) {
+	if !parallel || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,857 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// Options configures a sharded engine.
+type Options struct {
+	// Shards is the number of engine shards N (>= 1).
+	Shards int
+	// Partitioner selects the site partitioner by name: "hash" (default)
+	// or "grid".
+	Partitioner string
+	// Build configures every per-shard index build. TauMin/TauMax are
+	// derived ONCE from the full site set when zero, so all shards share
+	// one ladder (and match a single-shard build of the same dataset).
+	Build core.Options
+	// Engine configures the per-shard engines (cover caching policy) and
+	// supplies BatchWorkers for the gather's QueryBatch fan-out.
+	Engine engine.Options
+}
+
+// shardState is one engine shard plus its serving gauges.
+type shardState struct {
+	eng  *engine.Engine
+	inst *tops.Instance // shard dataset: shared graph, cloned store, owned sites
+
+	scatters atomic.Uint64 // masked cover fetches served
+	inFlight atomic.Int64  // scatter fetches currently executing (queue depth)
+	updates  atomic.Uint64 // §6 mutations routed here
+}
+
+// Sharded is a scatter-gather engine over N site-partitioned shards. It
+// serves the same Query / QueryBatch / Stats / Snapshot surface as
+// engine.Engine and is bit-exact against it: for any sequential workload of
+// queries and §6 updates, selected sites, dense site ids, and estimated
+// utilities are identical to a single-shard engine over the same dataset
+// (enforced by the shard-differential oracle).
+//
+// All exported methods are safe for concurrent use. Queries share a read
+// lock; updates take the write lock, route to the owning shard (site
+// mutations) or broadcast (trajectory mutations), and patch the cluster
+// ownership tables in place (a site mutation can move only the
+// representative of its own cluster per instance).
+type Sharded struct {
+	mu     sync.RWMutex
+	g      *roadnet.Graph
+	part   Partitioner
+	shards []*shardState
+	opts   Options
+
+	// Global dense site-id mirror: replicates the single-shard index's
+	// bookkeeping (append on add, swap-remove on delete) over the full
+	// site set, so QueryResult.SiteIDs match the single-shard engine.
+	sites  []roadnet.NodeID
+	siteID map[roadnet.NodeID]int32
+
+	// Cluster ownership per ladder instance, derived lazily and dropped on
+	// every site mutation.
+	ownMu sync.Mutex
+	own   map[int]*ownership
+
+	queries      atomic.Uint64
+	batchQueries atomic.Uint64
+	batches      atomic.Uint64
+	updateCount  atomic.Uint64
+	errorCount   atomic.Uint64
+	canceled     atomic.Uint64
+	coverNanos   atomic.Int64
+	greedyNanos  atomic.Int64
+
+	// gatherOrder is a test hook: when non-nil it permutes the order the
+	// gather enumerates shards in, to assert enumeration-order invariance.
+	gatherOrder []int
+}
+
+// Build partitions inst's candidate sites across opts.Shards shards, builds
+// one NETCLUS index per shard (same graph, replicated trajectories, owned
+// sites only) and wraps each in an engine. The per-shard builds run
+// concurrently, splitting opts.Build.Workers between them.
+func Build(inst *tops.Instance, opts Options) (*Sharded, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("shard: nil instance")
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be >= 1", opts.Shards)
+	}
+	part, err := NewPartitioner(opts.Partitioner, opts.Shards, inst.G)
+	if err != nil {
+		return nil, err
+	}
+	// One ladder for every shard: derive the τ range from the FULL site
+	// set up front, exactly as core.Build would.
+	if opts.Build.TauMin <= 0 || opts.Build.TauMax <= 0 {
+		tmin, tmax := core.EstimateTauRange(inst)
+		if opts.Build.TauMin <= 0 {
+			opts.Build.TauMin = tmin
+		}
+		if opts.Build.TauMax <= 0 {
+			opts.Build.TauMax = tmax
+		}
+	}
+	if opts.Build.TauMin >= opts.Build.TauMax {
+		return nil, fmt.Errorf("shard: τmin %v >= τmax %v", opts.Build.TauMin, opts.Build.TauMax)
+	}
+	insts := shardInstances(part, inst)
+
+	// Split the worker budget across concurrent shard builds.
+	workers := opts.Build.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	perShard := workers / opts.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	idxs := make([]*core.Index, opts.Shards)
+	errs := make([]error, opts.Shards)
+	var wg sync.WaitGroup
+	for j := range insts {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			bopts := opts.Build
+			bopts.Workers = perShard
+			idxs[j], errs[j] = core.Build(insts[j], bopts)
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", j, err)
+		}
+	}
+	return assemble(inst, part, insts, idxs, opts)
+}
+
+// shardInstances derives the per-shard problem instances: the shared graph,
+// an independent clone of the trajectory store (so dynamic additions assign
+// identical ids everywhere), and the sites the partitioner routes to the
+// shard, in their original relative order.
+func shardInstances(part Partitioner, inst *tops.Instance) []*tops.Instance {
+	n := part.Shards()
+	bySite := make([][]roadnet.NodeID, n)
+	for _, v := range inst.Sites {
+		j := part.Shard(v)
+		bySite[j] = append(bySite[j], v)
+	}
+	out := make([]*tops.Instance, n)
+	for j := 0; j < n; j++ {
+		out[j] = &tops.Instance{G: inst.G, Trajs: inst.Trajs.Clone(), Sites: bySite[j]}
+	}
+	return out
+}
+
+// assemble wires pre-built per-shard indexes into a Sharded engine,
+// validating that all shards share one ladder.
+func assemble(inst *tops.Instance, part Partitioner, insts []*tops.Instance, idxs []*core.Index, opts Options) (*Sharded, error) {
+	s := &Sharded{
+		g:      inst.G,
+		part:   part,
+		opts:   opts,
+		sites:  append([]roadnet.NodeID(nil), inst.Sites...),
+		siteID: make(map[roadnet.NodeID]int32, len(inst.Sites)),
+		own:    make(map[int]*ownership),
+	}
+	for i, v := range s.sites {
+		s.siteID[v] = int32(i)
+	}
+	var tmin0, tmax0, gamma0 float64
+	var rungs0 int
+	for j, idx := range idxs {
+		tmin, tmax := idx.TauRange()
+		if j == 0 {
+			tmin0, tmax0, gamma0, rungs0 = tmin, tmax, idx.Gamma(), len(idx.Instances)
+		} else if tmin != tmin0 || tmax != tmax0 || idx.Gamma() != gamma0 || len(idx.Instances) != rungs0 {
+			return nil, fmt.Errorf("shard: shard %d ladder (γ=%v τ=[%v,%v) rungs=%d) differs from shard 0 (γ=%v τ=[%v,%v) rungs=%d)",
+				j, idx.Gamma(), tmin, tmax, len(idx.Instances), gamma0, tmin0, tmax0, rungs0)
+		}
+		eng, err := engine.New(idx, opts.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d engine: %w", j, err)
+		}
+		s.shards = append(s.shards, &shardState{eng: eng, inst: insts[j]})
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Graph returns the shared road network.
+func (s *Sharded) Graph() *roadnet.Graph { return s.g }
+
+// Sites returns a copy of the current global site list in dense-id order —
+// the site list a snapshot load must be presented with (together with the
+// trajectory store) after §6 mutations, mirroring the single-shard
+// contract that a snapshot re-attaches only to the exact dataset it was
+// taken from.
+func (s *Sharded) Sites() []roadnet.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]roadnet.NodeID(nil), s.sites...)
+}
+
+// winner is one cluster's globally best representative: the shard holding
+// it and the representative node.
+type winner struct {
+	cluster core.ClusterID
+	shard   int32
+	node    roadnet.NodeID
+}
+
+// ownership maps one ladder instance's clusters to their owning shards. The
+// winners slice is ascending by cluster, so position i is exactly the dense
+// representative index i of a single-shard query on the same instance.
+type ownership struct {
+	winners []winner
+	masks   [][]core.ClusterID // per shard: owned clusters, ascending
+}
+
+// ownership derives (or returns the cached) cluster ownership of instance
+// p: per cluster, the shard whose representative has minimal (dr, node) —
+// the exact tie-break of the single-shard representative choice, so the
+// union of owned representatives is the single-shard representative set.
+// The reduction runs over dense per-cluster slices (cluster ids are dense
+// int32s), and emitting in cluster order makes the winner list sorted by
+// construction.
+func (s *Sharded) ownership(p int) *ownership {
+	s.ownMu.Lock()
+	defer s.ownMu.Unlock()
+	if o := s.own[p]; o != nil {
+		return o
+	}
+	infos := make([][]core.RepInfo, len(s.shards))
+	maxCi := core.ClusterID(-1)
+	for j, sh := range s.shards {
+		infos[j] = sh.eng.RepInfos(p)
+		for _, ri := range infos[j] {
+			if ri.Cluster > maxCi {
+				maxCi = ri.Cluster
+			}
+		}
+	}
+	n := int(maxCi) + 1
+	bestShard := make([]int32, n)
+	bestNode := make([]roadnet.NodeID, n)
+	bestDr := make([]float64, n)
+	for i := range bestShard {
+		bestShard[i] = -1
+	}
+	for j, ris := range infos {
+		for _, ri := range ris {
+			c := ri.Cluster
+			if bestShard[c] < 0 || ri.Dr < bestDr[c] || (ri.Dr == bestDr[c] && ri.Node < bestNode[c]) {
+				bestShard[c], bestNode[c], bestDr[c] = int32(j), ri.Node, ri.Dr
+			}
+		}
+	}
+	o := &ownership{masks: make([][]core.ClusterID, len(s.shards))}
+	for c := 0; c < n; c++ {
+		if bestShard[c] < 0 {
+			continue
+		}
+		o.winners = append(o.winners, winner{cluster: core.ClusterID(c), shard: bestShard[c], node: bestNode[c]})
+		o.masks[bestShard[c]] = append(o.masks[bestShard[c]], core.ClusterID(c))
+	}
+	s.own[p] = o
+	return o
+}
+
+// updateOwnershipAt refreshes the cached ownership tables after a site
+// mutation at node v. A site add/delete moves representatives only inside
+// v's cluster at each instance (core's §6 update rule), so instead of
+// dropping the tables — which would force a full cross-shard re-reduction
+// per query after every update — the one affected cluster's winner is
+// re-reduced in place. Runs under the write lock: no query holds a gather
+// in flight while the winner list and masks are spliced.
+func (s *Sharded) updateOwnershipAt(v roadnet.NodeID) {
+	s.ownMu.Lock()
+	defer s.ownMu.Unlock()
+	for p, own := range s.own {
+		ci := s.shards[0].eng.ClusterOf(p, v)
+		if ci == core.InvalidCluster {
+			continue
+		}
+		var nw winner
+		var nwDr float64
+		has := false
+		for j, sh := range s.shards {
+			ri, ok := sh.eng.RepOfCluster(p, ci)
+			if !ok {
+				continue
+			}
+			if !has || ri.Dr < nwDr || (ri.Dr == nwDr && ri.Node < nw.node) {
+				nw = winner{cluster: ci, shard: int32(j), node: ri.Node}
+				nwDr = ri.Dr
+				has = true
+			}
+		}
+		pos := sort.Search(len(own.winners), func(i int) bool { return own.winners[i].cluster >= ci })
+		had := pos < len(own.winners) && own.winners[pos].cluster == ci
+		switch {
+		case has && had:
+			old := own.winners[pos]
+			own.winners[pos] = nw
+			if old.shard != nw.shard {
+				own.masks[old.shard] = maskRemove(own.masks[old.shard], ci)
+				own.masks[nw.shard] = maskInsert(own.masks[nw.shard], ci)
+			}
+		case has && !had:
+			own.winners = append(own.winners, winner{})
+			copy(own.winners[pos+1:], own.winners[pos:])
+			own.winners[pos] = nw
+			own.masks[nw.shard] = maskInsert(own.masks[nw.shard], ci)
+		case !has && had:
+			old := own.winners[pos]
+			own.winners = append(own.winners[:pos], own.winners[pos+1:]...)
+			own.masks[old.shard] = maskRemove(own.masks[old.shard], ci)
+		}
+	}
+}
+
+// maskInsert adds ci to a sorted cluster mask.
+func maskInsert(mask []core.ClusterID, ci core.ClusterID) []core.ClusterID {
+	pos := sort.Search(len(mask), func(i int) bool { return mask[i] >= ci })
+	if pos < len(mask) && mask[pos] == ci {
+		return mask
+	}
+	mask = append(mask, 0)
+	copy(mask[pos+1:], mask[pos:])
+	mask[pos] = ci
+	return mask
+}
+
+// maskRemove deletes ci from a sorted cluster mask.
+func maskRemove(mask []core.ClusterID, ci core.ClusterID) []core.ClusterID {
+	pos := sort.Search(len(mask), func(i int) bool { return mask[i] >= ci })
+	if pos < len(mask) && mask[pos] == ci {
+		return append(mask[:pos], mask[pos+1:]...)
+	}
+	return mask
+}
+
+// gatherSet is one scatter's result: per-shard masked covers plus the
+// local→global dense index mapping that stitches them into the single-shard
+// representative space.
+type gatherSet struct {
+	own *ownership
+	n   int // number of winners == single-shard representative count
+	m   int // trajectory universe size (max over shard covers)
+	loc []*shardCover
+}
+
+// shardCover is one shard's slice of the query: its masked cover and the
+// mapping from its local dense representative index to the global one.
+type shardCover struct {
+	shard int
+	cs    *tops.CoverSets
+	g2l   []int32 // local rep index -> global winner index, -1 = not a winner
+}
+
+// scatter fetches every owning shard's masked cover for (p, ψ) — in
+// parallel when the machine has the cores for it — and builds the gather
+// set. Cover wall time is accounted to the cover phase.
+func (s *Sharded) scatter(ctx context.Context, p int, pref tops.Preference, own *ownership, parallel bool) (*gatherSet, error) {
+	t0 := time.Now()
+	defer func() { s.coverNanos.Add(time.Since(t0).Nanoseconds()) }()
+
+	type fetch struct {
+		cs   *tops.CoverSets
+		reps []core.ClusterID
+		err  error
+	}
+	fetches := make([]fetch, len(s.shards))
+	run := func(j int) {
+		sh := s.shards[j]
+		sh.scatters.Add(1)
+		sh.inFlight.Add(1)
+		defer sh.inFlight.Add(-1)
+		fetches[j].cs, fetches[j].reps, fetches[j].err = sh.eng.CoverMasked(ctx, p, pref, own.masks[j])
+	}
+	active := make([]int, 0, len(s.shards))
+	for j := range s.shards {
+		if len(own.masks[j]) > 0 {
+			active = append(active, j)
+		}
+	}
+	if parallel && len(active) > 1 {
+		var wg sync.WaitGroup
+		for _, j := range active {
+			wg.Add(1)
+			go func(j int) { defer wg.Done(); run(j) }(j)
+		}
+		wg.Wait()
+	} else {
+		for _, j := range active {
+			run(j)
+		}
+	}
+
+	gs := &gatherSet{own: own, n: len(own.winners)}
+	// globalIdx[cluster] via merge: winners and each shard's returned reps
+	// are both ascending by cluster.
+	order := active
+	if s.gatherOrder != nil {
+		order = make([]int, 0, len(active))
+		for _, j := range s.gatherOrder {
+			for _, a := range active {
+				if a == j {
+					order = append(order, j)
+				}
+			}
+		}
+	}
+	for _, j := range order {
+		f := fetches[j]
+		if f.err != nil {
+			return nil, f.err
+		}
+		sc := &shardCover{shard: j, cs: f.cs, g2l: make([]int32, len(f.reps))}
+		wi := 0
+		for li, ci := range f.reps {
+			sc.g2l[li] = -1
+			for wi < gs.n && own.winners[wi].cluster < ci {
+				wi++
+			}
+			if wi < gs.n && own.winners[wi].cluster == ci && own.winners[wi].shard == int32(j) {
+				sc.g2l[li] = int32(wi)
+				wi++
+			}
+		}
+		if f.cs.M > gs.m {
+			gs.m = f.cs.M
+		}
+		gs.loc = append(gs.loc, sc)
+	}
+	return gs, nil
+}
+
+// accountErr classifies a failure into the error/canceled counters.
+func (s *Sharded) accountErr(err error) error {
+	if err != nil {
+		s.errorCount.Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.canceled.Add(1)
+		}
+	}
+	return err
+}
+
+// Query answers one TOPS query by scatter-gather, bit-exact against the
+// single-shard engine. The context cancels the scatter at the shard fills'
+// checkpoints and is re-checked before the gather greedy.
+func (s *Sharded) Query(ctx context.Context, opts core.QueryOptions) (*core.QueryResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := s.serve(ctx, opts, runtime.GOMAXPROCS(0) > 1)
+	if err == nil {
+		s.queries.Add(1)
+	}
+	return res, s.accountErr(err)
+}
+
+func (s *Sharded) serve(ctx context.Context, opts core.QueryOptions, parallel bool) (*core.QueryResult, error) {
+	if err := opts.Pref.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("shard: k = %d must be positive", opts.K)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p := s.shards[0].eng.InstanceFor(opts.Pref.Tau)
+	own := s.ownership(p)
+	gs, err := s.scatter(ctx, p, opts.Pref, own, parallel)
+	if err != nil {
+		return nil, err
+	}
+	return s.answer(ctx, gs, p, opts, parallel)
+}
+
+// answer runs the gather phase: the distributed greedy on the common path,
+// or the merged-cover fallback for query modes with extra greedy state (FM
+// sketches, lazy evaluation, existing services, target coverage).
+func (s *Sharded) answer(ctx context.Context, gs *gatherSet, p int, opts core.QueryOptions, parallel bool) (*core.QueryResult, error) {
+	if gs.n == 0 {
+		return nil, fmt.Errorf("shard: instance %d has no cluster representatives (no candidate sites?)", p)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	k := opts.K
+	if k > gs.n {
+		k = gs.n
+	}
+	t0 := time.Now()
+	defer func() { s.greedyNanos.Add(time.Since(t0).Nanoseconds()) }()
+
+	var res tops.Result
+	var err error
+	if opts.UseFM || opts.Greedy.Lazy || len(opts.Greedy.InitialSites) > 0 || opts.Greedy.TargetCoverage > 0 {
+		cs := gs.merged()
+		if opts.UseFM {
+			res, err = tops.FMGreedy(cs, tops.FMGreedyOptions{K: k, F: opts.F, Seed: opts.Seed})
+		} else {
+			gopts := opts.Greedy
+			gopts.K = k
+			if gopts.TargetCoverage > 0 {
+				gopts.K = gs.n
+			}
+			res, err = tops.IncGreedy(cs, gopts)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res = gs.greedy(k, parallel)
+	}
+
+	out := &core.QueryResult{
+		EstimatedUtility:   res.Utility,
+		EstimatedCovered:   res.Covered,
+		InstanceUsed:       p,
+		NumRepresentatives: gs.n,
+	}
+	for _, ri := range res.Selected {
+		w := gs.own.winners[ri]
+		out.Sites = append(out.Sites, w.node)
+		sid := tops.InvalidSiteID
+		if id, ok := s.siteID[w.node]; ok {
+			sid = tops.SiteID(id)
+		}
+		out.SiteIDs = append(out.SiteIDs, sid)
+	}
+	return out, nil
+}
+
+// merged stitches the per-shard covers into one global CoverSets in the
+// single-shard dense representative space. TC slices are shared (they are
+// read-only downstream); weights recompute through the same summation
+// SetTC performs on the single-shard fill, so they carry identical bits.
+func (gs *gatherSet) merged() *tops.CoverSets {
+	cs := tops.NewCoverSets(gs.n, gs.m)
+	for _, sc := range gs.loc {
+		for li, gi := range sc.g2l {
+			if gi >= 0 {
+				cs.SetTC(gi, sc.cs.TC[li])
+			}
+		}
+	}
+	cs.RebuildSC()
+	return cs
+}
+
+// QueryBatch answers many queries under one read lock, scattering once per
+// (ladder instance, ψ fingerprint) group and fanning the gather greedies
+// across Engine.BatchWorkers, mirroring engine.QueryBatch.
+func (s *Sharded) QueryBatch(ctx context.Context, qs []core.QueryOptions) []engine.BatchItem {
+	out := make([]engine.BatchItem, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.batches.Add(1)
+
+	type groupKey struct {
+		p  int
+		fp uint64
+	}
+	groups := make(map[groupKey][]int)
+	for i, q := range qs {
+		if err := q.Pref.Validate(); err != nil {
+			out[i].Err = s.accountErr(err)
+			continue
+		}
+		if q.K <= 0 {
+			out[i].Err = s.accountErr(fmt.Errorf("shard: k = %d must be positive", q.K))
+			continue
+		}
+		key := groupKey{p: s.shards[0].eng.InstanceFor(q.Pref.Tau), fp: core.PrefFingerprint(q.Pref)}
+		groups[key] = append(groups[key], i)
+	}
+
+	workers := s.opts.Engine.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for key, members := range groups {
+		own := s.ownership(key.p)
+		gs, err := s.scatter(ctx, key.p, qs[members[0]].Pref, own, true)
+		if err != nil {
+			for _, i := range members {
+				out[i].Err = s.accountErr(err)
+			}
+			continue
+		}
+		for _, i := range members {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				// The per-query gather runs its rounds inline: parallelism
+				// comes from the fan-out across batch members here.
+				out[i].Result, out[i].Err = s.answer(ctx, gs, key.p, qs[i], false)
+				if out[i].Err == nil {
+					s.batchQueries.Add(1)
+				} else {
+					s.accountErr(out[i].Err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Mutations. Site updates route to the owning shard; trajectory updates
+// broadcast (every shard's trajectory lists carry every trajectory). All
+// run under the write lock, so queries drain first and ownership
+// invalidation is fenced.
+
+// AddSite registers a new candidate site on its owning shard.
+func (s *Sharded) AddSite(v roadnet.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCount.Add(1)
+	j := s.part.Shard(v)
+	sh := s.shards[j]
+	sh.updates.Add(1)
+	if err := sh.eng.AddSite(v); err != nil {
+		return err
+	}
+	s.sites = append(s.sites, v)
+	s.siteID[v] = int32(len(s.sites) - 1)
+	s.updateOwnershipAt(v)
+	return nil
+}
+
+// DeleteSite removes a candidate site from its owning shard, mirroring the
+// single-shard swap-remove dense-id bookkeeping globally.
+func (s *Sharded) DeleteSite(v roadnet.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCount.Add(1)
+	j := s.part.Shard(v)
+	sh := s.shards[j]
+	sh.updates.Add(1)
+	if err := sh.eng.DeleteSite(v); err != nil {
+		return err
+	}
+	slot := s.siteID[v]
+	last := len(s.sites) - 1
+	if moved := s.sites[last]; moved != v {
+		s.sites[slot] = moved
+		s.siteID[moved] = slot
+	}
+	s.sites = s.sites[:last]
+	delete(s.siteID, v)
+	s.updateOwnershipAt(v)
+	return nil
+}
+
+// AddSites registers a batch of candidate sites, validated as a whole
+// up front (all-or-nothing, like the single-shard batch path) and then
+// routed per owning shard.
+func (s *Sharded) AddSites(nodes []roadnet.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCount.Add(1)
+	dup := make(map[roadnet.NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		if v < 0 || int(v) >= s.g.NumNodes() {
+			return fmt.Errorf("shard: AddSites: node %d outside graph", v)
+		}
+		if _, ok := s.siteID[v]; ok {
+			return fmt.Errorf("shard: AddSites: node %d is already a site", v)
+		}
+		if dup[v] {
+			return fmt.Errorf("shard: AddSites: node %d listed twice", v)
+		}
+		dup[v] = true
+	}
+	byShard := make([][]roadnet.NodeID, len(s.shards))
+	for _, v := range nodes {
+		j := s.part.Shard(v)
+		byShard[j] = append(byShard[j], v)
+	}
+	for j, group := range byShard {
+		if len(group) == 0 {
+			continue
+		}
+		s.shards[j].updates.Add(1)
+		if err := s.shards[j].eng.AddSites(group); err != nil {
+			// Unreachable after the validation above; surface loudly if a
+			// shard still disagrees, because state has diverged.
+			return fmt.Errorf("shard: AddSites: shard %d rejected a pre-validated batch: %w", j, err)
+		}
+	}
+	for _, v := range nodes {
+		s.sites = append(s.sites, v)
+		s.siteID[v] = int32(len(s.sites) - 1)
+		s.updateOwnershipAt(v)
+	}
+	return nil
+}
+
+// broadcast applies one trajectory mutation to every shard. The first shard
+// validates before mutating (core's contract), so an invalid request fails
+// cleanly with no shard touched; shards past the first share identical
+// trajectory state, so they cannot disagree with it.
+func (s *Sharded) broadcast(apply func(sh *shardState) error) error {
+	for j, sh := range s.shards {
+		sh.updates.Add(1)
+		if err := apply(sh); err != nil {
+			if j > 0 {
+				return fmt.Errorf("shard: shard %d diverged during a trajectory broadcast: %w", j, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// AddTrajectory ingests one trajectory into every shard; all shards assign
+// the same id (their stores are clones of one origin).
+func (s *Sharded) AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCount.Add(1)
+	var tid trajectory.ID
+	first := true
+	err := s.broadcast(func(sh *shardState) error {
+		id, err := sh.eng.AddTrajectory(tr)
+		if err != nil {
+			return err
+		}
+		if first {
+			tid, first = id, false
+		} else if id != tid {
+			return fmt.Errorf("assigned id %d, expected %d", id, tid)
+		}
+		return nil
+	})
+	return tid, err
+}
+
+// DeleteTrajectory removes one trajectory from every shard.
+func (s *Sharded) DeleteTrajectory(tid trajectory.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCount.Add(1)
+	return s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectory(tid) })
+}
+
+// AddTrajectories ingests a batch of trajectories into every shard.
+func (s *Sharded) AddTrajectories(trs []*trajectory.Trajectory) ([]trajectory.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCount.Add(1)
+	var ids []trajectory.ID
+	first := true
+	err := s.broadcast(func(sh *shardState) error {
+		got, err := sh.eng.AddTrajectories(trs)
+		if err != nil {
+			return err
+		}
+		if first {
+			ids, first = got, false
+		}
+		return nil
+	})
+	return ids, err
+}
+
+// DeleteTrajectories removes a batch of trajectories from every shard.
+func (s *Sharded) DeleteTrajectories(ids []trajectory.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCount.Add(1)
+	return s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectories(ids) })
+}
+
+// Stats aggregates the scatter-gather engine's counters into the same shape
+// the single-shard engine reports (the /statsz wire contract). Cover cache
+// counters sum across shards.
+func (s *Sharded) Stats() engine.Stats {
+	st := engine.Stats{
+		Queries:      s.queries.Load(),
+		BatchQueries: s.batchQueries.Load(),
+		Batches:      s.batches.Load(),
+		Updates:      s.updateCount.Load(),
+		Errors:       s.errorCount.Load(),
+		Canceled:     s.canceled.Load(),
+		CoverTime:    time.Duration(s.coverNanos.Load()),
+		GreedyTime:   time.Duration(s.greedyNanos.Load()),
+	}
+	for _, sh := range s.shards {
+		es := sh.eng.Stats()
+		st.CoverHits += es.CoverHits
+		st.CoverMisses += es.CoverMisses
+		st.CoverEntries += es.CoverEntries
+	}
+	return st
+}
+
+// Stat is one shard's /statsz block: size, cover-cache effectiveness, and
+// the scatter queue depth (fetches currently in flight on the shard).
+type Stat struct {
+	Shard        int    `json:"shard"`
+	Sites        int    `json:"sites"`
+	Scatters     uint64 `json:"scatter_calls"`
+	QueueDepth   int64  `json:"queue_depth"`
+	Updates      uint64 `json:"updates"`
+	CoverHits    uint64 `json:"cover_hits"`
+	CoverMisses  uint64 `json:"cover_misses"`
+	CoverEntries int    `json:"cover_entries"`
+}
+
+// ShardStats reports per-shard counters (the /statsz "shards" array).
+func (s *Sharded) ShardStats() []Stat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Stat, len(s.shards))
+	for j, sh := range s.shards {
+		es := sh.eng.Stats()
+		out[j] = Stat{
+			Shard:        j,
+			Sites:        sh.inst.N(),
+			Scatters:     sh.scatters.Load(),
+			QueueDepth:   sh.inFlight.Load(),
+			Updates:      sh.updates.Load(),
+			CoverHits:    es.CoverHits,
+			CoverMisses:  es.CoverMisses,
+			CoverEntries: es.CoverEntries,
+		}
+	}
+	return out
+}

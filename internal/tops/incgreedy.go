@@ -235,6 +235,14 @@ func lazyGreedy(cs *CoverSets, opts GreedyOptions) Result {
 	return res
 }
 
+// GreaterSite exposes the greedy's site total order for distributed
+// implementations (internal/shard's gather reduces per-shard argmax
+// candidates under exactly this comparator, which is what makes the
+// scatter-gather selection identical to plainGreedy's scan).
+func GreaterSite(m1, w1 float64, s1 int, m2, w2 float64, s2 int) bool {
+	return greaterSite(m1, w1, s1, m2, w2, s2)
+}
+
 // greaterSite implements the paper's tie-breaking: larger marginal first,
 // then larger weight, then higher index.
 func greaterSite(m1, w1 float64, s1 int, m2, w2 float64, s2 int) bool {

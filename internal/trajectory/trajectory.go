@@ -224,6 +224,17 @@ func (s *Store) ClassifyByLength(bounds [][2]float64) []LengthClass {
 	return classes
 }
 
+// Clone returns an independent store holding the same trajectories in the
+// same id order. The *Trajectory values are shared (they are immutable once
+// built); only the index is copied, so later Adds to either store do not
+// affect the other. The sharded engine clones the store per shard so every
+// shard assigns identical ids to dynamically added trajectories.
+func (s *Store) Clone() *Store {
+	out := NewStore(len(s.trajs))
+	out.trajs = append(out.trajs, s.trajs...)
+	return out
+}
+
 // Sample returns a new store holding the trajectories with the given ids.
 func (s *Store) Sample(ids []ID) *Store {
 	out := NewStore(len(ids))

@@ -23,6 +23,7 @@ import (
 	"netclus/internal/gen"
 	"netclus/internal/roadnet"
 	"netclus/internal/server"
+	"netclus/internal/shard"
 	"netclus/internal/tops"
 	"netclus/internal/trajectory"
 )
@@ -139,6 +140,64 @@ func NewEngine(idx *Index, opts EngineOptions) (*Engine, error) {
 	return engine.New(idx, opts)
 }
 
+// Sharded serving layer: N site-partitioned engine shards answering every
+// query by scatter-gather, bit-exact against the single-shard Engine (the
+// shard-differential oracle enforces the equality). Site updates route to
+// the owning shard — so only ~1/N of the memoized covering structures
+// invalidate per mutation — and trajectory updates broadcast. Snapshots
+// write one manifest plus one file per shard (SaveShardedDir) or a single
+// container stream (ShardedEngine.Snapshot).
+type (
+	// ShardedEngine is the scatter-gather engine. It serves the same
+	// Query/QueryBatch/Stats/Snapshot surface as Engine, so NewServer
+	// accepts either.
+	ShardedEngine = shard.Sharded
+	// ShardedOptions configures shard count, partitioner, and the
+	// per-shard build/engine options.
+	ShardedOptions = shard.Options
+	// ShardStat is one shard's /statsz counter block.
+	ShardStat = shard.Stat
+)
+
+// Partitioner names for ShardedOptions.Partitioner.
+const (
+	// ShardByHash partitions sites uniformly by node-id hash (default).
+	ShardByHash = shard.HashPartitioner
+	// ShardByGrid partitions sites spatially over the graph's bounding box.
+	ShardByGrid = shard.GridPartitioner
+)
+
+// NewShardedEngine partitions inst's candidate sites and builds one index
+// per shard (concurrently, splitting ShardedOptions.Build.Workers).
+func NewShardedEngine(inst *Instance, opts ShardedOptions) (*ShardedEngine, error) {
+	return shard.Build(inst, opts)
+}
+
+// LoadShardedDir warm-starts a sharded engine from a SaveShardedDir layout
+// (manifest.json plus per-shard snapshot files); inst must be the dataset
+// the engine was built from.
+func LoadShardedDir(dir string, inst *Instance, opts ShardedOptions) (*ShardedEngine, error) {
+	return shard.LoadDir(dir, inst, opts)
+}
+
+// SaveShardedDir writes s as a manifest plus per-shard snapshot files.
+func SaveShardedDir(s *ShardedEngine, dir string) error { return s.SaveDir(dir) }
+
+// LoadShardedSnapshot reads the single-stream container format that
+// ShardedEngine.Snapshot writes (and /v1/snapshot serves, and topsserve
+// -snapshot-on-exit stores for a sharded server) and re-attaches it to
+// inst, the full dataset the engine was built from.
+func LoadShardedSnapshot(r io.Reader, inst *Instance, opts ShardedOptions) (*ShardedEngine, error) {
+	return shard.LoadSharded(r, inst, opts)
+}
+
+// ValidateShardCount applies the serving-CLI policy for shard counts:
+// reject non-positive, cap at the core count with a warning.
+var ValidateShardCount = shard.ValidateShardCount
+
+// ShardedManifestName is the manifest file inside a SaveShardedDir layout.
+const ShardedManifestName = shard.ManifestName
+
 // Network serving layer.
 type (
 	// Server exposes an Engine over an HTTP JSON API: /v1/query (with
@@ -152,11 +211,15 @@ type (
 	ServeOptions = server.Options
 	// ServeLimits bounds what the server's request decoder accepts.
 	ServeLimits = server.Limits
+	// ServerEngine is the serving surface NewServer accepts: both Engine
+	// and ShardedEngine satisfy it.
+	ServerEngine = server.Engine
 )
 
-// NewServer wraps an Engine in the HTTP serving layer. The caller keeps
-// ownership of the engine (e.g. for a final snapshot after drain).
-func NewServer(eng *Engine, opts ServeOptions) (*Server, error) {
+// NewServer wraps an engine — single-index or sharded — in the HTTP
+// serving layer. The caller keeps ownership of the engine (e.g. for a
+// final snapshot after drain).
+func NewServer(eng ServerEngine, opts ServeOptions) (*Server, error) {
 	return server.New(eng, opts)
 }
 
