@@ -1,15 +1,28 @@
 // Command topsserve serves TOPS queries over HTTP: it materializes a
-// dataset preset, warm-starts the NETCLUS index from a snapshot when one is
-// available (the PR-2 lifecycle: -cache / -load), wraps it in the
-// concurrent engine, and exposes the internal/server JSON API with
+// dataset preset, warm-starts the NETCLUS index from a snapshot or
+// checkpoint when one is available, wraps it in the concurrent engine
+// (single-index or sharded), and exposes the internal/server JSON API with
 // micro-batched admission and graceful drain.
+//
+// Durability (-wal-dir): every acknowledged /v1/update is appended to a
+// write-ahead log before the response leaves; -fsync picks the durability
+// window (always / interval / none) and -checkpoint-every writes periodic
+// recovery checkpoints that also advance log compaction. A killed server
+// restarted with the same -wal-dir recovers to exactly the acknowledged
+// state: checkpoint + log-tail replay.
+//
+// Replication (-follow): a read-replica tails the primary's /v1/log,
+// applies records through the recovery replay path, rejects writes with
+// 403, and reports its lag in /healthz and /statsz. With -wal-dir it also
+// persists the stream locally (and can itself be tailed).
 //
 // Usage:
 //
 //	topsserve -preset beijing -scale 0.02 -cache .ncache
-//	topsserve -preset beijing -scale 0.02 -load bj.ncss -addr :8080
-//	topsserve -preset beijing -scale 0.02 -shards 4 -cache .ncache
-//	topsserve -preset atlanta -batch-window 1ms -batch-max 128
+//	topsserve -preset beijing -scale 0.02 -wal-dir ./wal -fsync always
+//	topsserve -preset beijing -scale 0.02 -wal-dir ./wal -checkpoint-every 5m
+//	topsserve -preset beijing -scale 0.02 -shards 4 -wal-dir ./wal
+//	topsserve -preset beijing -scale 0.02 -follow http://primary:8080 -addr :8081
 //
 // Query it:
 //
@@ -17,18 +30,21 @@
 //	curl -s -X POST localhost:8080/v1/query -d '{"k":5,"tau":0.8}'
 //	curl -s -X POST localhost:8080/v1/update -d '{"op":"delete_site","node":17}'
 //	curl -s -X POST localhost:8080/v1/snapshot -o index.ncss
+//	curl -s -X POST localhost:8080/v1/checkpoint -o backup.ncck
+//	curl -s 'localhost:8080/v1/log?from=1' -o records.bin
 //	curl -s localhost:8080/statsz
 //
 // SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503 so load
 // balancers stop routing here, in-flight requests finish (bounded by
-// -drain-timeout), the micro-batcher delivers its last flush, and an
-// optional -snapshot-on-exit checkpoint is written before exit.
+// -drain-timeout), the micro-batcher delivers its last flush, and optional
+// -snapshot-on-exit / final checkpoints are written before exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,7 +54,11 @@ import (
 
 	"netclus"
 	"netclus/internal/dataset"
+	"netclus/internal/wal"
 )
+
+// checkpointName is the recovery bundle inside -wal-dir.
+const checkpointName = "checkpoint.ncck"
 
 // fileExists reports whether path exists (used only to decide whether a
 // failed warm load deserves a diagnostic).
@@ -59,65 +79,203 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// config carries the parsed flags the boot paths share.
+type config struct {
+	addr         string
+	preset       string
+	scale        float64
+	seed         int64
+	loadPath     string
+	cacheDir     string
+	workers      int
+	noCoverCache bool
+	batchWindow  time.Duration
+	batchMax     int
+	timeout      time.Duration
+	drainTimeout time.Duration
+	exitSnapshot string
+	shards       int
+	partitioner  string
+
+	walDir          string
+	fsync           netclus.SyncPolicy
+	fsyncInterval   time.Duration
+	checkpointEvery time.Duration
+	follow          string
+	followPoll      time.Duration
+}
+
+func (c *config) engineOpts() netclus.EngineOptions {
+	return netclus.EngineOptions{DisableCoverCache: c.noCoverCache}
+}
+
+func (c *config) walOptions() netclus.WALOptions {
+	return netclus.WALOptions{Policy: c.fsync, Interval: c.fsyncInterval}
+}
+
+func (c *config) checkpointPath() string { return filepath.Join(c.walDir, checkpointName) }
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		preset       = flag.String("preset", "beijing", "dataset preset to serve")
-		scale        = flag.Float64("scale", 0.02, "dataset scale")
-		seed         = flag.Int64("seed", 42, "generation seed")
-		loadPath     = flag.String("load", "", "warm-start from this snapshot file (dataset must match)")
-		cacheDir     = flag.String("cache", "", "snapshot-cache directory (warm-starts repeat boots, caches cold builds)")
-		workers      = flag.Int("workers", 0, "index build parallelism for cold builds (0 = all cores)")
-		noCoverCache = flag.Bool("no-cover-cache", false, "disable the engine's cover memoization (paper's per-query behaviour)")
-		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window; 0 disables batching")
-		batchMax     = flag.Int("batch-max", 64, "micro-batch flush size")
-		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
-		exitSnapshot = flag.String("snapshot-on-exit", "", "write a final index checkpoint here after draining")
-		shards       = flag.Int("shards", 1, "number of engine shards; queries scatter-gather across them and site updates invalidate only the owning shard")
-		partitioner  = flag.String("partitioner", netclus.ShardByHash, "site partitioner for -shards > 1: hash or grid")
-	)
+	var c config
+	var fsyncName string
+	flag.StringVar(&c.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&c.preset, "preset", "beijing", "dataset preset to serve")
+	flag.Float64Var(&c.scale, "scale", 0.02, "dataset scale")
+	flag.Int64Var(&c.seed, "seed", 42, "generation seed")
+	flag.StringVar(&c.loadPath, "load", "", "warm-start from this snapshot file (dataset must match)")
+	flag.StringVar(&c.cacheDir, "cache", "", "snapshot-cache directory (warm-starts repeat boots, caches cold builds)")
+	flag.IntVar(&c.workers, "workers", 0, "index build parallelism for cold builds (0 = all cores)")
+	flag.BoolVar(&c.noCoverCache, "no-cover-cache", false, "disable the engine's cover memoization (paper's per-query behaviour)")
+	flag.DurationVar(&c.batchWindow, "batch-window", 2*time.Millisecond, "micro-batch coalescing window; 0 disables batching")
+	flag.IntVar(&c.batchMax, "batch-max", 64, "micro-batch flush size")
+	flag.DurationVar(&c.timeout, "timeout", 10*time.Second, "default per-request deadline")
+	flag.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	flag.StringVar(&c.exitSnapshot, "snapshot-on-exit", "", "write a final index checkpoint here after draining")
+	flag.IntVar(&c.shards, "shards", 1, "number of engine shards; queries scatter-gather across them and site updates invalidate only the owning shard")
+	flag.StringVar(&c.partitioner, "partitioner", netclus.ShardByHash, "site partitioner for -shards > 1: hash or grid")
+	flag.StringVar(&c.walDir, "wal-dir", "", "write-ahead-log directory: log every update, recover on boot (checkpoint + tail replay)")
+	flag.StringVar(&fsyncName, "fsync", string(netclus.FsyncEveryInterval), "WAL fsync policy: always (durable acks), interval (group commit), none")
+	flag.DurationVar(&c.fsyncInterval, "fsync-interval", 100*time.Millisecond, "group-commit period for -fsync interval")
+	flag.DurationVar(&c.checkpointEvery, "checkpoint-every", 0, "write a recovery checkpoint on this period and compact the log (requires -wal-dir)")
+	flag.StringVar(&c.follow, "follow", "", "run as a read-replica tailing this primary URL's /v1/log")
+	flag.DurationVar(&c.followPoll, "follow-poll", 500*time.Millisecond, "replica tailing period for -follow")
 	flag.Parse()
-	if *cacheDir != "" && *loadPath != "" {
+
+	pol, err := netclus.ParseFsyncPolicy(fsyncName)
+	if err != nil {
+		fatal(err)
+	}
+	c.fsync = pol
+	if c.cacheDir != "" && c.loadPath != "" {
 		fatal(fmt.Errorf("-cache and -load are mutually exclusive: the cache decides which snapshot to read"))
 	}
-	nShards, shardWarn, err := netclus.ValidateShardCount(*shards)
+	if c.checkpointEvery > 0 && c.walDir == "" {
+		fatal(fmt.Errorf("-checkpoint-every needs -wal-dir (checkpoints live in the log directory)"))
+	}
+	if c.follow != "" && c.loadPath != "" {
+		fatal(fmt.Errorf("-follow bootstraps from its -wal-dir checkpoint or the primary; -load does not apply"))
+	}
+	if c.walDir != "" && c.loadPath != "" {
+		fatal(fmt.Errorf("-load and -wal-dir are mutually exclusive: with a WAL, the checkpoint in the log directory decides the starting state"))
+	}
+	nShards, shardWarn, err := netclus.ValidateShardCount(c.shards)
 	if err != nil {
 		fatal(err)
 	}
 	if shardWarn != "" {
 		fmt.Fprintln(os.Stderr, shardWarn)
 	}
-	if nShards > 1 && *loadPath != "" {
+	c.shards = nShards
+	if c.shards > 1 && c.loadPath != "" {
 		fatal(fmt.Errorf("-load reads a single-index snapshot; with -shards > 1 use -cache, which stores a sharded manifest"))
 	}
 
-	// Materialize the dataset and its serving engine, warm when possible.
+	if c.follow != "" {
+		followerMain(&c)
+		return
+	}
+	primaryMain(&c)
+}
+
+// primaryMain boots a read-write server: recover from the WAL directory
+// when one is configured, otherwise build/warm-load as before.
+func primaryMain(c *config) {
 	t0 := time.Now()
+	var log *netclus.WAL
+	var err error
+	if c.walDir != "" {
+		log, err = netclus.OpenWAL(c.walDir, c.walOptions())
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var eng netclus.DurableEngine
 	var inst *netclus.Instance
-	var serveEng netclus.ServerEngine
-	if nShards > 1 {
-		d, err := netclus.LoadDataset(dataset.Preset(*preset), netclus.DatasetConfig{Scale: *scale, Seed: *seed})
+	if log != nil && fileExists(c.checkpointPath()) {
+		// Recovery fast path: the checkpoint bundles the mutated dataset,
+		// so only the immutable graph comes from the preset.
+		d, err := netclus.LoadDataset(dataset.Preset(c.preset), netclus.DatasetConfig{Scale: c.scale, Seed: c.seed})
 		if err != nil {
 			fatal(err)
 		}
 		inst = d.Instance
 		fmt.Println(d.Summary())
+		eng, err = netclus.LoadCheckpointFile(c.checkpointPath(), inst.G, c.engineOpts())
+		if err != nil {
+			fatal(fmt.Errorf("recovering from %s: %w", c.checkpointPath(), err))
+		}
+		if c.shards > 1 {
+			fmt.Fprintln(os.Stderr, "note: -shards/-partitioner are ignored when recovering from a checkpoint (its topology applies)")
+		}
+		fmt.Printf("recovered checkpoint %s at LSN %d in %.3fs\n", c.checkpointPath(), eng.LSN(), time.Since(t0).Seconds())
+	} else {
+		eng, inst, err = buildEngine(c, t0)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if log != nil {
+		reconcileLog(eng, log, c.walDir)
+		n, err := netclus.ReplayWAL(log, eng)
+		if err != nil {
+			fatal(fmt.Errorf("replaying WAL tail: %w", err))
+		}
+		if n > 0 {
+			fmt.Printf("replayed %d WAL records to LSN %d\n", n, eng.LSN())
+		}
+		if err := eng.AttachWAL(log); err != nil {
+			fatal(err)
+		}
+	}
+	startServer(eng, inst, c, log, nil)
+}
+
+// reconcileLog handles a checkpoint stamped ahead of the log: under
+// group-commit fsync a crash can lose the log's acknowledged tail from the
+// page cache while the (always-fsynced) checkpoint survives. Everything
+// the log lost is covered by the checkpoint, so the stale log is discarded
+// and AttachWAL rebases it at the checkpoint's LSN — the alternative is a
+// boot failure an operator can only fix by deleting segment files.
+func reconcileLog(eng netclus.DurableEngine, log *netclus.WAL, dir string) {
+	if head := log.HeadLSN(); eng.LSN() > head {
+		if head > 0 {
+			fmt.Fprintf(os.Stderr, "log head LSN %d behind checkpoint LSN %d (tail lost in a crash); resetting %s — the checkpoint covers every lost record\n",
+				head, eng.LSN(), dir)
+		}
+		if err := log.Reset(); err != nil {
+			fatal(fmt.Errorf("resetting stale WAL: %w", err))
+		}
+	}
+}
+
+// buildEngine materializes the dataset and its serving engine from the
+// preset — warm from the snapshot cache when possible — exactly as a
+// WAL-less boot always has.
+func buildEngine(c *config, t0 time.Time) (netclus.DurableEngine, *netclus.Instance, error) {
+	if c.shards > 1 {
+		d, err := netclus.LoadDataset(dataset.Preset(c.preset), netclus.DatasetConfig{Scale: c.scale, Seed: c.seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		inst := d.Instance
+		fmt.Println(d.Summary())
 		sopts := netclus.ShardedOptions{
-			Shards:      nShards,
-			Partitioner: *partitioner,
-			Build:       netclus.BuildOptions{Workers: *workers},
-			Engine:      netclus.EngineOptions{DisableCoverCache: *noCoverCache},
+			Shards:      c.shards,
+			Partitioner: c.partitioner,
+			Build:       netclus.BuildOptions{Workers: c.workers},
+			Engine:      c.engineOpts(),
 		}
 		var sh *netclus.ShardedEngine
 		dir := ""
-		if *cacheDir != "" {
-			dir = shardedCacheDir(*cacheDir, *preset, *scale, *seed, nShards, *partitioner)
+		if c.cacheDir != "" {
+			dir = shardedCacheDir(c.cacheDir, c.preset, c.scale, c.seed, c.shards, c.partitioner)
 			warm, err := netclus.LoadShardedDir(dir, inst, sopts)
 			switch {
 			case err == nil:
 				sh = warm
-				fmt.Printf("sharded warm load (%d shards) from %s in %.3fs\n", nShards, dir, time.Since(t0).Seconds())
+				fmt.Printf("sharded warm load (%d shards) from %s in %.3fs\n", c.shards, dir, time.Since(t0).Seconds())
 			case fileExists(filepath.Join(dir, netclus.ShardedManifestName)):
 				// A manifest exists but would not load (corrupt file,
 				// dataset/generator drift): say why before the expensive
@@ -126,10 +284,9 @@ func main() {
 			}
 		}
 		if sh == nil {
-			var err error
 			sh, err = netclus.NewShardedEngine(inst, sopts)
 			if err != nil {
-				fatal(err)
+				return nil, nil, err
 			}
 			how := "sharded cold build"
 			if dir != "" {
@@ -141,20 +298,19 @@ func main() {
 					how += " + cache"
 				}
 			}
-			fmt.Printf("%s (%d shards, partitioner %s) in %.1fs\n", how, nShards, *partitioner, time.Since(t0).Seconds())
+			fmt.Printf("%s (%d shards, partitioner %s) in %.1fs\n", how, c.shards, c.partitioner, time.Since(t0).Seconds())
 		}
-		serveEng = sh
-		startServer(serveEng, inst, addr, batchWindow, batchMax, timeout, drainTimeout, exitSnapshot)
-		return
+		return sh, inst, nil
 	}
+	var inst *netclus.Instance
 	var idx *netclus.Index
 	switch {
-	case *cacheDir != "":
-		di, err := netclus.LoadIndexedDataset(dataset.Preset(*preset),
-			netclus.DatasetConfig{Scale: *scale, Seed: *seed, CacheDir: *cacheDir},
-			netclus.BuildOptions{Workers: *workers})
+	case c.cacheDir != "":
+		di, err := netclus.LoadIndexedDataset(dataset.Preset(c.preset),
+			netclus.DatasetConfig{Scale: c.scale, Seed: c.seed, CacheDir: c.cacheDir},
+			netclus.BuildOptions{Workers: c.workers})
 		if err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 		inst, idx = di.Instance, di.Index
 		how := "cold build + cache"
@@ -163,57 +319,200 @@ func main() {
 		}
 		fmt.Printf("%s\nindex via %s (%s) in %.3fs\n", di.Summary(), how, di.SnapshotPath, time.Since(t0).Seconds())
 	default:
-		d, err := netclus.LoadDataset(dataset.Preset(*preset), netclus.DatasetConfig{Scale: *scale, Seed: *seed})
+		d, err := netclus.LoadDataset(dataset.Preset(c.preset), netclus.DatasetConfig{Scale: c.scale, Seed: c.seed})
 		if err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 		inst = d.Instance
 		fmt.Println(d.Summary())
-		if *loadPath != "" {
-			idx, err = netclus.LoadFile(*loadPath, inst)
+		if c.loadPath != "" {
+			idx, err = netclus.LoadFile(c.loadPath, inst)
 			if err != nil {
-				fatal(err)
+				return nil, nil, err
 			}
-			fmt.Printf("warm-started from %s in %.3fs\n", *loadPath, time.Since(t0).Seconds())
+			fmt.Printf("warm-started from %s in %.3fs\n", c.loadPath, time.Since(t0).Seconds())
 		} else {
-			idx, err = netclus.Build(inst, netclus.BuildOptions{Workers: *workers})
+			idx, err = netclus.Build(inst, netclus.BuildOptions{Workers: c.workers})
 			if err != nil {
-				fatal(err)
+				return nil, nil, err
 			}
 			fmt.Printf("cold build in %.1fs (%d instances, %.1f MB)\n",
 				time.Since(t0).Seconds(), len(idx.Instances), float64(idx.MemoryBytes())/(1<<20))
 		}
 	}
+	eng, err := netclus.NewEngine(idx, c.engineOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, inst, nil
+}
 
-	eng, err := netclus.NewEngine(idx, netclus.EngineOptions{DisableCoverCache: *noCoverCache})
+// followerMain boots a read-replica: recover local state (checkpoint +
+// local log) when -wal-dir is set, bootstrap from the primary's log or
+// checkpoint otherwise, then tail /v1/log forever.
+func followerMain(c *config) {
+	t0 := time.Now()
+	ctx := context.Background()
+	// The dataset is only materialized on the paths that need it directly
+	// (checkpoint loads want just the immutable graph); the buildEngine
+	// path loads it itself, so loading eagerly here would do the
+	// multi-second generation twice per boot.
+	var inst *netclus.Instance
+	loadInst := func() *netclus.Instance {
+		if inst == nil {
+			d, err := netclus.LoadDataset(dataset.Preset(c.preset), netclus.DatasetConfig{Scale: c.scale, Seed: c.seed})
+			if err != nil {
+				fatal(err)
+			}
+			inst = d.Instance
+			fmt.Println(d.Summary())
+		}
+		return inst
+	}
+
+	var log *netclus.WAL
+	var err error
+	if c.walDir != "" {
+		log, err = netclus.OpenWAL(c.walDir, c.walOptions())
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var eng netclus.DurableEngine
+	if log != nil && fileExists(c.checkpointPath()) {
+		eng, err = netclus.LoadCheckpointFile(c.checkpointPath(), loadInst().G, c.engineOpts())
+		if err != nil {
+			fatal(fmt.Errorf("recovering local checkpoint: %w", err))
+		}
+		fmt.Printf("recovered local checkpoint at LSN %d in %.3fs\n", eng.LSN(), time.Since(t0).Seconds())
+	}
+	if eng == nil {
+		// No local checkpoint. A preset-built engine (LSN 0) can only
+		// catch up by replaying the history from LSN 1, so that path needs
+		// the local log to start at 1 (or be empty) AND the primary to
+		// stream the rest; otherwise bootstrap from a checkpoint.
+		localFirst := uint64(0)
+		localHead := uint64(0)
+		if log != nil {
+			localFirst, localHead = log.FirstLSN(), log.HeadLSN()
+		}
+		localComplete := localFirst <= 1 // empty (0) or history from 1
+		probeFrom := uint64(1)
+		if localComplete && localHead > 0 {
+			probeFrom = localHead + 1
+		}
+		ok, err := netclus.LogAvailableFrom(ctx, nil, c.follow, probeFrom)
+		if err != nil {
+			fatal(fmt.Errorf("probing primary %s: %w", c.follow, err))
+		}
+		if ok && localComplete {
+			eng, inst, err = buildEngine(c, t0)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Printf("replay from LSN 1 unavailable (primary serves from %d: %v, local log covers [%d,%d]); bootstrapping from the primary's checkpoint\n",
+				probeFrom, ok, localFirst, localHead)
+			if c.shards > 1 {
+				fmt.Fprintln(os.Stderr, "note: -shards is ignored when bootstrapping from a primary checkpoint (its topology applies)")
+			}
+			body, err := netclus.FetchCheckpoint(ctx, nil, c.follow)
+			if err != nil {
+				fatal(err)
+			}
+			eng, err = netclus.LoadCheckpoint(body, loadInst().G, c.engineOpts())
+			body.Close()
+			if err != nil {
+				fatal(fmt.Errorf("loading primary checkpoint: %w", err))
+			}
+			fmt.Printf("bootstrapped from primary checkpoint at LSN %d in %.3fs\n", eng.LSN(), time.Since(t0).Seconds())
+			// A stale local log that does not end exactly at the
+			// checkpoint cannot extend it; it is a cache of the primary's
+			// stream, so discard it rather than wedge.
+			if log != nil && !log.IsEmpty() && log.HeadLSN() != eng.LSN() {
+				fmt.Fprintf(os.Stderr, "local WAL at LSN %d does not line up with the checkpoint; resetting %s\n", log.HeadLSN(), c.walDir)
+				if err := log.Reset(); err != nil {
+					fatal(fmt.Errorf("resetting local WAL: %w", err))
+				}
+			}
+		}
+	}
+	if log != nil {
+		reconcileLog(eng, log, c.walDir)
+		n, err := netclus.ReplayWAL(log, eng)
+		if err != nil {
+			fatal(fmt.Errorf("replaying local WAL tail: %w", err))
+		}
+		if n > 0 {
+			fmt.Printf("replayed %d local WAL records to LSN %d\n", n, eng.LSN())
+		}
+	}
+	fol, err := netclus.NewFollower(c.follow, eng, log, netclus.FollowerOptions{Poll: c.followPoll})
 	if err != nil {
 		fatal(err)
 	}
-	startServer(eng, inst, addr, batchWindow, batchMax, timeout, drainTimeout, exitSnapshot)
+	fmt.Printf("following %s from LSN %d (poll %v)\n", c.follow, eng.LSN(), c.followPoll)
+	startServer(eng, inst, c, log, fol)
 }
 
-// startServer mounts the HTTP layer over any serving engine (single-index
-// or sharded), runs until SIGTERM/SIGINT, drains, and optionally writes a
-// final checkpoint.
-func startServer(eng netclus.ServerEngine, inst *netclus.Instance, addr *string, batchWindow *time.Duration, batchMax *int, timeout, drainTimeout *time.Duration, exitSnapshot *string) {
-	window := *batchWindow
+// startServer mounts the HTTP layer over any serving engine, runs the
+// optional checkpoint timer and follower loop, waits for SIGTERM/SIGINT,
+// drains, and writes final checkpoints.
+func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, log *netclus.WAL, fol *netclus.Follower) {
+	window := c.batchWindow
 	if window == 0 {
 		window = -1 // server convention: negative disables batching
 	}
-	srv, err := netclus.NewServer(eng, netclus.ServeOptions{
+	sopts := netclus.ServeOptions{
 		BatchWindow:    window,
-		BatchMaxSize:   *batchMax,
-		DefaultTimeout: *timeout,
-	})
+		BatchMaxSize:   c.batchMax,
+		DefaultTimeout: c.timeout,
+		Log:            log,
+	}
+	if fol != nil {
+		sopts.ReadOnly = true
+		sopts.Replication = fol.Status
+	}
+	srv, err := netclus.NewServer(eng, sopts)
 	if err != nil {
 		fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	bg, stopBg := context.WithCancel(context.Background())
+	defer stopBg()
+	if fol != nil {
+		go fol.Run(bg)
+	}
+	// ckptDone joins the periodic-checkpoint goroutine on shutdown: the
+	// final checkpoint below must not race a stale in-flight periodic one,
+	// which could otherwise rename an older-LSN checkpoint into place
+	// after the log was compacted past it.
+	var ckptDone chan struct{}
+	if c.checkpointEvery > 0 {
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			checkpointLoop(bg, eng, log, c.checkpointPath(), c.checkpointEvery)
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: c.addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("serving %d trajectories / %d sites on %s (batch window %v, max %d)\n",
-			inst.M(), inst.N(), *addr, *batchWindow, *batchMax)
+		role := "serving"
+		if fol != nil {
+			role = "serving (read-replica)"
+		}
+		// A recovered engine's dataset has diverged from the preset
+		// instance by its replayed mutations, so the preset counts would
+		// be wrong; report the recovery LSN instead.
+		if lsn := eng.LSN(); lsn > 0 {
+			fmt.Printf("%s recovered state at LSN %d on %s (batch window %v, max %d)\n",
+				role, lsn, c.addr, c.batchWindow, c.batchMax)
+		} else {
+			fmt.Printf("%s %d trajectories / %d sites on %s (batch window %v, max %d)\n",
+				role, inst.M(), inst.N(), c.addr, c.batchWindow, c.batchMax)
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -223,58 +522,86 @@ func startServer(eng netclus.ServerEngine, inst *netclus.Instance, addr *string,
 	case err := <-errc:
 		fatal(err)
 	case sig := <-sigc:
-		fmt.Printf("\n%s: draining (up to %v)…\n", sig, *drainTimeout)
+		fmt.Printf("\n%s: draining (up to %v)…\n", sig, c.drainTimeout)
 	}
 
 	// Drain: stop advertising health, let in-flight requests finish, then
-	// stop the batcher (its last flush delivers before Close returns).
+	// stop the batcher (its last flush delivers before Close returns) and
+	// the background loops.
 	srv.SetDraining(true)
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
 	}
 	srv.Close()
+	stopBg()
+	if ckptDone != nil {
+		<-ckptDone
+	}
 
-	if *exitSnapshot != "" {
-		if err := writeSnapshot(eng, *exitSnapshot); err != nil {
+	if c.exitSnapshot != "" {
+		if err := writeStream(c.exitSnapshot, eng.Snapshot); err != nil {
 			fatal(fmt.Errorf("final snapshot: %w", err))
 		}
-		fmt.Printf("final snapshot written to %s\n", *exitSnapshot)
+		fmt.Printf("final snapshot written to %s\n", c.exitSnapshot)
+	}
+	if c.checkpointEvery > 0 {
+		if err := checkpointOnce(eng, log, c.checkpointPath()); err != nil {
+			fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("final checkpoint written to %s\n", c.checkpointPath())
+		}
+	}
+	if log != nil {
+		if err := log.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing WAL: %v\n", err)
+		}
 	}
 	fmt.Println("drained; bye")
 }
 
-// writeSnapshot checkpoints the engine's index atomically (temp file +
-// rename in the target directory). A sharded engine writes its container
-// format (manifest + per-shard streams); reload it with
-// netclus.LoadShardedSnapshot against the same full dataset.
-func writeSnapshot(eng netclus.ServerEngine, path string) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".topsserve-snap-*")
-	if err != nil {
+// checkpointLoop writes a recovery checkpoint every period and compacts
+// the log up to the LSN the checkpoint is guaranteed to cover.
+func checkpointLoop(ctx context.Context, eng netclus.DurableEngine, log *netclus.WAL, path string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := checkpointOnce(eng, log, path); err != nil {
+				fmt.Fprintf(os.Stderr, "periodic checkpoint: %v\n", err)
+			}
+		}
+	}
+}
+
+// checkpointOnce writes one checkpoint atomically and advances compaction.
+// The watermark is the engine's LSN observed before the write: the
+// checkpoint is stamped at least that high, so every compacted record is
+// covered by it.
+func checkpointOnce(eng netclus.DurableEngine, log *netclus.WAL, path string) error {
+	watermark := eng.LSN()
+	if err := netclus.SaveCheckpointFile(eng, path); err != nil {
 		return err
 	}
-	tmp := f.Name()
-	cleanup := func() {
-		f.Close()
-		os.Remove(tmp)
-	}
-	if _, err := eng.Snapshot(f); err != nil {
-		cleanup()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		cleanup()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
+	if log != nil {
+		if _, err := log.Compact(watermark); err != nil {
+			return fmt.Errorf("compacting log: %w", err)
+		}
 	}
 	return nil
+}
+
+// writeStream checkpoints a stream-writing method atomically (temp file +
+// fsync + rename, via the WAL package's audited helper). A sharded
+// engine's Snapshot writes its container format; reload it with
+// netclus.LoadShardedSnapshot against the same full dataset.
+func writeStream(path string, fill func(io.Writer) (int64, error)) error {
+	return wal.AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := fill(w)
+		return err
+	})
 }

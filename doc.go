@@ -24,6 +24,12 @@
 // warm-start in milliseconds instead of re-clustering, and a snapshot can
 // never silently serve a mismatched dataset.
 //
+// A write-ahead log (OpenWAL, Engine.AttachWAL) turns a served engine into
+// a system of record: every acknowledged mutation is an LSN-numbered
+// record, snapshots carry the LSN they reflect, recovery is checkpoint +
+// tail replay (ReplayWAL), and followers (NewFollower) tail a primary's
+// /v1/log into read-replicas that answer bit-identically.
+//
 // Layout:
 //
 //	internal/roadnet     directed road networks, Dijkstra/A*, SCC
@@ -42,8 +48,12 @@
 //	internal/shard       scatter-gather sharding (site partitioners,
 //	                     cluster ownership, distributed greedy, manifest
 //	                     snapshots) — bit-exact vs the single engine
+//	internal/wal         durability: segmented CRC-framed write-ahead log
+//	                     (LSN-stamped snapshots, checkpoint + tail-replay
+//	                     recovery, compaction, follower record streams)
 //	internal/server      the HTTP JSON serving layer (micro-batched
-//	                     admission, strict decoding, drain, /statsz)
+//	                     admission, strict decoding, drain, /statsz,
+//	                     /v1/log streaming, follower tailing)
 //	internal/bench       one experiment per paper table/figure
 //	cmd/...              topsserve, topsbench, topsgen, topsquery, benchjson
 //	examples/...         runnable scenario walkthroughs

@@ -120,6 +120,12 @@ type Index struct {
 	trajs *trajectory.Store
 	alive []bool
 
+	// walLSN is the last write-ahead-log sequence number applied to this
+	// index (0 when it is not WAL-served). The serving layer stamps it
+	// after every logged mutation; snapshots carry it so recovery knows
+	// which log suffix to replay.
+	walLSN uint64
+
 	// Cover caching (cover.go): per-instance CoverPlans plus memoized
 	// CoverSets keyed by (instance, preference fingerprint, cluster mask).
 	// coverMasks tracks the one masked-fill fingerprint currently live per
@@ -488,6 +494,16 @@ func (idx *Index) Gamma() float64 { return idx.opts.Gamma }
 
 // TopsInstance returns the underlying problem instance.
 func (idx *Index) TopsInstance() *tops.Instance { return idx.inst }
+
+// WalLSN returns the last write-ahead-log sequence number applied to this
+// index; 0 when the index is not WAL-served. Snapshots embed it, so a
+// loaded index reports where log replay must resume.
+func (idx *Index) WalLSN() uint64 { return idx.walLSN }
+
+// SetWalLSN stamps the index with the LSN of the mutation just applied.
+// The serving layer calls it under its write lock, right after the logged
+// mutation; it is not safe to call concurrently with queries or WriteTo.
+func (idx *Index) SetWalLSN(lsn uint64) { idx.walLSN = lsn }
 
 // NumAlive returns the number of live (non-deleted) trajectories.
 func (idx *Index) NumAlive() int {

@@ -42,8 +42,12 @@ const (
 	snapshotMagic uint32 = 0x5353434e
 	// snapshotVersion is the current format version. Version 1 was the
 	// unversioned "NCI1" codec of PR 1, which carried no fingerprint; it is
-	// no longer readable and loads fail with a bad-magic error.
-	snapshotVersion uint32 = 2
+	// no longer readable and loads fail with a bad-magic error. Version 3
+	// added the WAL LSN to the header; version-2 snapshots still load (as
+	// LSN 0, i.e. "replay the whole log").
+	snapshotVersion uint32 = 3
+	// snapshotMinVersion is the oldest version this reader accepts.
+	snapshotMinVersion uint32 = 2
 )
 
 // DatasetFingerprint hashes the parts of a problem instance an index build
@@ -115,6 +119,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 		snapshotMagic,
 		snapshotVersion,
 		DatasetFingerprint(idx.inst),
+		idx.walLSN,
 		idx.opts.Gamma,
 		idx.opts.TauMin,
 		idx.opts.TauMax,
@@ -267,8 +272,13 @@ func ReadIndex(r io.Reader, inst *tops.Instance) (*Index, error) {
 	if err := get(&version); err != nil {
 		return nil, fmt.Errorf("core: reading snapshot version: %w", err)
 	}
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d (this build reads %d)", version, snapshotVersion)
+	// Version mismatches name both sides so an operator can tell a stale
+	// binary from a stale snapshot at a glance.
+	if version > snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot format v%d, this reader supports <=v%d (upgrade the binary)", version, snapshotVersion)
+	}
+	if version < snapshotMinVersion {
+		return nil, fmt.Errorf("core: snapshot format v%d, this reader supports v%d..v%d (rebuild the snapshot)", version, snapshotMinVersion, snapshotVersion)
 	}
 	var fp uint64
 	if err := get(&fp); err != nil {
@@ -279,6 +289,11 @@ func ReadIndex(r io.Reader, inst *tops.Instance) (*Index, error) {
 	}
 
 	idx := &Index{inst: inst, trajs: inst.Trajs}
+	if version >= 3 {
+		if err := get(&idx.walLSN); err != nil {
+			return nil, fmt.Errorf("core: reading snapshot WAL LSN: %w", err)
+		}
+	}
 	if err := get(&idx.opts.Gamma); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"hash/crc32"
 	"math"
 	"strings"
@@ -149,9 +150,9 @@ func TestReadIndexRejectsShortenedLadder(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := append([]byte(nil), buf.Bytes()...)
-	// nInst sits right after the fixed header (48 bytes) and the two
-	// byte-per-entry masks.
-	off := 48 + inst.G.NumNodes() + inst.Trajs.Len()
+	// nInst sits right after the fixed header (56 bytes since the v3 WAL
+	// LSN field) and the two byte-per-entry masks.
+	off := 56 + inst.G.NumNodes() + inst.Trajs.Len()
 	nInst := binary.LittleEndian.Uint32(data[off:])
 	if int(nInst) != len(idx.Instances) {
 		t.Fatalf("instance count field not at expected offset: %d", nInst)
@@ -173,8 +174,8 @@ func TestReadIndexRejectsUnbuildableHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := append([]byte(nil), buf.Bytes()...)
-	// γ sits at bytes 16..24 (after magic, version, fingerprint).
-	binary.LittleEndian.PutUint64(data[16:], math.Float64bits(1e-9))
+	// γ sits at bytes 24..32 (after magic, version, fingerprint, WAL LSN).
+	binary.LittleEndian.PutUint64(data[24:], math.Float64bits(1e-9))
 	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
 	_, err := ReadIndex(bytes.NewReader(data), inst)
 	if err == nil || !strings.Contains(err.Error(), "ladder") {
@@ -223,8 +224,28 @@ func TestReadIndexRejectsFutureVersion(t *testing.T) {
 	data := buf.Bytes()
 	binary.LittleEndian.PutUint32(data[4:8], snapshotVersion+1)
 	_, err := ReadIndex(bytes.NewReader(data), inst)
-	if err == nil || !strings.Contains(err.Error(), "version") {
-		t.Errorf("future version accepted or misreported: %v", err)
+	// The message must name both sides of the mismatch — the snapshot's
+	// version and the newest one this reader supports — so an operator can
+	// tell a stale binary from a stale snapshot.
+	wantFrag := fmt.Sprintf("snapshot format v%d, this reader supports <=v%d", snapshotVersion+1, snapshotVersion)
+	if err == nil || !strings.Contains(err.Error(), wantFrag) {
+		t.Errorf("future version accepted or misreported: %v (want %q)", err, wantFrag)
+	}
+}
+
+func TestSnapshotCarriesWalLSN(t *testing.T) {
+	idx, inst := buildTestIndex(t, 331, false)
+	idx.SetWalLSN(41)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(bytes.NewReader(buf.Bytes()), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WalLSN() != 41 {
+		t.Errorf("loaded WAL LSN %d, want 41", got.WalLSN())
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"netclus/internal/roadnet"
 	"netclus/internal/tops"
 	"netclus/internal/trajectory"
+	"netclus/internal/wal"
 )
 
 // Options configures an Engine.
@@ -47,10 +48,21 @@ type Engine struct {
 	idx  *core.Index
 	opts Options
 
+	// sink owns the attached log, the engine LSN, and the broken latch
+	// (see wal.Sink); every successful mutation commits a typed record
+	// through it before the caller is acknowledged. After an append
+	// failure the sink refuses further mutations until the process
+	// restarts and recovers (queries keep serving).
+	sink wal.Sink
+
 	queries      atomic.Uint64
 	batchQueries atomic.Uint64
 	batches      atomic.Uint64
 	updates      atomic.Uint64
+	siteAdds     atomic.Uint64
+	siteDeletes  atomic.Uint64
+	trajAdds     atomic.Uint64
+	trajDeletes  atomic.Uint64
 	errors       atomic.Uint64
 	canceled     atomic.Uint64
 	coverNanos   atomic.Int64
@@ -66,7 +78,9 @@ func New(idx *core.Index, opts Options) (*Engine, error) {
 	if opts.BatchWorkers < 0 {
 		return nil, fmt.Errorf("engine: negative BatchWorkers %d", opts.BatchWorkers)
 	}
-	return &Engine{idx: idx, opts: opts}, nil
+	e := &Engine{idx: idx, opts: opts}
+	e.sink.SetLSN(idx.WalLSN())
+	return e, nil
 }
 
 // Index exposes the wrapped index for read-only inspection (stats, exact
@@ -95,6 +109,16 @@ type Stats struct {
 	Batches      uint64 `json:"batches"`
 	// Updates counts mutation calls (single or batch).
 	Updates uint64 `json:"updates"`
+	// Per-kind mutation counters: items, not calls — a 10-site AddSites
+	// advances SiteAdds by 10 and Updates by 1.
+	SiteAdds    uint64 `json:"site_add"`
+	SiteDeletes uint64 `json:"site_delete"`
+	TrajAdds    uint64 `json:"traj_add"`
+	TrajDeletes uint64 `json:"traj_delete"`
+	// LSN is the last write-ahead-log sequence number applied (logged on a
+	// primary, replayed on a follower or during recovery); 0 when the
+	// engine is not WAL-served.
+	LSN uint64 `json:"lsn"`
 	// Errors counts failed queries (single or batch items), including the
 	// Canceled subset below.
 	Errors uint64 `json:"errors"`
@@ -123,6 +147,11 @@ func (e *Engine) Stats() Stats {
 		BatchQueries: e.batchQueries.Load(),
 		Batches:      e.batches.Load(),
 		Updates:      e.updates.Load(),
+		SiteAdds:     e.siteAdds.Load(),
+		SiteDeletes:  e.siteDeletes.Load(),
+		TrajAdds:     e.trajAdds.Load(),
+		TrajDeletes:  e.trajDeletes.Load(),
+		LSN:          e.sink.LSN(),
 		Errors:       e.errors.Load(),
 		Canceled:     e.canceled.Load(),
 		CoverHits:    cc.Hits,
@@ -349,59 +378,268 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []core.QueryOptions) []Batch
 // Mutations: every §6 update takes the write lock, so in-flight queries
 // drain first, and the core-side cache invalidation happens before any new
 // reader can observe the changed index.
+//
+// With a WAL attached the discipline is apply-then-log under the exclusive
+// lock: core validation has already accepted the mutation when the record
+// is appended, so the log contains exactly the successful mutation sequence
+// and replay can never fail on a record the live path accepted. The write
+// lock makes apply+append atomic with respect to snapshots — a checkpoint
+// can never observe state ahead of its stamped LSN. An update is
+// acknowledged only after the append returns (durability at that point
+// follows the log's fsync policy); if the append itself fails, the error
+// carries wal.ErrLogFailed and the engine refuses further mutations, since
+// its memory state is now ahead of the log.
+
+// guardLog rejects mutations after a log append failure.
+func (e *Engine) guardLog() error { return e.sink.Guard() }
+
+// commit appends the record for a mutation that core just applied and
+// stamps the engine (and the index, for snapshots) with the assigned LSN.
+func (e *Engine) commit(kind wal.Kind, body []byte) error {
+	lsn, err := e.sink.Commit(kind, body)
+	if err != nil {
+		return err
+	}
+	if lsn > 0 {
+		e.idx.SetWalLSN(lsn)
+	}
+	return nil
+}
 
 // AddSite registers a new candidate site.
 func (e *Engine) AddSite(v roadnet.NodeID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return err
+	}
+	if err := e.idx.AddSite(v); err != nil {
+		return err
+	}
 	e.updates.Add(1)
-	return e.idx.AddSite(v)
+	e.siteAdds.Add(1)
+	return e.commit(wal.KindAddSite, wal.NodeBody(int64(v)))
 }
 
 // DeleteSite removes a candidate site.
 func (e *Engine) DeleteSite(v roadnet.NodeID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return err
+	}
+	if err := e.idx.DeleteSite(v); err != nil {
+		return err
+	}
 	e.updates.Add(1)
-	return e.idx.DeleteSite(v)
+	e.siteDeletes.Add(1)
+	return e.commit(wal.KindDeleteSite, wal.NodeBody(int64(v)))
 }
 
 // AddSites registers a batch of candidate sites atomically.
 func (e *Engine) AddSites(nodes []roadnet.NodeID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return err
+	}
+	if err := e.idx.AddSites(nodes); err != nil {
+		return err
+	}
 	e.updates.Add(1)
-	return e.idx.AddSites(nodes)
+	e.siteAdds.Add(uint64(len(nodes)))
+	ids := make([]int64, len(nodes))
+	for i, v := range nodes {
+		ids[i] = int64(v)
+	}
+	return e.commit(wal.KindAddSites, wal.IDListBody(ids))
 }
 
 // AddTrajectory ingests one trajectory.
 func (e *Engine) AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return 0, err
+	}
+	tid, err := e.idx.AddTrajectory(tr)
+	if err != nil {
+		return 0, err
+	}
 	e.updates.Add(1)
-	return e.idx.AddTrajectory(tr)
+	e.trajAdds.Add(1)
+	return tid, e.commit(wal.KindAddTrajectory, wal.TrajectoryBody(tr))
 }
 
 // DeleteTrajectory removes one trajectory.
 func (e *Engine) DeleteTrajectory(tid trajectory.ID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return err
+	}
+	if err := e.idx.DeleteTrajectory(tid); err != nil {
+		return err
+	}
 	e.updates.Add(1)
-	return e.idx.DeleteTrajectory(tid)
+	e.trajDeletes.Add(1)
+	return e.commit(wal.KindDeleteTrajectory, wal.NodeBody(int64(tid)))
 }
 
 // AddTrajectories ingests a batch of trajectories atomically.
 func (e *Engine) AddTrajectories(trs []*trajectory.Trajectory) ([]trajectory.ID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return nil, err
+	}
+	ids, err := e.idx.AddTrajectories(trs)
+	if err != nil {
+		return nil, err
+	}
 	e.updates.Add(1)
-	return e.idx.AddTrajectories(trs)
+	e.trajAdds.Add(uint64(len(trs)))
+	return ids, e.commit(wal.KindAddTrajectories, wal.TrajectoriesBody(trs))
 }
 
 // DeleteTrajectories removes a batch of trajectories atomically.
 func (e *Engine) DeleteTrajectories(ids []trajectory.ID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return err
+	}
+	if err := e.idx.DeleteTrajectories(ids); err != nil {
+		return err
+	}
 	e.updates.Add(1)
-	return e.idx.DeleteTrajectories(ids)
+	e.trajDeletes.Add(uint64(len(ids)))
+	raw := make([]int64, len(ids))
+	for i, id := range ids {
+		raw[i] = int64(id)
+	}
+	return e.commit(wal.KindDeleteTrajectories, wal.IDListBody(raw))
+}
+
+// Durability and replication surface. The engine exposes three things: the
+// LSN it has reached, a replay entry point that applies logged records
+// without re-logging them (crash recovery and follower tailing), and a
+// checkpoint writer that bundles the mutated dataset with an LSN-stamped
+// index snapshot (see wal.WriteCheckpoint).
+
+// LSN reports the last applied write-ahead-log sequence number.
+func (e *Engine) LSN() uint64 { return e.sink.LSN() }
+
+// AttachWAL connects the engine to its log: every later mutation appends a
+// record before it is acknowledged. The log must be positioned exactly at
+// the engine's LSN — recover first (wal.Replay), then attach. An empty log
+// is based at the engine's LSN, covering both a fresh deployment and a
+// checkpoint restored into a compacted-away log directory.
+func (e *Engine) AttachWAL(l *wal.Log) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sink.Attach(l)
+}
+
+// ApplyRecord applies one logged mutation through the same core paths the
+// live mutation methods use, without re-logging it. It is the replay
+// surface: crash recovery drives the checkpoint's tail through it, and a
+// follower drives the primary's streamed records through it. Records must
+// arrive in LSN order; a WAL-attached engine refuses (its records originate
+// locally).
+func (e *Engine) ApplyRecord(rec wal.Record) error {
+	m, err := rec.Mutation()
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sink.CheckReplay(rec); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := e.applyMutation(m); err != nil {
+		return fmt.Errorf("engine: replaying LSN %d (%s): %w", rec.LSN, m.Kind, err)
+	}
+	e.sink.SetLSN(rec.LSN)
+	e.idx.SetWalLSN(rec.LSN)
+	return nil
+}
+
+// applyMutation dispatches a decoded record to the core mutation it logs.
+// Caller holds the write lock.
+func (e *Engine) applyMutation(m wal.Mutation) error {
+	g := e.idx.TopsInstance().G
+	switch m.Kind {
+	case wal.KindAddSite:
+		if err := e.idx.AddSite(roadnet.NodeID(m.Node)); err != nil {
+			return err
+		}
+		e.siteAdds.Add(1)
+	case wal.KindDeleteSite:
+		if err := e.idx.DeleteSite(roadnet.NodeID(m.Node)); err != nil {
+			return err
+		}
+		e.siteDeletes.Add(1)
+	case wal.KindAddSites:
+		nodes := make([]roadnet.NodeID, len(m.Nodes))
+		for i, v := range m.Nodes {
+			nodes[i] = roadnet.NodeID(v)
+		}
+		if err := e.idx.AddSites(nodes); err != nil {
+			return err
+		}
+		e.siteAdds.Add(uint64(len(nodes)))
+	case wal.KindAddTrajectory:
+		tr, err := m.Traj.Trajectory(g)
+		if err != nil {
+			return err
+		}
+		if _, err := e.idx.AddTrajectory(tr); err != nil {
+			return err
+		}
+		e.trajAdds.Add(1)
+	case wal.KindDeleteTrajectory:
+		if err := e.idx.DeleteTrajectory(trajectory.ID(m.ID)); err != nil {
+			return err
+		}
+		e.trajDeletes.Add(1)
+	case wal.KindAddTrajectories:
+		trs := make([]*trajectory.Trajectory, len(m.Trajs))
+		for i, td := range m.Trajs {
+			tr, err := td.Trajectory(g)
+			if err != nil {
+				return err
+			}
+			trs[i] = tr
+		}
+		if _, err := e.idx.AddTrajectories(trs); err != nil {
+			return err
+		}
+		e.trajAdds.Add(uint64(len(trs)))
+	case wal.KindDeleteTrajectories:
+		ids := make([]trajectory.ID, len(m.Nodes))
+		for i, v := range m.Nodes {
+			ids[i] = trajectory.ID(v)
+		}
+		if err := e.idx.DeleteTrajectories(ids); err != nil {
+			return err
+		}
+		e.trajDeletes.Add(uint64(len(ids)))
+	default:
+		return fmt.Errorf("engine: unknown mutation kind %s", m.Kind)
+	}
+	e.updates.Add(1)
+	return nil
+}
+
+// Checkpoint writes the recovery bundle for the served index under the read
+// lock: the mutated dataset state (site order, trajectory store) plus the
+// LSN-stamped index snapshot, all mutually consistent because mutations
+// hold the write lock across apply+log+stamp. Reload with
+// wal.ReadCheckpoint + core.ReadIndex (the netclus.LoadCheckpoint facade).
+func (e *Engine) Checkpoint(w io.Writer) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	inst := e.idx.TopsInstance()
+	return wal.WriteCheckpoint(w, inst.Sites, inst.Trajs, e.idx.WriteTo)
 }

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"netclus/internal/wal"
+)
+
+// End-to-end §6 update throughput through the engine, by durability
+// policy: "off" is the PR-3 baseline (no log), the rest pay one record
+// append per mutation under the engine write lock. Together with
+// BenchmarkWALAppend this separates mutation cost from logging cost.
+func BenchmarkEngineUpdateWAL(b *testing.B) {
+	for _, pol := range []string{"off", string(wal.SyncNever), string(wal.SyncEveryInterval), string(wal.SyncAlways)} {
+		b.Run(pol, func(b *testing.B) {
+			idx, _, _ := buildFixture(b, 907)
+			eng, err := New(idx, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pol != "off" {
+				log, err := wal.Open(b.TempDir(), wal.Options{Policy: wal.SyncPolicy(pol), Interval: 10 * time.Millisecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer log.Close()
+				if err := eng.AttachWAL(log); err != nil {
+					b.Fatal(err)
+				}
+			}
+			v := findNonSite(b, idx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Toggle one site: every iteration is one logged mutation
+				// with real cover invalidation and representative upkeep.
+				if i%2 == 0 {
+					if err := eng.AddSite(v); err != nil {
+						b.Fatal(err)
+					}
+				} else if err := eng.DeleteSite(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

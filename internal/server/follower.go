@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"netclus/internal/wal"
+)
+
+// Follower tails a primary's /v1/log and applies every record through the
+// engine's replay path — the same path crash recovery uses, so a replica
+// converges to results bit-identical with the primary's. A follower server
+// runs with Options.ReadOnly (writes 403) and Options.Replication set to
+// Follower.Status, which surfaces lag in /healthz and /statsz.
+//
+// Consistency model: asynchronous replication. The replica serves reads at
+// its own LSN, which trails the primary by at most one poll interval plus
+// apply time; Status reports the exact record lag.
+type Follower struct {
+	primary string
+	eng     wal.Applier
+	// local, when non-nil, persists the primary's stream so a follower
+	// restart resumes from disk instead of re-tailing from scratch.
+	local *wal.Log
+	opts  FollowerOptions
+
+	mu     sync.Mutex
+	status ReplicationStatus
+	lastOK time.Time
+}
+
+// FollowerOptions configures the tailing loop.
+type FollowerOptions struct {
+	// Poll is the tailing period. Zero selects 500ms.
+	Poll time.Duration
+	// MaxBatch bounds records fetched per poll. Zero selects 8192.
+	MaxBatch int
+	// Client issues the HTTP requests. Nil selects a client with a 30s
+	// timeout.
+	Client *http.Client
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8192
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o
+}
+
+// NewFollower prepares a tailing loop against primary (base URL, e.g.
+// "http://10.0.0.1:8080") applying into eng, optionally persisting the
+// stream into local. Call Run to start tailing.
+func NewFollower(primary string, eng wal.Applier, local *wal.Log, opts FollowerOptions) (*Follower, error) {
+	if primary == "" {
+		return nil, fmt.Errorf("server: follower needs a primary URL")
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("server: follower needs an engine")
+	}
+	f := &Follower{primary: primary, eng: eng, local: local, opts: opts.withDefaults()}
+	f.status = ReplicationStatus{
+		Role:            "follower",
+		Primary:         primary,
+		LSN:             eng.LSN(),
+		LastPollSeconds: -1,
+	}
+	return f, nil
+}
+
+// Status snapshots the tailing report.
+func (f *Follower) Status() ReplicationStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.status
+	st.LSN = f.eng.LSN()
+	if st.PrimaryLSN >= st.LSN {
+		st.Lag = st.PrimaryLSN - st.LSN
+	}
+	if !f.lastOK.IsZero() {
+		st.LastPollSeconds = time.Since(f.lastOK).Seconds()
+	}
+	return st
+}
+
+// Run tails the primary until ctx is done. Poll failures are recorded in
+// Status and retried at the next tick — a follower outlives primary
+// restarts and transient network trouble.
+func (f *Follower) Run(ctx context.Context) {
+	t := time.NewTicker(f.opts.Poll)
+	defer t.Stop()
+	for {
+		_, _ = f.Poll(ctx) // failures are recorded in Status and retried
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ErrNeedBootstrap reports that the primary's log no longer reaches the
+// follower's LSN: the records in between were compacted away, so the
+// follower must restart from the primary's /v1/checkpoint.
+var ErrNeedBootstrap = errors.New("server: follower behind the primary's compacted log; bootstrap from /v1/checkpoint")
+
+// Poll fetches and applies one batch of records (looping while the
+// primary has more), returning how many were applied. Failures are also
+// recorded in Status; ErrNeedBootstrap latches NeedsBootstrap, flipping
+// the replica's /healthz to 503, because polling can never recover from a
+// primary that compacted past this replica's position.
+func (f *Follower) Poll(ctx context.Context) (int, error) {
+	n, err := f.poll(ctx)
+	if err != nil && ctx.Err() == nil {
+		f.mu.Lock()
+		f.status.PollErrors++
+		f.status.LastError = err.Error()
+		if errors.Is(err, ErrNeedBootstrap) {
+			f.status.NeedsBootstrap = true
+		}
+		f.mu.Unlock()
+	}
+	return n, err
+}
+
+func (f *Follower) poll(ctx context.Context) (int, error) {
+	applied := 0
+	for {
+		n, head, err := f.fetchOnce(ctx)
+		applied += n
+		if err != nil {
+			return applied, err
+		}
+		f.mu.Lock()
+		f.status.PrimaryLSN = head
+		f.status.Polls++
+		f.status.LastError = ""
+		f.status.NeedsBootstrap = false
+		f.lastOK = time.Now()
+		f.mu.Unlock()
+		if f.eng.LSN() >= head || n == 0 {
+			return applied, nil
+		}
+	}
+}
+
+// fetchOnce issues one GET /v1/log round and applies its records.
+func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
+	from := f.eng.LSN() + 1
+	url := fmt.Sprintf("%s/v1/log?from=%d&max=%d", f.primary, from, f.opts.MaxBatch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	head, _ := strconv.ParseUint(resp.Header.Get("X-Netclus-Head-LSN"), 10, 64)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return 0, head, ErrNeedBootstrap
+	default:
+		if head > 0 && from > head+1 {
+			// The replica holds records the primary no longer does — the
+			// primary lost acknowledged history (e.g. a group-commit crash
+			// window). Applied state cannot be rolled back; only a rebuild
+			// resynchronizes. Name the condition rather than surfacing the
+			// generic status code.
+			return 0, head, fmt.Errorf("follower at LSN %d is ahead of the primary's head %d: the primary lost acknowledged history; rebuild this replica", from-1, head)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, head, fmt.Errorf("primary answered %d: %s", resp.StatusCode, body)
+	}
+	br := bufio.NewReader(resp.Body)
+	applied := 0
+	for {
+		rec, err := wal.ReadFrame(br)
+		if err == io.EOF {
+			return applied, head, nil
+		}
+		if err != nil {
+			return applied, head, fmt.Errorf("decoding log stream: %w", err)
+		}
+		// Persist before applying: a crash between the two replays the
+		// record from the local log; the reverse order would lose it. A
+		// record the local log already holds (an earlier round persisted
+		// it but the apply failed) is not re-appended, so the retry
+		// surfaces the apply error instead of wedging on the log.
+		if f.local != nil && rec.LSN > f.local.HeadLSN() {
+			if err := f.local.AppendRecord(rec); err != nil {
+				return applied, head, fmt.Errorf("persisting record %d: %w", rec.LSN, err)
+			}
+		}
+		if err := f.eng.ApplyRecord(rec); err != nil {
+			return applied, head, fmt.Errorf("applying record %d: %w", rec.LSN, err)
+		}
+		applied++
+	}
+}
+
+// LogAvailableFrom reports whether the primary can stream records starting
+// at LSN from — the bootstrap decision: when the primary's log no longer
+// reaches the follower's state, the follower loads /v1/checkpoint instead.
+func LogAvailableFrom(ctx context.Context, client *http.Client, primary string, from uint64) (bool, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	url := fmt.Sprintf("%s/v1/log?from=%d&max=1", primary, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusGone:
+		return false, nil
+	case http.StatusNotFound:
+		return false, fmt.Errorf("primary %s serves no /v1/log (is it running with -wal-dir?)", primary)
+	default:
+		return false, fmt.Errorf("primary answered %d probing /v1/log", resp.StatusCode)
+	}
+}
+
+// FetchCheckpoint streams the primary's recovery bundle; the caller loads
+// it with netclus.LoadCheckpoint and closes the reader.
+func FetchCheckpoint(ctx context.Context, client *http.Client, primary string) (io.ReadCloser, error) {
+	if client == nil {
+		// No overall timeout: a checkpoint is arbitrarily large.
+		client = &http.Client{}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, primary+"/v1/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("primary answered %d fetching checkpoint: %s", resp.StatusCode, body)
+	}
+	return resp.Body, nil
+}

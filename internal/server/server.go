@@ -8,6 +8,8 @@
 //	POST /v1/query/batch  many queries in one engine call
 //	POST /v1/update       §6 dynamic updates (site/trajectory add/delete)
 //	POST /v1/snapshot     stream a consistent checkpoint of the live index
+//	POST /v1/checkpoint   stream the recovery bundle (dataset + snapshot)
+//	GET  /v1/log          stream WAL records from ?from=<lsn> (primaries)
 //	GET  /healthz         liveness; 503 once draining
 //	GET  /statsz          engine + server counters
 //
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +34,7 @@ import (
 	"netclus/internal/roadnet"
 	"netclus/internal/shard"
 	"netclus/internal/trajectory"
+	"netclus/internal/wal"
 )
 
 // Engine is the serving surface the HTTP layer drives: queries, batches,
@@ -42,6 +46,10 @@ type Engine interface {
 	QueryBatch(ctx context.Context, qs []core.QueryOptions) []engine.BatchItem
 	Stats() engine.Stats
 	Snapshot(w io.Writer) (int64, error)
+	// Checkpoint streams the recovery bundle: the mutated dataset state
+	// plus the LSN-stamped snapshot (see wal.WriteCheckpoint). A follower
+	// bootstraps from it when the primary's log no longer reaches LSN 1.
+	Checkpoint(w io.Writer) (int64, error)
 	Graph() *roadnet.Graph
 	AddSite(v roadnet.NodeID) error
 	DeleteSite(v roadnet.NodeID) error
@@ -71,6 +79,15 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// Limits bound request decoding; zero fields take their defaults.
 	Limits Limits
+	// Log, when non-nil, is the primary's write-ahead log: GET /v1/log
+	// streams its records to followers and /statsz reports its counters.
+	Log *wal.Log
+	// ReadOnly rejects /v1/update with 403 — the follower role: replicas
+	// apply mutations only from the primary's log stream.
+	ReadOnly bool
+	// Replication, when non-nil, reports the follower's tailing status;
+	// it is embedded in /healthz and /statsz.
+	Replication func() ReplicationStatus
 }
 
 func (o Options) withDefaults() Options {
@@ -144,14 +161,17 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
-	mQuery    routeMetrics
-	mBatch    routeMetrics
-	mUpdate   routeMetrics
-	mSnapshot routeMetrics
-	mHealth   routeMetrics
-	mStats    routeMetrics
+	mQuery      routeMetrics
+	mBatch      routeMetrics
+	mUpdate     routeMetrics
+	mSnapshot   routeMetrics
+	mCheckpoint routeMetrics
+	mLog        routeMetrics
+	mHealth     routeMetrics
+	mStats      routeMetrics
 
 	snapshotBytes atomic.Int64
+	logRecords    atomic.Uint64
 }
 
 // New wraps eng in a serving layer. The caller keeps ownership of the
@@ -171,6 +191,10 @@ func New(eng Engine, opts Options) (*Server, error) {
 	mux.HandleFunc("/v1/query/batch", s.instrument(&s.mBatch, http.MethodPost, s.handleBatch))
 	mux.HandleFunc("/v1/update", s.instrument(&s.mUpdate, http.MethodPost, s.handleUpdate))
 	mux.HandleFunc("/v1/snapshot", s.instrument(&s.mSnapshot, http.MethodPost, s.handleSnapshot))
+	mux.HandleFunc("/v1/checkpoint", s.instrument(&s.mCheckpoint, http.MethodPost, s.handleCheckpoint))
+	if opts.Log != nil {
+		mux.HandleFunc("/v1/log", s.instrument(&s.mLog, http.MethodGet, s.handleLog))
+	}
 	mux.HandleFunc("/healthz", s.instrument(&s.mHealth, http.MethodGet, s.handleHealth))
 	mux.HandleFunc("/statsz", s.instrument(&s.mStats, http.MethodGet, s.handleStats))
 	s.mux = mux
@@ -400,6 +424,10 @@ type updateResponse struct {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.opts.ReadOnly {
+		writeError(w, http.StatusForbidden, errors.New("read-only replica: send updates to the primary"))
+		return
+	}
 	data, ok := readBody(w, r)
 	if !ok {
 		return
@@ -434,9 +462,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		err = s.eng.DeleteTrajectory(trajectory.ID(u.ID))
 	}
 	if err != nil {
-		// Engine update errors are state conflicts (node already a site,
-		// id already deleted, node outside graph): the client's fault.
-		writeError(w, http.StatusConflict, err)
+		// A failed log append is the server's problem — the mutation
+		// applied but its durability did not — everything else is a state
+		// conflict (node already a site, id already deleted, node outside
+		// graph): the client's fault.
+		if errors.Is(err, wal.ErrLogFailed) {
+			writeError(w, http.StatusInternalServerError, err)
+		} else {
+			writeError(w, http.StatusConflict, err)
+		}
 		return
 	}
 	resp.OK = true
@@ -463,14 +497,115 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCheckpoint streams the recovery bundle — the mutated dataset plus
+// the LSN-stamped snapshot — under the engine read lock. Followers
+// bootstrap from it when the primary's log has been compacted past LSN 1;
+// operators can also curl it as an off-host backup that restores without
+// the original preset's site/trajectory state.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="checkpoint.ncck"`)
+	n, err := s.eng.Checkpoint(w)
+	s.snapshotBytes.Add(n)
+	if err != nil {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.status = http.StatusInternalServerError
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// handleLog streams WAL records from ?from=<lsn> in the on-disk frame
+// format. The response carries the log's first retained and head LSNs in
+// headers, so a follower can measure its lag without decoding the body. A
+// from below the first retained LSN is 410 Gone: those records were
+// compacted away and the follower must bootstrap from /v1/checkpoint.
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("from must be a positive LSN"))
+		return
+	}
+	maxN := 8192
+	if raw := r.URL.Query().Get("max"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 || v > 1<<16 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("max must be in 1..%d", 1<<16))
+			return
+		}
+		maxN = v
+	}
+	recs, head, err := s.opts.Log.ReadFrom(from, maxN)
+	w.Header().Set("X-Netclus-First-LSN", strconv.FormatUint(s.opts.Log.FirstLSN(), 10))
+	w.Header().Set("X-Netclus-Head-LSN", strconv.FormatUint(head, 10))
+	if err != nil {
+		if errors.Is(err, wal.ErrCompacted) {
+			writeError(w, http.StatusGone, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	for _, rec := range recs {
+		if err := wal.WriteFrame(w, rec); err != nil {
+			return // client went away; nothing to salvage mid-stream
+		}
+		s.logRecords.Add(1)
+	}
+}
+
+// ReplicationStatus is a follower's tailing report, embedded in /healthz
+// and /statsz.
+type ReplicationStatus struct {
+	// Role is "follower" (primaries report their log under "wal" instead).
+	Role string `json:"role"`
+	// Primary is the URL the follower tails.
+	Primary string `json:"primary"`
+	// LSN is the last record applied locally; PrimaryLSN is the primary's
+	// head at the last poll, and Lag their difference.
+	LSN        uint64 `json:"lsn"`
+	PrimaryLSN uint64 `json:"primary_lsn"`
+	Lag        uint64 `json:"lag_records"`
+	// LastPollSeconds is how long ago the last successful poll finished
+	// (-1 before the first one).
+	LastPollSeconds float64 `json:"last_poll_seconds"`
+	// Polls and PollErrors count tailing rounds; LastError keeps the most
+	// recent failure for /statsz visibility.
+	Polls      uint64 `json:"polls"`
+	PollErrors uint64 `json:"poll_errors"`
+	LastError  string `json:"last_error,omitempty"`
+	// NeedsBootstrap reports that the primary compacted past this replica's
+	// position: polling can never catch up again and the replica serves
+	// ever-staler reads until it is re-bootstrapped. /healthz answers 503
+	// while this is set, so load balancers stop routing here.
+	NeedsBootstrap bool `json:"needs_bootstrap,omitempty"`
+}
+
 // healthResponse is the /healthz body.
 type healthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Replication reports follower lag when this server is a read-replica.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := healthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()}
+	if s.opts.Replication != nil {
+		st := s.opts.Replication()
+		h.Replication = &st
+		if st.NeedsBootstrap {
+			// The replica can never catch up by polling; take it out of
+			// rotation rather than serving unboundedly stale reads as
+			// healthy.
+			h.Status = "stale-replica"
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(h)
+			return
+		}
+	}
 	if s.draining.Load() {
 		h.Status = "draining"
 		w.Header().Set("Content-Type", "application/json")
@@ -493,6 +628,12 @@ type statszResponse struct {
 	Routes        map[string]routeStats `json:"routes"`
 	Batching      *batcherStats         `json:"batching,omitempty"`
 	SnapshotBytes int64                 `json:"snapshot_bytes"`
+	// WAL reports the primary's log (head/first LSN, segments, fsync
+	// policy); Replication reports follower lag. LogRecordsServed counts
+	// records streamed to followers over /v1/log.
+	WAL              *wal.Stats         `json:"wal,omitempty"`
+	Replication      *ReplicationStatus `json:"replication,omitempty"`
+	LogRecordsServed uint64             `json:"log_records_served,omitempty"`
 }
 
 // Stats assembles the full metrics block (also used by tests directly).
@@ -506,6 +647,7 @@ func (s *Server) Stats() statszResponse {
 			"/v1/query/batch": s.mBatch.stats(),
 			"/v1/update":      s.mUpdate.stats(),
 			"/v1/snapshot":    s.mSnapshot.stats(),
+			"/v1/checkpoint":  s.mCheckpoint.stats(),
 			"/healthz":        s.mHealth.stats(),
 			"/statsz":         s.mStats.stats(),
 		},
@@ -517,6 +659,16 @@ func (s *Server) Stats() statszResponse {
 	if s.bat != nil {
 		st := s.bat.stats()
 		resp.Batching = &st
+	}
+	if s.opts.Log != nil {
+		st := s.opts.Log.Stats()
+		resp.WAL = &st
+		resp.Routes["/v1/log"] = s.mLog.stats()
+		resp.LogRecordsServed = s.logRecords.Load()
+	}
+	if s.opts.Replication != nil {
+		st := s.opts.Replication()
+		resp.Replication = &st
 	}
 	return resp
 }

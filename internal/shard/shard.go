@@ -15,6 +15,7 @@ import (
 	"netclus/internal/roadnet"
 	"netclus/internal/tops"
 	"netclus/internal/trajectory"
+	"netclus/internal/wal"
 )
 
 // Options configures a sharded engine.
@@ -73,10 +74,20 @@ type Sharded struct {
 	ownMu sync.Mutex
 	own   map[int]*ownership
 
+	// sink receives the global mutation stream when a log is attached (the
+	// per-shard engines never log: the Sharded layer is the system of
+	// record, so one logical mutation is one record regardless of shard
+	// count). See wal.Sink for the commit/guard/replay discipline.
+	sink wal.Sink
+
 	queries      atomic.Uint64
 	batchQueries atomic.Uint64
 	batches      atomic.Uint64
 	updateCount  atomic.Uint64
+	siteAdds     atomic.Uint64
+	siteDeletes  atomic.Uint64
+	trajAdds     atomic.Uint64
+	trajDeletes  atomic.Uint64
 	errorCount   atomic.Uint64
 	canceled     atomic.Uint64
 	coverNanos   atomic.Int64
@@ -636,19 +647,43 @@ func (s *Sharded) QueryBatch(ctx context.Context, qs []core.QueryOptions) []engi
 // Mutations. Site updates route to the owning shard; trajectory updates
 // broadcast (every shard's trajectory lists carry every trajectory). All
 // run under the write lock, so queries drain first and ownership
-// invalidation is fenced.
+// invalidation is fenced. With a WAL attached the discipline mirrors
+// engine.Engine: apply, then append the record, then acknowledge — one
+// record per logical mutation, independent of shard count, so a sharded
+// primary's log replays identically into any follower topology.
+
+// guardLog rejects mutations after a log append failure.
+func (s *Sharded) guardLog() error { return s.sink.Guard() }
+
+// commit appends the record for a mutation just applied and stamps the
+// engine with the assigned LSN. Caller holds the write lock.
+func (s *Sharded) commit(kind wal.Kind, body []byte) error {
+	_, err := s.sink.Commit(kind, body)
+	return err
+}
 
 // AddSite registers a new candidate site on its owning shard.
 func (s *Sharded) AddSite(v roadnet.NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.guardLog(); err != nil {
+		return err
+	}
+	if err := s.addSiteLocked(v); err != nil {
+		return err
+	}
 	s.updateCount.Add(1)
+	s.siteAdds.Add(1)
+	return s.commit(wal.KindAddSite, wal.NodeBody(int64(v)))
+}
+
+func (s *Sharded) addSiteLocked(v roadnet.NodeID) error {
 	j := s.part.Shard(v)
 	sh := s.shards[j]
-	sh.updates.Add(1)
 	if err := sh.eng.AddSite(v); err != nil {
 		return err
 	}
+	sh.updates.Add(1)
 	s.sites = append(s.sites, v)
 	s.siteID[v] = int32(len(s.sites) - 1)
 	s.updateOwnershipAt(v)
@@ -660,13 +695,24 @@ func (s *Sharded) AddSite(v roadnet.NodeID) error {
 func (s *Sharded) DeleteSite(v roadnet.NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.guardLog(); err != nil {
+		return err
+	}
+	if err := s.deleteSiteLocked(v); err != nil {
+		return err
+	}
 	s.updateCount.Add(1)
+	s.siteDeletes.Add(1)
+	return s.commit(wal.KindDeleteSite, wal.NodeBody(int64(v)))
+}
+
+func (s *Sharded) deleteSiteLocked(v roadnet.NodeID) error {
 	j := s.part.Shard(v)
 	sh := s.shards[j]
-	sh.updates.Add(1)
 	if err := sh.eng.DeleteSite(v); err != nil {
 		return err
 	}
+	sh.updates.Add(1)
 	slot := s.siteID[v]
 	last := len(s.sites) - 1
 	if moved := s.sites[last]; moved != v {
@@ -685,7 +731,22 @@ func (s *Sharded) DeleteSite(v roadnet.NodeID) error {
 func (s *Sharded) AddSites(nodes []roadnet.NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.guardLog(); err != nil {
+		return err
+	}
+	if err := s.addSitesLocked(nodes); err != nil {
+		return err
+	}
 	s.updateCount.Add(1)
+	s.siteAdds.Add(uint64(len(nodes)))
+	ids := make([]int64, len(nodes))
+	for i, v := range nodes {
+		ids[i] = int64(v)
+	}
+	return s.commit(wal.KindAddSites, wal.IDListBody(ids))
+}
+
+func (s *Sharded) addSitesLocked(nodes []roadnet.NodeID) error {
 	dup := make(map[roadnet.NodeID]bool, len(nodes))
 	for _, v := range nodes {
 		if v < 0 || int(v) >= s.g.NumNodes() {
@@ -745,7 +806,19 @@ func (s *Sharded) broadcast(apply func(sh *shardState) error) error {
 func (s *Sharded) AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.guardLog(); err != nil {
+		return 0, err
+	}
+	tid, err := s.addTrajectoryLocked(tr)
+	if err != nil {
+		return 0, err
+	}
 	s.updateCount.Add(1)
+	s.trajAdds.Add(1)
+	return tid, s.commit(wal.KindAddTrajectory, wal.TrajectoryBody(tr))
+}
+
+func (s *Sharded) addTrajectoryLocked(tr *trajectory.Trajectory) (trajectory.ID, error) {
 	var tid trajectory.ID
 	first := true
 	err := s.broadcast(func(sh *shardState) error {
@@ -767,15 +840,24 @@ func (s *Sharded) AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error
 func (s *Sharded) DeleteTrajectory(tid trajectory.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.guardLog(); err != nil {
+		return err
+	}
+	if err := s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectory(tid) }); err != nil {
+		return err
+	}
 	s.updateCount.Add(1)
-	return s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectory(tid) })
+	s.trajDeletes.Add(1)
+	return s.commit(wal.KindDeleteTrajectory, wal.NodeBody(int64(tid)))
 }
 
 // AddTrajectories ingests a batch of trajectories into every shard.
 func (s *Sharded) AddTrajectories(trs []*trajectory.Trajectory) ([]trajectory.ID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.updateCount.Add(1)
+	if err := s.guardLog(); err != nil {
+		return nil, err
+	}
 	var ids []trajectory.ID
 	first := true
 	err := s.broadcast(func(sh *shardState) error {
@@ -788,15 +870,135 @@ func (s *Sharded) AddTrajectories(trs []*trajectory.Trajectory) ([]trajectory.ID
 		}
 		return nil
 	})
-	return ids, err
+	if err != nil {
+		return nil, err
+	}
+	s.updateCount.Add(1)
+	s.trajAdds.Add(uint64(len(trs)))
+	return ids, s.commit(wal.KindAddTrajectories, wal.TrajectoriesBody(trs))
 }
 
 // DeleteTrajectories removes a batch of trajectories from every shard.
 func (s *Sharded) DeleteTrajectories(ids []trajectory.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.guardLog(); err != nil {
+		return err
+	}
+	if err := s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectories(ids) }); err != nil {
+		return err
+	}
 	s.updateCount.Add(1)
-	return s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectories(ids) })
+	s.trajDeletes.Add(uint64(len(ids)))
+	raw := make([]int64, len(ids))
+	for i, id := range ids {
+		raw[i] = int64(id)
+	}
+	return s.commit(wal.KindDeleteTrajectories, wal.IDListBody(raw))
+}
+
+// Durability and replication surface, mirroring engine.Engine's: LSN,
+// AttachWAL, ApplyRecord (replay without re-logging), Checkpoint.
+
+// LSN reports the last applied write-ahead-log sequence number.
+func (s *Sharded) LSN() uint64 { return s.sink.LSN() }
+
+// AttachWAL connects the sharded engine to its log. The log must sit
+// exactly at the engine's LSN; an empty log is based there.
+func (s *Sharded) AttachWAL(l *wal.Log) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink.Attach(l)
+}
+
+// ApplyRecord applies one logged mutation through the sharded routing
+// paths without re-logging it — recovery and follower tailing. Records
+// must arrive in LSN order.
+func (s *Sharded) ApplyRecord(rec wal.Record) error {
+	m, err := rec.Mutation()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sink.CheckReplay(rec); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := s.applyMutation(m); err != nil {
+		return fmt.Errorf("shard: replaying LSN %d (%s): %w", rec.LSN, m.Kind, err)
+	}
+	s.sink.SetLSN(rec.LSN)
+	return nil
+}
+
+// applyMutation dispatches a decoded record to the sharded mutation it
+// logs. Caller holds the write lock.
+func (s *Sharded) applyMutation(m wal.Mutation) error {
+	switch m.Kind {
+	case wal.KindAddSite:
+		if err := s.addSiteLocked(roadnet.NodeID(m.Node)); err != nil {
+			return err
+		}
+		s.siteAdds.Add(1)
+	case wal.KindDeleteSite:
+		if err := s.deleteSiteLocked(roadnet.NodeID(m.Node)); err != nil {
+			return err
+		}
+		s.siteDeletes.Add(1)
+	case wal.KindAddSites:
+		nodes := make([]roadnet.NodeID, len(m.Nodes))
+		for i, v := range m.Nodes {
+			nodes[i] = roadnet.NodeID(v)
+		}
+		if err := s.addSitesLocked(nodes); err != nil {
+			return err
+		}
+		s.siteAdds.Add(uint64(len(nodes)))
+	case wal.KindAddTrajectory:
+		tr, err := m.Traj.Trajectory(s.g)
+		if err != nil {
+			return err
+		}
+		if _, err := s.addTrajectoryLocked(tr); err != nil {
+			return err
+		}
+		s.trajAdds.Add(1)
+	case wal.KindDeleteTrajectory:
+		if err := s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectory(trajectory.ID(m.ID)) }); err != nil {
+			return err
+		}
+		s.trajDeletes.Add(1)
+	case wal.KindAddTrajectories:
+		trs := make([]*trajectory.Trajectory, len(m.Trajs))
+		for i, td := range m.Trajs {
+			tr, err := td.Trajectory(s.g)
+			if err != nil {
+				return err
+			}
+			trs[i] = tr
+		}
+		err := s.broadcast(func(sh *shardState) error {
+			_, err := sh.eng.AddTrajectories(trs)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		s.trajAdds.Add(uint64(len(trs)))
+	case wal.KindDeleteTrajectories:
+		ids := make([]trajectory.ID, len(m.Nodes))
+		for i, v := range m.Nodes {
+			ids[i] = trajectory.ID(v)
+		}
+		if err := s.broadcast(func(sh *shardState) error { return sh.eng.DeleteTrajectories(ids) }); err != nil {
+			return err
+		}
+		s.trajDeletes.Add(uint64(len(ids)))
+	default:
+		return fmt.Errorf("shard: unknown mutation kind %s", m.Kind)
+	}
+	s.updateCount.Add(1)
+	return nil
 }
 
 // Stats aggregates the scatter-gather engine's counters into the same shape
@@ -808,6 +1010,11 @@ func (s *Sharded) Stats() engine.Stats {
 		BatchQueries: s.batchQueries.Load(),
 		Batches:      s.batches.Load(),
 		Updates:      s.updateCount.Load(),
+		SiteAdds:     s.siteAdds.Load(),
+		SiteDeletes:  s.siteDeletes.Load(),
+		TrajAdds:     s.trajAdds.Load(),
+		TrajDeletes:  s.trajDeletes.Load(),
+		LSN:          s.sink.LSN(),
 		Errors:       s.errorCount.Load(),
 		Canceled:     s.canceled.Load(),
 		CoverTime:    time.Duration(s.coverNanos.Load()),

@@ -12,6 +12,7 @@ import (
 	"netclus/internal/core"
 	"netclus/internal/roadnet"
 	"netclus/internal/tops"
+	"netclus/internal/wal"
 )
 
 // Sharded snapshots: one manifest describing the partition plus one
@@ -29,8 +30,12 @@ import (
 // fingerprint in the manifest plus the per-shard fingerprints inside each
 // core snapshot reject any mismatched or reordered input.
 
-// manifestVersion is the sharded-snapshot format version.
-const manifestVersion = 1
+// manifestVersion is the sharded-snapshot format version. Version 2 added
+// the WAL LSN; version-1 manifests still load (as LSN 0).
+const manifestVersion = 2
+
+// manifestMinVersion is the oldest manifest version this reader accepts.
+const manifestMinVersion = 1
 
 // containerMagic is "NCSM" (NetClus Sharded Manifest) read little-endian.
 const containerMagic uint32 = 0x4d53434e
@@ -44,6 +49,11 @@ type Manifest struct {
 	Shards             int    `json:"shards"`
 	Partitioner        string `json:"partitioner"`
 	DatasetFingerprint uint64 `json:"dataset_fingerprint"`
+	// LSN is the write-ahead-log watermark of the snapshot: every logged
+	// mutation up to and including it is reflected, so recovery replays
+	// records after it. 0 for engines that are not WAL-served (and for
+	// version-1 manifests).
+	LSN uint64 `json:"lsn,omitempty"`
 	// Sites lists every shard's site nodes in the shard's OWN list order.
 	// Re-partitioning the presented dataset cannot reconstruct these: each
 	// shard's core index swap-removes within its local list on DeleteSite,
@@ -64,6 +74,7 @@ func (s *Sharded) manifest(withFiles bool) Manifest {
 		Shards:             len(s.shards),
 		Partitioner:        s.part.Name(),
 		DatasetFingerprint: s.fingerprint(),
+		LSN:                s.sink.LSN(),
 		Sites:              make([][]int64, len(s.shards)),
 		SiteCounts:         make([]int, len(s.shards)),
 	}
@@ -94,6 +105,23 @@ func (s *Sharded) fingerprint() uint64 {
 func (s *Sharded) Snapshot(w io.Writer) (int64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.snapshotLocked(w)
+}
+
+// Checkpoint writes the recovery bundle: the mutated dataset state (global
+// site order, trajectory store) plus the LSN-stamped sharded container,
+// under one read lock so the three views are mutually consistent. Reload
+// with wal.ReadCheckpoint + LoadSharded (the netclus.LoadCheckpoint
+// facade).
+func (s *Sharded) Checkpoint(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return wal.WriteCheckpoint(w, s.sites, s.shards[0].inst.Trajs, s.snapshotLocked)
+}
+
+// snapshotLocked streams the container format; the caller holds at least
+// the read lock.
+func (s *Sharded) snapshotLocked(w io.Writer) (int64, error) {
 	var n int64
 	man, err := json.Marshal(s.manifest(false))
 	if err != nil {
@@ -149,8 +177,10 @@ func LoadSharded(r io.Reader, inst *tops.Instance, opts Options) (*Sharded, erro
 	if magic := binary.LittleEndian.Uint32(head[0:]); magic != containerMagic {
 		return nil, fmt.Errorf("shard: bad container magic %#x (want %#x)", magic, containerMagic)
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != manifestVersion {
-		return nil, fmt.Errorf("shard: unsupported container version %d (this build reads %d)", v, manifestVersion)
+	if v := binary.LittleEndian.Uint32(head[4:]); v > manifestVersion {
+		return nil, fmt.Errorf("shard: container format v%d, this reader supports <=v%d (upgrade the binary)", v, manifestVersion)
+	} else if v < manifestMinVersion {
+		return nil, fmt.Errorf("shard: container format v%d, this reader supports v%d..v%d", v, manifestMinVersion, manifestVersion)
 	}
 	manLen := binary.LittleEndian.Uint32(head[8:])
 	const maxManifest = 1 << 20
@@ -182,7 +212,12 @@ func LoadSharded(r io.Reader, inst *tops.Instance, opts Options) (*Sharded, erro
 	}
 	opts.Shards = man.Shards
 	opts.Partitioner = man.Partitioner
-	return assemble(inst, part, insts, idxs, opts)
+	s, err := assemble(inst, part, insts, idxs, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.sink.SetLSN(man.LSN)
+	return s, nil
 }
 
 // validateManifest checks a manifest against the presented dataset and
@@ -194,8 +229,11 @@ func LoadSharded(r io.Reader, inst *tops.Instance, opts Options) (*Sharded, erro
 // per-shard dataset fingerprints inside the core snapshots then verify the
 // lists in depth.
 func validateManifest(man *Manifest, inst *tops.Instance) (Partitioner, []*tops.Instance, error) {
-	if man.Version != manifestVersion {
-		return nil, nil, fmt.Errorf("shard: unsupported manifest version %d (this build reads %d)", man.Version, manifestVersion)
+	if man.Version > manifestVersion {
+		return nil, nil, fmt.Errorf("shard: manifest format v%d, this reader supports <=v%d (upgrade the binary)", man.Version, manifestVersion)
+	}
+	if man.Version < manifestMinVersion {
+		return nil, nil, fmt.Errorf("shard: manifest format v%d, this reader supports v%d..v%d", man.Version, manifestMinVersion, manifestVersion)
 	}
 	if man.Shards < 1 {
 		return nil, nil, fmt.Errorf("shard: manifest shard count %d must be >= 1", man.Shards)
@@ -248,7 +286,7 @@ func (s *Sharded) SaveDir(dir string) error {
 	}
 	man := s.manifest(true)
 	for j, sh := range s.shards {
-		if err := writeFileAtomic(filepath.Join(dir, man.Files[j]), func(w io.Writer) error {
+		if err := wal.AtomicWriteFile(filepath.Join(dir, man.Files[j]), func(w io.Writer) error {
 			_, err := sh.eng.Snapshot(w)
 			return err
 		}); err != nil {
@@ -259,7 +297,7 @@ func (s *Sharded) SaveDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("shard: encoding manifest: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+	if err := wal.AtomicWriteFile(filepath.Join(dir, ManifestName), func(w io.Writer) error {
 		_, err := w.Write(append(raw, '\n'))
 		return err
 	}); err != nil {
@@ -297,40 +335,10 @@ func LoadDir(dir string, inst *tops.Instance, opts Options) (*Sharded, error) {
 	}
 	opts.Shards = man.Shards
 	opts.Partitioner = man.Partitioner
-	return assemble(inst, part, insts, idxs, opts)
-}
-
-// writeFileAtomic streams fill into a temp sibling of path, fsyncs, fixes
-// permissions, and renames into place.
-func writeFileAtomic(path string, fill func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	s, err := assemble(inst, part, insts, idxs, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	cleanup := func() {
-		tmp.Close()
-		os.Remove(tmp.Name())
-	}
-	if err := fill(tmp); err != nil {
-		cleanup()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		cleanup()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	s.sink.SetLSN(man.LSN)
+	return s, nil
 }

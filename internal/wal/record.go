@@ -1,0 +1,300 @@
+// Package wal is the durability layer of the serving stack: an append-only
+// write-ahead log of the §6 dynamic mutations, plus the checkpoint container
+// that pairs a live snapshot with the mutated dataset it re-attaches to.
+//
+// The log is a directory of segment files. Every record is CRC32-framed and
+// carries a log sequence number (LSN); LSNs are dense (each record's LSN is
+// its predecessor's plus one), so a snapshot stamped with LSN w recovers by
+// replaying exactly the records with LSN > w. Segments rotate at a size
+// threshold and compaction deletes whole segments at or below the snapshot
+// watermark. The same frame format streams over HTTP (/v1/log) to follower
+// read-replicas, which apply records through the identical replay path a
+// crash recovery uses.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/trajectory"
+)
+
+// Kind types a log record: one value per §6 mutation, plus the batch
+// frames the engine-level batch entry points emit.
+type Kind uint8
+
+const (
+	// KindAddSite registers one candidate site.
+	KindAddSite Kind = 1
+	// KindDeleteSite removes one candidate site.
+	KindDeleteSite Kind = 2
+	// KindAddTrajectory ingests one trajectory (its node sequence).
+	KindAddTrajectory Kind = 3
+	// KindDeleteTrajectory removes one trajectory by id.
+	KindDeleteTrajectory Kind = 4
+	// KindAddSites is the batch frame of AddSites.
+	KindAddSites Kind = 5
+	// KindAddTrajectories is the batch frame of AddTrajectories.
+	KindAddTrajectories Kind = 6
+	// KindDeleteTrajectories is the batch frame of DeleteTrajectories.
+	KindDeleteTrajectories Kind = 7
+)
+
+// String names the record kind for error messages and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindAddSite:
+		return "add_site"
+	case KindDeleteSite:
+		return "delete_site"
+	case KindAddTrajectory:
+		return "add_trajectory"
+	case KindDeleteTrajectory:
+		return "delete_trajectory"
+	case KindAddSites:
+		return "add_sites"
+	case KindAddTrajectories:
+		return "add_trajectories"
+	case KindDeleteTrajectories:
+		return "delete_trajectories"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+func (k Kind) valid() bool { return k >= KindAddSite && k <= KindDeleteTrajectories }
+
+// Record is one logged mutation: its sequence number, kind, and the
+// kind-specific body (see the Body constructors below).
+type Record struct {
+	LSN  uint64
+	Kind Kind
+	Body []byte
+}
+
+// Body constructors. Bodies are little-endian and fully self-delimiting so
+// a record round-trips through disk and network identically.
+
+// NodeBody encodes a single id (node or trajectory id).
+func NodeBody(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// IDListBody encodes a list of ids (trajectory node sequences, site
+// batches, trajectory-id batches): u32 count, then count u64 values.
+func IDListBody(vs []int64) []byte {
+	b := make([]byte, 4+8*len(vs))
+	binary.LittleEndian.PutUint32(b, uint32(len(vs)))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[4+8*i:], uint64(v))
+	}
+	return b
+}
+
+// TrajData is the logged form of one trajectory: node sequence plus the
+// cumulative along-path distances. Logging CumDist (rather than
+// re-deriving it at replay via trajectory.New) keeps recovery bit-exact
+// even for trajectories a library caller assembled with distances
+// trajectory.New would not produce.
+type TrajData struct {
+	Nodes []int64
+	Cum   []float64
+}
+
+// FromTrajectory captures a trajectory for logging.
+func FromTrajectory(tr *trajectory.Trajectory) TrajData {
+	d := TrajData{Nodes: make([]int64, len(tr.Nodes)), Cum: append([]float64(nil), tr.CumDist...)}
+	for i, v := range tr.Nodes {
+		d.Nodes[i] = int64(v)
+	}
+	return d
+}
+
+// Trajectory reconstructs the exact logged trajectory over g, validating
+// node ranges and structural invariants (never panicking on garbage).
+func (d TrajData) Trajectory(g *roadnet.Graph) (*trajectory.Trajectory, error) {
+	if len(d.Nodes) != len(d.Cum) {
+		return nil, fmt.Errorf("wal: trajectory record has %d nodes, %d distances", len(d.Nodes), len(d.Cum))
+	}
+	tr := &trajectory.Trajectory{
+		Nodes:   make([]roadnet.NodeID, len(d.Nodes)),
+		CumDist: append([]float64(nil), d.Cum...),
+	}
+	for i, v := range d.Nodes {
+		if v < 0 || int64(int32(v)) != v || int(v) >= g.NumNodes() {
+			return nil, fmt.Errorf("wal: trajectory record node %d outside graph", v)
+		}
+		tr.Nodes[i] = roadnet.NodeID(v)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("wal: trajectory record invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// TrajectoryBody encodes one trajectory: u32 len, len u64 nodes, len f64
+// cumulative distances.
+func TrajectoryBody(tr *trajectory.Trajectory) []byte {
+	return appendTraj(nil, FromTrajectory(tr))
+}
+
+func appendTraj(b []byte, d TrajData) []byte {
+	var u4 [4]byte
+	var u8 [8]byte
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(d.Nodes)))
+	b = append(b, u4[:]...)
+	for _, v := range d.Nodes {
+		binary.LittleEndian.PutUint64(u8[:], uint64(v))
+		b = append(b, u8[:]...)
+	}
+	for _, c := range d.Cum {
+		binary.LittleEndian.PutUint64(u8[:], math.Float64bits(c))
+		b = append(b, u8[:]...)
+	}
+	return b
+}
+
+// TrajectoriesBody encodes a batch: u32 count, then one TrajectoryBody
+// block per trajectory.
+func TrajectoriesBody(trs []*trajectory.Trajectory) []byte {
+	var u4 [4]byte
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(trs)))
+	b := append([]byte(nil), u4[:]...)
+	for _, tr := range trs {
+		b = appendTraj(b, FromTrajectory(tr))
+	}
+	return b
+}
+
+// maxListLen bounds decoded list lengths: a record body is CRC-protected on
+// disk, but followers decode frames straight off the network, so the
+// decoder must stay allocation-safe on adversarial input.
+const maxListLen = 1 << 24
+
+// Mutation is the decoded, typed form of a record body — what the engine
+// and sharded replay paths dispatch on.
+type Mutation struct {
+	Kind Kind
+	// Node addresses add_site / delete_site; ID addresses delete_trajectory.
+	Node, ID int64
+	// Nodes carries add_sites' site nodes or delete_trajectories' ids.
+	Nodes []int64
+	// Traj carries add_trajectory's data; Trajs carries add_trajectories'.
+	Traj  TrajData
+	Trajs []TrajData
+}
+
+type bodyReader struct {
+	b   []byte
+	off int
+}
+
+func (r *bodyReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("wal: truncated body at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *bodyReader) i64() (int64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("wal: truncated body at offset %d", r.off)
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *bodyReader) i64List() ([]int64, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxListLen {
+		return nil, fmt.Errorf("wal: implausible list length %d", n)
+	}
+	if r.off+8*int(n) > len(r.b) {
+		return nil, fmt.Errorf("wal: list of %d overruns body", n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i], _ = r.i64()
+	}
+	return out, nil
+}
+
+func (r *bodyReader) traj() (TrajData, error) {
+	n, err := r.u32()
+	if err != nil {
+		return TrajData{}, err
+	}
+	if n > maxListLen {
+		return TrajData{}, fmt.Errorf("wal: implausible trajectory length %d", n)
+	}
+	if r.off+16*int(n) > len(r.b) {
+		return TrajData{}, fmt.Errorf("wal: trajectory of %d overruns body", n)
+	}
+	d := TrajData{Nodes: make([]int64, n), Cum: make([]float64, n)}
+	for i := range d.Nodes {
+		d.Nodes[i], _ = r.i64()
+	}
+	for i := range d.Cum {
+		v, _ := r.i64()
+		d.Cum[i] = math.Float64frombits(uint64(v))
+	}
+	return d, nil
+}
+
+func (r *bodyReader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("wal: %d trailing body bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// Mutation decodes the record body into its typed form. It never panics:
+// any structural problem — unknown kind, truncated list, trailing bytes —
+// is an error, so a follower can decode frames from an untrusted stream.
+func (r Record) Mutation() (Mutation, error) {
+	m := Mutation{Kind: r.Kind}
+	br := &bodyReader{b: r.Body}
+	var err error
+	switch r.Kind {
+	case KindAddSite, KindDeleteSite:
+		m.Node, err = br.i64()
+	case KindDeleteTrajectory:
+		m.ID, err = br.i64()
+	case KindAddSites, KindDeleteTrajectories:
+		m.Nodes, err = br.i64List()
+	case KindAddTrajectory:
+		m.Traj, err = br.traj()
+	case KindAddTrajectories:
+		var n uint32
+		if n, err = br.u32(); err == nil {
+			if n > maxListLen {
+				return m, fmt.Errorf("wal: implausible trajectory count %d", n)
+			}
+			m.Trajs = make([]TrajData, 0, min(int(n), 1024))
+			for i := uint32(0); i < n && err == nil; i++ {
+				var tr TrajData
+				tr, err = br.traj()
+				m.Trajs = append(m.Trajs, tr)
+			}
+		}
+	default:
+		return m, fmt.Errorf("wal: unknown record kind %d", uint8(r.Kind))
+	}
+	if err != nil {
+		return m, fmt.Errorf("wal: decoding %s record: %w", r.Kind, err)
+	}
+	if err := br.done(); err != nil {
+		return m, fmt.Errorf("wal: decoding %s record: %w", r.Kind, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Sink is the engine-side committer both engine.Engine and shard.Sharded
+// embed: it owns the attached log, the engine's LSN, and the broken latch,
+// so the apply-then-log-then-ack discipline is written once. All methods
+// except LSN must be called under the embedding engine's write lock.
+type Sink struct {
+	log    *Log
+	broken bool
+	lsn    atomic.Uint64
+}
+
+// LSN reports the last committed (or replayed) sequence number; safe
+// without the engine lock.
+func (s *Sink) LSN() uint64 { return s.lsn.Load() }
+
+// SetLSN stamps a replayed record's LSN (ApplyRecord path).
+func (s *Sink) SetLSN(lsn uint64) { s.lsn.Store(lsn) }
+
+// Attached reports whether a log is connected (replay must refuse then:
+// records originate locally).
+func (s *Sink) Attached() bool { return s.log != nil }
+
+// Attach connects the log: it must sit exactly at the engine's LSN — an
+// empty log is based there, covering fresh deployments and checkpoints
+// restored into compacted-away (or new) log directories.
+func (s *Sink) Attach(l *Log) error {
+	if l == nil {
+		return fmt.Errorf("wal: nil log")
+	}
+	if s.log != nil {
+		return fmt.Errorf("wal: log already attached")
+	}
+	cur := s.lsn.Load()
+	if l.IsEmpty() {
+		if err := l.SetBase(cur); err != nil {
+			return err
+		}
+	} else if head := l.HeadLSN(); head != cur {
+		return fmt.Errorf("wal: log head LSN %d != engine LSN %d (replay the tail before attaching)", head, cur)
+	}
+	s.log = l
+	return nil
+}
+
+// Guard rejects mutations after an append failure: the in-memory state is
+// ahead of the log, so continuing would widen the divergence.
+func (s *Sink) Guard() error {
+	if s.broken {
+		return fmt.Errorf("%w: log diverged from applied state; restart to recover", ErrLogFailed)
+	}
+	return nil
+}
+
+// Commit appends the record for a mutation that was just applied and
+// advances the LSN. Without an attached log it is a no-op returning 0. On
+// append failure it latches broken and wraps ErrLogFailed.
+func (s *Sink) Commit(kind Kind, body []byte) (uint64, error) {
+	if s.log == nil {
+		return 0, nil
+	}
+	lsn, err := s.log.Append(kind, body)
+	if err != nil {
+		s.broken = true
+		return 0, fmt.Errorf("%w: %v", ErrLogFailed, err)
+	}
+	s.lsn.Store(lsn)
+	return lsn, nil
+}
+
+// CheckReplay validates a record arriving on the replay surface: in-order
+// LSN, and no locally attached log.
+func (s *Sink) CheckReplay(rec Record) error {
+	if s.log != nil {
+		return fmt.Errorf("wal: replay into a log-attached engine (records must come from its own log)")
+	}
+	if want := s.lsn.Load() + 1; rec.LSN != want {
+		return fmt.Errorf("wal: record LSN %d, expected %d", rec.LSN, want)
+	}
+	return nil
+}

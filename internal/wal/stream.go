@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Network framing: /v1/log streams records in exactly the on-disk frame
+// format, so primary and follower share one codec and one validation path.
+
+// WriteFrame writes one record frame to w.
+func WriteFrame(w io.Writer, rec Record) error {
+	_, err := w.Write(encodeFrame(rec))
+	return err
+}
+
+// ReadFrame reads one record frame from r. A clean end of stream returns
+// io.EOF; a frame that is truncated mid-way, oversized, or fails its CRC is
+// an error — a follower must treat the stream as poisoned, not skip ahead.
+func ReadFrame(r *bufio.Reader) (Record, error) {
+	var hdr [frameHdr]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("wal: reading frame header: %w", err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Record{}, fmt.Errorf("wal: reading frame header: %w", err)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:])
+	if plen < 9 || plen > maxFrameBytes {
+		return Record{}, fmt.Errorf("wal: implausible frame length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, fmt.Errorf("wal: reading frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return Record{}, fmt.Errorf("wal: frame checksum mismatch")
+	}
+	rec := Record{
+		LSN:  binary.LittleEndian.Uint64(payload[0:]),
+		Kind: Kind(payload[8]),
+		Body: payload[9:],
+	}
+	if !rec.Kind.valid() {
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", payload[8])
+	}
+	return rec, nil
+}

@@ -15,7 +15,9 @@ package netclus
 // examples/quickstart for the end-to-end pattern.
 
 import (
+	"fmt"
 	"io"
+	"os"
 
 	"netclus/internal/core"
 	"netclus/internal/dataset"
@@ -26,6 +28,7 @@ import (
 	"netclus/internal/shard"
 	"netclus/internal/tops"
 	"netclus/internal/trajectory"
+	"netclus/internal/wal"
 )
 
 // Problem types.
@@ -59,6 +62,12 @@ const InvalidSiteID = tops.InvalidSiteID
 // NewInstance validates and assembles a TOPS problem instance.
 func NewInstance(g *Graph, trajs *TrajectoryStore, sites []NodeID) (*Instance, error) {
 	return tops.NewInstance(g, trajs, sites)
+}
+
+// NewTrajectory builds a trajectory from a node sequence over g, pricing
+// each hop at the edge weight (or shortest-path distance).
+func NewTrajectory(g *Graph, nodes []NodeID) (*Trajectory, error) {
+	return trajectory.New(g, nodes)
 }
 
 // Preference constructors (Definition 2 instances).
@@ -222,6 +231,138 @@ type (
 func NewServer(eng ServerEngine, opts ServeOptions) (*Server, error) {
 	return server.New(eng, opts)
 }
+
+// Durability & replication layer. A write-ahead log turns a served engine
+// into a system of record: every acknowledged §6 mutation is an LSN-
+// numbered record in an append-only segment log, snapshots carry the LSN
+// they reflect, and recovery is checkpoint + tail replay. On top of the
+// log, /v1/log streams records to follower read-replicas (topsserve
+// -follow) that apply them through the same replay path and serve
+// read-only traffic. cmd/topsserve wires the whole lifecycle
+// (-wal-dir, -fsync, -checkpoint-every, -follow).
+type (
+	// WAL is the append-only segmented record log.
+	WAL = wal.Log
+	// WALOptions configures segment size and fsync policy.
+	WALOptions = wal.Options
+	// WALRecord is one logged mutation.
+	WALRecord = wal.Record
+	// WALStats is the log's monitoring block.
+	WALStats = wal.Stats
+	// SyncPolicy selects when appends reach stable storage.
+	SyncPolicy = wal.SyncPolicy
+	// ReplicationStatus is a follower's lag report (/healthz, /statsz).
+	ReplicationStatus = server.ReplicationStatus
+	// Follower tails a primary's /v1/log into a local engine.
+	Follower = server.Follower
+	// FollowerOptions configures the tailing loop.
+	FollowerOptions = server.FollowerOptions
+)
+
+// Fsync policies for WALOptions.Policy.
+const (
+	// FsyncAlways makes every acknowledged update durable (one fsync per
+	// record).
+	FsyncAlways = wal.SyncAlways
+	// FsyncEveryInterval group-commits on a timer: at most one interval of
+	// acknowledged updates is lost on a crash.
+	FsyncEveryInterval = wal.SyncEveryInterval
+	// FsyncNever leaves flushing to the OS.
+	FsyncNever = wal.SyncNever
+)
+
+// ParseFsyncPolicy validates a CLI fsync-policy name.
+var ParseFsyncPolicy = wal.ParsePolicy
+
+// OpenWAL opens (or creates) a log directory, repairing a torn tail.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return wal.Open(dir, opts) }
+
+// DurableEngine is the serving surface plus the durability hooks both
+// Engine and ShardedEngine implement: replaying logged records, attaching
+// a log for new mutations, and reporting the applied LSN.
+type DurableEngine interface {
+	ServerEngine
+	// ApplyRecord applies one logged mutation without re-logging it (crash
+	// recovery, follower tailing). Records must arrive in LSN order.
+	ApplyRecord(rec WALRecord) error
+	// AttachWAL connects the engine to its log; every later mutation is
+	// logged before it is acknowledged. Replay the tail first.
+	AttachWAL(l *WAL) error
+	// LSN reports the last applied log sequence number.
+	LSN() uint64
+}
+
+// ReplayWAL applies every record after eng.LSN() — the recovery tail after
+// a checkpoint load, or the whole log over a freshly built engine.
+func ReplayWAL(l *WAL, eng DurableEngine) (int, error) { return wal.Replay(l, eng) }
+
+// SaveCheckpointFile writes eng's recovery bundle — mutated dataset state
+// plus the LSN-stamped snapshot — to path atomically (temp + fsync +
+// rename). Unlike a plain snapshot, a checkpoint reloads without the §6
+// mutation history: LoadCheckpointFile needs only the immutable road
+// network.
+func SaveCheckpointFile(eng ServerEngine, path string) error {
+	return wal.AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := eng.Checkpoint(w)
+		return err
+	})
+}
+
+// LoadCheckpoint reads a checkpoint stream (Engine.Checkpoint,
+// /v1/checkpoint) over the given road network and returns the recovered
+// engine — single-index or sharded, as the checkpoint dictates — at the
+// checkpoint's LSN. Replay the log tail with ReplayWAL, then AttachWAL.
+func LoadCheckpoint(r io.Reader, g *Graph, eopts EngineOptions) (DurableEngine, error) {
+	inst, br, err := wal.ReadCheckpoint(r, g)
+	if err != nil {
+		return nil, err
+	}
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("netclus: reading checkpoint payload magic: %w", err)
+	}
+	switch string(magic) {
+	case "NCSS":
+		idx, err := core.ReadIndex(br, inst)
+		if err != nil {
+			return nil, err
+		}
+		return engine.New(idx, eopts)
+	case "NCSM":
+		return shard.LoadSharded(br, inst, shard.Options{Engine: eopts})
+	default:
+		return nil, fmt.Errorf("netclus: checkpoint payload has unknown magic %q", magic)
+	}
+}
+
+// LoadCheckpointFile reads a checkpoint from path (see LoadCheckpoint).
+func LoadCheckpointFile(path string, g *Graph, eopts EngineOptions) (DurableEngine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netclus: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	eng, err := LoadCheckpoint(f, g, eopts)
+	if err != nil {
+		return nil, fmt.Errorf("netclus: checkpoint %s: %w", path, err)
+	}
+	return eng, nil
+}
+
+// NewFollower prepares a tailing loop applying the primary's /v1/log
+// stream into eng (optionally persisting it into local). Serve eng with
+// ServeOptions.ReadOnly and Replication: f.Status, and run f.Run.
+func NewFollower(primary string, eng DurableEngine, local *WAL, opts FollowerOptions) (*Follower, error) {
+	return server.NewFollower(primary, eng, local, opts)
+}
+
+// LogAvailableFrom probes whether a primary can stream records starting at
+// the given LSN — the follower's bootstrap decision between replaying the
+// whole log and fetching a checkpoint.
+var LogAvailableFrom = server.LogAvailableFrom
+
+// FetchCheckpoint streams a primary's /v1/checkpoint for LoadCheckpoint.
+var FetchCheckpoint = server.FetchCheckpoint
 
 // Datasets and generation.
 type (
