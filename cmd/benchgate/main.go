@@ -1,0 +1,252 @@
+// Command benchgate compares a fresh `go test -bench` run against a
+// committed baseline and fails when a gated benchmark's ns/op regressed
+// beyond the tolerance. CI runs it after the bench job so a PR that slows
+// the hot path fails a machine check instead of relying on a reviewer to
+// eyeball BENCH_*.json diffs.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_BASELINE.txt -current bench.txt \
+//	  -gate 'EngineQPS/cached$|ShardedHotQPS' \
+//	  -calibrate EngineQPS/cached_unpooled -max-regress 0.10
+//
+// The baseline is recorded on one machine and CI runs on another, so raw
+// ns/op comparisons would gate on hardware, not on the code. -calibrate
+// names a benchmark present in both files whose ns/op ratio estimates the
+// host speed difference; every gated comparison is normalized by that
+// factor, clamped at 1 so calibration can only relax the gate on slower
+// hosts — on a faster host the comparison falls back to raw baseline
+// numbers, which such a host beats unless the code genuinely regressed.
+// Without -calibrate the comparison is raw.
+//
+// A gated benchmark present in the baseline but missing from the current
+// run is an error: a gate that silently stops measuring is worse than no
+// gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// aggregate picks the statistic a file's repeated observations (-count >
+// 1) collapse to. The baseline uses the median — the typical observation
+// on the recording host; the current run uses the minimum — the code's
+// optimistic floor, which a genuine regression raises but noise cannot
+// lower. Comparing current-min against baseline-median is what keeps a
+// 10% gate meaningful on shared runners whose run-to-run noise exceeds
+// 10%: one slow interval can't fail the build, a real slowdown still
+// shows in every observation including the best one.
+type aggregate int
+
+const (
+	aggMin aggregate = iota
+	aggMedian
+)
+
+// nsPerOp maps benchmark name (without the "Benchmark" prefix and the
+// -GOMAXPROCS suffix) to its aggregated ns/op.
+//
+// The -GOMAXPROCS suffix is only stripped when every benchmark line in
+// the file carries the identical "-<digits>" tail: the testing package
+// appends the same suffix to every benchmark of a run (and none at
+// GOMAXPROCS=1), whereas a legitimate name tail like "shards-4" varies
+// line to line. Stripping unconditionally would collapse shards-1/2/4
+// into one key on a 1-CPU host and break the baseline-vs-CI match.
+func parseNsPerOp(r io.Reader, agg aggregate) (map[string]float64, error) {
+	type obs struct {
+		name string
+		ns   float64
+	}
+	var all []obs
+	suffix, suffixConsistent := "", true
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		tail := ""
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				tail = name[i:]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			all = append(all, obs{name, v})
+			if suffix == "" {
+				suffix = tail
+			}
+			if tail == "" || tail != suffix {
+				suffixConsistent = false
+			}
+		}
+	}
+	grouped := map[string][]float64{}
+	for _, o := range all {
+		name := o.name
+		if suffixConsistent && suffix != "" {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		grouped[name] = append(grouped[name], o.ns)
+	}
+	out := make(map[string]float64, len(grouped))
+	for name, vs := range grouped {
+		sort.Float64s(vs)
+		switch agg {
+		case aggMedian:
+			// Even counts take the lower middle: a concrete observation,
+			// and the conservative (smaller) choice for a baseline.
+			out[name] = vs[(len(vs)-1)/2]
+		default:
+			out[name] = vs[0]
+		}
+	}
+	return out, sc.Err()
+}
+
+func loadFile(path string, agg aggregate) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseNsPerOp(f, agg)
+}
+
+// verdict is one gated comparison, ready to print.
+type verdict struct {
+	name             string
+	base, cur, limit float64
+	ratio            float64 // cur / (base * calibration)
+	failed           bool
+}
+
+// gate compares every baseline benchmark matching re against the current
+// run, normalizing by calFactor, and flags those beyond 1+maxRegress. A
+// matching baseline entry missing from current is returned in missing.
+func gate(base, cur map[string]float64, re *regexp.Regexp, calFactor, maxRegress float64) (verdicts []verdict, missing []string) {
+	for name, b := range base {
+		if !re.MatchString(name) {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		adj := b * calFactor
+		limit := adj * (1 + maxRegress)
+		verdicts = append(verdicts, verdict{
+			name: name, base: b, cur: c, limit: limit,
+			ratio:  c / adj,
+			failed: c > limit,
+		})
+	}
+	sort.Slice(verdicts, func(i, j int) bool { return verdicts[i].name < verdicts[j].name })
+	sort.Strings(missing)
+	return verdicts, missing
+}
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "", "committed `go test -bench` output to gate against (required)")
+		current    = flag.String("current", "", "fresh benchmark output (default stdin)")
+		gateExpr   = flag.String("gate", ".", "regexp selecting which baseline benchmarks are gated")
+		calibrate  = flag.String("calibrate", "", "benchmark whose ns/op ratio normalizes for host speed (must match in both files)")
+		maxRegress = flag.Float64("max-regress", 0.10, "fail when ns/op exceeds the (calibrated) baseline by this fraction")
+	)
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*gateExpr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+
+	base, err := loadFile(*baseline, aggMedian)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var cur map[string]float64
+	if *current == "" {
+		cur, err = parseNsPerOp(os.Stdin, aggMin)
+	} else {
+		cur, err = loadFile(*current, aggMin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	calFactor := 1.0
+	if *calibrate != "" {
+		b, okB := base[*calibrate]
+		c, okC := cur[*calibrate]
+		if !okB || !okC {
+			fmt.Fprintf(os.Stderr, "benchgate: calibration benchmark %q missing (baseline: %v, current: %v)\n", *calibrate, okB, okC)
+			os.Exit(2)
+		}
+		// Calibration may only RELAX the gate (current host slower than
+		// the recording host), never tighten it: on a faster host the
+		// comparison falls back to raw baseline ns/op. An unclamped
+		// factor < 1 would transfer the calibrator arm's own good
+		// fortune onto every gated arm and fail runs whose absolute
+		// numbers beat the baseline across the board.
+		calFactor = c / b
+		raw := calFactor
+		if calFactor < 1 {
+			calFactor = 1
+		}
+		fmt.Printf("calibration %s: baseline %.0f ns/op, current %.0f ns/op, host factor %.3f (applied %.3f)\n",
+			*calibrate, b, c, raw, calFactor)
+	}
+
+	verdicts, missing := gate(base, cur, re, calFactor, *maxRegress)
+	if len(verdicts) == 0 && len(missing) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -gate %q matched nothing in the baseline\n", *gateExpr)
+		os.Exit(2)
+	}
+	failed := len(missing) > 0
+	for _, m := range missing {
+		fmt.Printf("MISSING  %-44s gated benchmark absent from current run\n", m)
+	}
+	for _, v := range verdicts {
+		status := "ok      "
+		if v.failed {
+			status = "REGRESS "
+			failed = true
+		}
+		fmt.Printf("%s %-44s baseline %12.0f ns/op  current %12.0f ns/op  ratio %.3f (limit %.3f)\n",
+			status, v.name, v.base, v.cur, v.ratio, 1+*maxRegress)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

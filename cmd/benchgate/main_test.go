@@ -1,0 +1,158 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBase = `
+goos: linux
+goarch: amd64
+pkg: netclus/internal/engine
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkEngineQPS/cached-4            40927     10000 ns/op    0 B/op   0 allocs/op   17258 qps
+BenchmarkEngineQPS/cached_unpooled-4   20000     20000 ns/op   512 B/op  9 allocs/op
+BenchmarkShardedHotQPS/shards-4-4       8000     50000 ns/op
+PASS
+ok  	netclus/internal/engine	12.3s
+`
+
+func parseStr(t *testing.T, s string) map[string]float64 {
+	t.Helper()
+	m, err := parseNsPerOp(strings.NewReader(s), aggMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseNsPerOp(t *testing.T) {
+	m := parseStr(t, sampleBase)
+	want := map[string]float64{
+		"EngineQPS/cached":          10000,
+		"EngineQPS/cached_unpooled": 20000,
+		"ShardedHotQPS/shards-4":    50000,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+func TestParseAggregatesAcrossCounts(t *testing.T) {
+	const repeated = `
+BenchmarkEngineQPS/cached-4  100  12000 ns/op
+BenchmarkEngineQPS/cached-4  100  10500 ns/op
+BenchmarkEngineQPS/cached-4  100  11800 ns/op
+`
+	if m := parseStr(t, repeated); m["EngineQPS/cached"] != 10500 {
+		t.Fatalf("current-run aggregation kept %v, want the minimum 10500", m["EngineQPS/cached"])
+	}
+	med, err := parseNsPerOp(strings.NewReader(repeated), aggMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med["EngineQPS/cached"] != 11800 {
+		t.Fatalf("baseline aggregation kept %v, want the median 11800", med["EngineQPS/cached"])
+	}
+}
+
+func TestParseSuffixStripping(t *testing.T) {
+	// GOMAXPROCS=1 run: no -P suffix anywhere, so a "-4" in a benchmark's
+	// own name must survive (shards-1/2/4 stay distinct keys).
+	m := parseStr(t, `
+BenchmarkEngineQPS/cached  	100	100 ns/op
+BenchmarkShardedHotQPS/shards-1  	100	150 ns/op
+BenchmarkShardedHotQPS/shards-4  	100	200 ns/op
+`)
+	for _, k := range []string{"EngineQPS/cached", "ShardedHotQPS/shards-1", "ShardedHotQPS/shards-4"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("1-CPU run lost key %q: %v", k, m)
+		}
+	}
+	// Multi-core run: every line carries the same -8, which is the
+	// GOMAXPROCS suffix and must be stripped — including from shards-4-8,
+	// so the keys match a 1-CPU baseline.
+	m = parseStr(t, `
+BenchmarkEngineQPS/cached-8  	100	100 ns/op
+BenchmarkShardedHotQPS/shards-4-8  	100	200 ns/op
+`)
+	if _, ok := m["EngineQPS/cached"]; !ok {
+		t.Errorf("-8 suffix not stripped: %v", m)
+	}
+	if _, ok := m["ShardedHotQPS/shards-4"]; !ok {
+		t.Errorf("shards-4-8 did not normalize to shards-4: %v", m)
+	}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	base := parseStr(t, sampleBase)
+	re := regexp.MustCompile(`EngineQPS/cached$|ShardedHotQPS`)
+
+	// Within tolerance everywhere: pass.
+	cur := map[string]float64{
+		"EngineQPS/cached":          10500,
+		"EngineQPS/cached_unpooled": 20000,
+		"ShardedHotQPS/shards-4":    52000,
+	}
+	verdicts, missing := gate(base, cur, re, 1.0, 0.10)
+	if len(missing) != 0 {
+		t.Fatalf("unexpected missing: %v", missing)
+	}
+	if len(verdicts) != 2 {
+		t.Fatalf("gated %d benchmarks, want 2 (cached_unpooled must not match the $-anchored gate): %+v", len(verdicts), verdicts)
+	}
+	for _, v := range verdicts {
+		if v.failed {
+			t.Errorf("%s flagged as regression at ratio %.3f, tolerance 0.10", v.name, v.ratio)
+		}
+	}
+
+	// 30% slower on one gated arm: that arm fails, the other passes.
+	cur["ShardedHotQPS/shards-4"] = 65000
+	verdicts, _ = gate(base, cur, re, 1.0, 0.10)
+	for _, v := range verdicts {
+		want := v.name == "ShardedHotQPS/shards-4"
+		if v.failed != want {
+			t.Errorf("%s failed=%v, want %v", v.name, v.failed, want)
+		}
+	}
+}
+
+func TestGateCalibration(t *testing.T) {
+	base := parseStr(t, sampleBase)
+	re := regexp.MustCompile(`EngineQPS/cached$`)
+	// The current host is 2x slower across the board (calibrator went
+	// 20000 -> 40000). Raw comparison would flag a 2x "regression";
+	// calibrated it passes.
+	cur := map[string]float64{
+		"EngineQPS/cached":          20400,
+		"EngineQPS/cached_unpooled": 40000,
+	}
+	cal := cur["EngineQPS/cached_unpooled"] / base["EngineQPS/cached_unpooled"]
+	verdicts, _ := gate(base, cur, re, cal, 0.10)
+	if len(verdicts) != 1 || verdicts[0].failed {
+		t.Fatalf("calibrated same-speed run flagged: %+v", verdicts)
+	}
+	// A genuine 50% hot-path regression on the slower host still fails.
+	cur["EngineQPS/cached"] = 30000
+	verdicts, _ = gate(base, cur, re, cal, 0.10)
+	if len(verdicts) != 1 || !verdicts[0].failed {
+		t.Fatalf("calibrated genuine regression not flagged: %+v", verdicts)
+	}
+}
+
+func TestGateMissingBenchmark(t *testing.T) {
+	base := parseStr(t, sampleBase)
+	re := regexp.MustCompile(`.`)
+	cur := map[string]float64{"EngineQPS/cached": 10000}
+	_, missing := gate(base, cur, re, 1.0, 0.10)
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want the two absent benchmarks", missing)
+	}
+}

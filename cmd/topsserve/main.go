@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -103,6 +104,7 @@ type config struct {
 	checkpointEvery time.Duration
 	follow          string
 	followPoll      time.Duration
+	pprofAddr       string
 }
 
 func (c *config) engineOpts() netclus.EngineOptions {
@@ -139,6 +141,7 @@ func main() {
 	flag.DurationVar(&c.checkpointEvery, "checkpoint-every", 0, "write a recovery checkpoint on this period and compact the log (requires -wal-dir)")
 	flag.StringVar(&c.follow, "follow", "", "run as a read-replica tailing this primary URL's /v1/log")
 	flag.DurationVar(&c.followPoll, "follow-poll", 500*time.Millisecond, "replica tailing period for -follow")
+	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	pol, err := netclus.ParseFsyncPolicy(fsyncName)
@@ -480,6 +483,9 @@ func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, l
 
 	bg, stopBg := context.WithCancel(context.Background())
 	defer stopBg()
+	if c.pprofAddr != "" {
+		go servePprof(c.pprofAddr)
+	}
 	if fol != nil {
 		go fol.Run(bg)
 	}
@@ -559,6 +565,26 @@ func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, l
 		}
 	}
 	fmt.Println("drained; bye")
+}
+
+// servePprof exposes the runtime profiling endpoints on their own listener,
+// so profiles can be pulled from a production server without mixing the
+// debug surface into the query API's address (which may be public):
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	go tool pprof http://localhost:6060/debug/pprof/allocs
+//	curl -s localhost:6060/debug/pprof/heap -o heap.pb.gz
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("pprof on %s\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+	}
 }
 
 // checkpointLoop writes a recovery checkpoint every period and compacts

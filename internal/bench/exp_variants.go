@@ -228,8 +228,9 @@ func evaluateCapacitySelection(cs *tops.CoverSets, sel []tops.SiteID, caps []int
 	}
 	sub := tops.NewCoverSets(len(sel), cs.M)
 	for i, s := range sel {
-		for _, st := range cs.TC[s] {
-			sub.AddPair(int32(i), st.Traj, st.Score)
+		trajs, scores := cs.TC(int32(s))
+		for j, tr := range trajs {
+			sub.AddPair(int32(i), tr, scores[j])
 		}
 	}
 	res, err := tops.CapacityGreedy(sub, tops.CapacityOptions{K: len(sel), Caps: caps})

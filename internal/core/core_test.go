@@ -259,8 +259,9 @@ func TestTCHatSubsetOfTC(t *testing.T) {
 	for ri, ci := range repClusters {
 		rep := idx.Instances[p].Clusters[ci].Rep
 		sid := idx.siteID[rep]
-		for _, st := range cs.TC[ri] {
-			exact := distIdx.Detour(trajectory.ID(st.Traj), tops.SiteID(sid))
+		trajs, _ := cs.TC(int32(ri))
+		for _, tr := range trajs {
+			exact := distIdx.Detour(trajectory.ID(tr), tops.SiteID(sid))
 			if exact > tau+1e-9 {
 				t.Fatalf("T̂C claims coverage at dr=%v > τ=%v", exact, tau)
 			}

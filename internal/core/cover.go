@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"hash/fnv"
 	"math"
 	"runtime"
 	"sync"
@@ -83,17 +82,16 @@ type CoverCacheStats struct {
 // share Name and Tau and agree on every multiple of span/64 but differ in
 // between would alias to one cache entry. Give custom preference functions
 // distinct Names (as every constructor in tops does) to rule that out.
+//
+// The hash is FNV-1a computed inline (same byte stream, and therefore the
+// same values, as the former hash/fnv implementation) so that the cached
+// query path pays no hasher allocation per lookup.
 func PrefFingerprint(pref tops.Preference) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(pref.Name); i++ {
+		h = fnvByte(h, pref.Name[i])
 	}
-	h.Write([]byte(pref.Name))
-	put(math.Float64bits(pref.Tau))
+	h = fnvU64(h, math.Float64bits(pref.Tau))
 	if pref.F != nil {
 		span := pref.Tau
 		if math.IsInf(span, 1) || span <= 0 {
@@ -101,10 +99,28 @@ func PrefFingerprint(pref tops.Preference) uint64 {
 		}
 		const samples = 64
 		for i := 0; i <= samples; i++ {
-			put(math.Float64bits(pref.F(span * float64(i) / samples)))
+			h = fnvU64(h, math.Float64bits(pref.F(span*float64(i)/samples)))
 		}
 	}
-	return h.Sum64()
+	return h
+}
+
+// Inline FNV-1a: the cover-cache key computations sit on the cached query
+// hot path, where a hash.Hash64 costs an allocation per call.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvU64 absorbs v little-endian byte by byte, matching hash/fnv over the
+// same 8-byte encoding.
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = fnvByte(h, byte(v>>i))
+	}
+	return h
 }
 
 // coverPlan returns instance p's plan, building it on first use.
@@ -150,20 +166,50 @@ func appendPlanEntry(pl *CoverPlan, ins *Instance, ci ClusterID) {
 
 // fillScratch is one worker's dense scratch state: dist[t] is valid iff
 // gen[t] == cur, so advancing cur resets the whole array in O(1) per
-// representative instead of clearing a map.
+// representative instead of clearing a map. It also carries the worker's
+// result arena: the per-representative TC lists accumulate into two flat
+// parallel slices (struct-of-arrays, matching CoverSets' final layout) with
+// (start, end) segments recorded per representative, so a whole fill costs
+// the worker zero allocations once the arena has grown to steady state.
+//
+// Scratches recycle through a package pool. The arena is borrowed by the
+// CoverSets staging until Finalize copies it into the flat CSR arrays, so
+// fillCover only returns scratches to the pool after finalizing.
 type fillScratch struct {
 	dist    []float64
 	gen     []uint32
 	cur     uint32
 	touched []trajectory.ID
+
+	tcTraj  []int32
+	tcScore []float64
+	segs    []fillSeg
 }
 
-func newFillScratch(m int) *fillScratch {
-	return &fillScratch{
-		dist:    make([]float64, m),
-		gen:     make([]uint32, m),
-		touched: make([]trajectory.ID, 0, 256),
+// fillSeg records that representative ri's TC list is the arena slice
+// [start, end).
+type fillSeg struct {
+	ri         int32
+	start, end int32
+}
+
+var fillScratchPool = sync.Pool{New: func() any {
+	return &fillScratch{touched: make([]trajectory.ID, 0, 256)}
+}}
+
+// prepare sizes the dense arrays for an m-trajectory universe and empties
+// the arena. The generation counter survives reuse: a larger universe
+// forces fresh (zeroed) arrays, a smaller one just narrows the index range.
+func (s *fillScratch) prepare(m int) {
+	if len(s.dist) < m {
+		s.dist = make([]float64, m)
+		s.gen = make([]uint32, m)
+		s.cur = 0
 	}
+	s.touched = s.touched[:0]
+	s.tcTraj = s.tcTraj[:0]
+	s.tcScore = s.tcScore[:0]
+	s.segs = s.segs[:0]
 }
 
 func (s *fillScratch) reset() {
@@ -179,8 +225,9 @@ func (s *fillScratch) reset() {
 
 // fillCover evaluates Eq. 9 for every representative of the plan under the
 // given preference, sharding representatives across NumCPU workers. Workers
-// write disjoint TC slots (tops.CoverSets.SetTC); the trajectory-side SC
-// lists are derived in one sequential pass afterwards.
+// write disjoint TC slots (tops.CoverSets.SetTCArrays over arena segments);
+// the trajectory-side SC lists are derived by the single Finalize pass
+// afterwards.
 //
 // The per-representative sweep is the expensive part of a query, so it is
 // also where request deadlines bite: every worker checks ctx between
@@ -203,22 +250,25 @@ func (idx *Index) fillCover(ctx context.Context, p int, pl *CoverPlan, pref tops
 	var next atomic.Int64
 	var canceled atomic.Bool
 	var wg sync.WaitGroup
+	scratches := make([]*fillScratch, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			sc := newFillScratch(m)
+			sc := fillScratchPool.Get().(*fillScratch)
+			sc.prepare(m)
+			scratches[w] = sc
 			for {
 				ri := int(next.Add(1)) - 1
 				if ri >= nReps {
-					return
+					break
 				}
 				if canceled.Load() {
-					return
+					break
 				}
 				if ctx.Err() != nil {
 					canceled.Store(true)
-					return
+					break
 				}
 				sc.reset()
 				repDr := pl.repDr[ri]
@@ -249,21 +299,42 @@ func (idx *Index) fillCover(ctx context.Context, p int, pl *CoverPlan, pref tops
 				for _, nb := range cl.CL {
 					sweep(ins.Clusters[nb.Cluster].TL, nb.Dr+repDr)
 				}
-				tc := make([]tops.ScoredTraj, 0, len(sc.touched))
+				start := int32(len(sc.tcTraj))
 				for _, t := range sc.touched {
 					if score := pref.Score(sc.dist[t]); score != 0 || pref.F == nil {
-						tc = append(tc, tops.ScoredTraj{Traj: int32(t), Score: score})
+						sc.tcTraj = append(sc.tcTraj, int32(t))
+						sc.tcScore = append(sc.tcScore, score)
 					}
 				}
-				cs.SetTC(int32(ri), tc)
+				sc.segs = append(sc.segs, fillSeg{ri: int32(ri), start: start, end: int32(len(sc.tcTraj))})
 			}
-		}()
+			// Install the arena segments. Segments index the arena instead
+			// of aliasing it mid-build, because append may have moved it;
+			// now that this worker is done the backing arrays are stable.
+			// Representatives are claimed uniquely, so the installs of
+			// different workers touch disjoint sites.
+			for _, seg := range sc.segs {
+				cs.SetTCArrays(seg.ri, sc.tcTraj[seg.start:seg.end], sc.tcScore[seg.start:seg.end])
+			}
+		}(w)
 	}
 	wg.Wait()
 	if canceled.Load() {
+		for _, sc := range scratches {
+			if sc != nil {
+				fillScratchPool.Put(sc)
+			}
+		}
 		return nil, ctx.Err()
 	}
-	cs.RebuildSC()
+	// Finalize copies the borrowed arena segments into the CSR arrays, so
+	// the scratches only recycle afterwards.
+	cs.Finalize()
+	for _, sc := range scratches {
+		if sc != nil {
+			fillScratchPool.Put(sc)
+		}
+	}
 	return cs, nil
 }
 
@@ -395,18 +466,18 @@ func (idx *Index) RepOfCluster(p int, ci ClusterID) (RepInfo, bool) {
 }
 
 // MaskFingerprint hashes a sorted cluster-id mask into a cover-cache key
-// component. It never returns 0 (0 is the full, unmasked cover).
+// component. It never returns 0 (0 is the full, unmasked cover). Like
+// PrefFingerprint it is inline FNV-1a over the same byte stream the former
+// hash/fnv version consumed: the sharded engine computes it per lookup.
 func MaskFingerprint(keep []ClusterID) uint64 {
-	h := fnv.New64a()
-	var buf [4]byte
+	h := uint64(fnvOffset64)
 	for _, c := range keep {
-		buf[0] = byte(c)
-		buf[1] = byte(c >> 8)
-		buf[2] = byte(c >> 16)
-		buf[3] = byte(c >> 24)
-		h.Write(buf[:])
+		h = fnvByte(h, byte(c))
+		h = fnvByte(h, byte(c>>8))
+		h = fnvByte(h, byte(c>>16))
+		h = fnvByte(h, byte(c>>24))
 	}
-	return h.Sum64() | 1
+	return h | 1
 }
 
 // maskedPlan assembles a cover plan for exactly the clusters in keep

@@ -55,10 +55,9 @@ func JaccardCluster(cs *tops.CoverSets, alpha float64) (*JaccardResult, error) {
 	// Trajectory sets as sorted id slices for linear-merge intersection.
 	sets := make([][]int32, n)
 	for s := 0; s < n; s++ {
-		ids := make([]int32, len(cs.TC[s]))
-		for i, st := range cs.TC[s] {
-			ids[i] = st.Traj
-		}
+		trajs, _ := cs.TC(int32(s))
+		ids := make([]int32, len(trajs))
+		copy(ids, trajs)
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		sets[s] = ids
 		res.PairBytes += int64(len(ids)) * 4

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"netclus/internal/roadnet"
 	"netclus/internal/tops"
@@ -48,6 +49,49 @@ type QueryResult struct {
 	InstanceUsed int
 	// NumRepresentatives is |Ŝ|, the candidate pool size (η_p bound).
 	NumRepresentatives int
+
+	// scratch, when non-nil, ties this result to the pooled QueryScratch
+	// whose buffers back Sites/SiteIDs (the result struct itself lives
+	// inside the scratch). Release returns it; a nil scratch makes Release
+	// a no-op, so results from unpooled paths are always safe to Release.
+	scratch *QueryScratch
+}
+
+// QueryScratch bundles every buffer the greedy phase of a query needs —
+// the tops greedy scratch plus a reusable QueryResult with its Sites and
+// SiteIDs slices — so that a cached query (memoized cover, pooled scratch)
+// runs allocation-free. Scratches recycle through a package-level pool:
+// QueryOnCoverPooledCtx draws one and attaches it to the result it returns;
+// QueryResult.Release puts it back.
+type QueryScratch struct {
+	greedy tops.GreedyScratch
+	res    QueryResult
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(QueryScratch) }}
+
+// Release recycles the result's backing scratch into the query-scratch
+// pool. It is a no-op for results that did not come from the pooled path.
+// After Release the result and its slices must not be touched — not even
+// by a second Release: the result struct itself is pooled memory, so any
+// later access races with the next query that draws the scratch. Results
+// that are never released are simply collected by the GC — Release is an
+// optimization handle, not an obligation.
+func (r *QueryResult) Release() {
+	if qs := r.scratch; qs != nil {
+		r.scratch = nil
+		queryScratchPool.Put(qs)
+	}
+}
+
+// AcquireQueryResult returns an empty pooled QueryResult with its buffers
+// reset, for layers that assemble answers themselves (internal/shard's
+// gather). Pair with Release like any pooled result.
+func AcquireQueryResult() *QueryResult {
+	qs := queryScratchPool.Get().(*QueryScratch)
+	out := &qs.res
+	*out = QueryResult{Sites: out.Sites[:0], SiteIDs: out.SiteIDs[:0], scratch: qs}
+	return out
 }
 
 // RepCover builds the TOPS-Cluster covering structure over the cluster
@@ -132,6 +176,26 @@ func (idx *Index) QueryOnCover(p int, cs *tops.CoverSets, repClusters []ClusterI
 // checkpoint. The greedy itself runs to completion once started — it is the
 // cheap phase and produces no partial answers.
 func (idx *Index) QueryOnCoverCtx(ctx context.Context, p int, cs *tops.CoverSets, repClusters []ClusterID, opts QueryOptions) (*QueryResult, error) {
+	return idx.queryOnCover(ctx, p, cs, repClusters, opts, nil)
+}
+
+// QueryOnCoverPooledCtx is QueryOnCoverCtx served entirely from a pooled
+// QueryScratch: with a memoized cover the whole greedy phase touches only
+// preallocated memory, and the returned result must be Released when the
+// caller is done with it (or abandoned to the GC). Answers are bit-identical
+// to the unpooled path — the scratch changes where buffers live, not one
+// float operation.
+func (idx *Index) QueryOnCoverPooledCtx(ctx context.Context, p int, cs *tops.CoverSets, repClusters []ClusterID, opts QueryOptions) (*QueryResult, error) {
+	qs := queryScratchPool.Get().(*QueryScratch)
+	out, err := idx.queryOnCover(ctx, p, cs, repClusters, opts, qs)
+	if err != nil {
+		queryScratchPool.Put(qs)
+		return nil, err
+	}
+	return out, nil
+}
+
+func (idx *Index) queryOnCover(ctx context.Context, p int, cs *tops.CoverSets, repClusters []ClusterID, opts QueryOptions, qs *QueryScratch) (*QueryResult, error) {
 	if len(repClusters) == 0 {
 		return nil, fmt.Errorf("core: instance %d has no cluster representatives (no candidate sites?)", p)
 	}
@@ -153,17 +217,26 @@ func (idx *Index) QueryOnCoverCtx(ctx context.Context, p int, cs *tops.CoverSets
 		if gopts.TargetCoverage > 0 {
 			gopts.K = len(repClusters)
 		}
-		res, err = tops.IncGreedy(cs, gopts)
+		var g *tops.GreedyScratch
+		if qs != nil {
+			g = &qs.greedy
+		}
+		res, err = tops.IncGreedyScratch(cs, gopts, g)
 	}
 	if err != nil {
 		return nil, err
 	}
-	out := &QueryResult{
-		EstimatedUtility:   res.Utility,
-		EstimatedCovered:   res.Covered,
-		InstanceUsed:       p,
-		NumRepresentatives: len(repClusters),
+	var out *QueryResult
+	if qs != nil {
+		out = &qs.res
+		*out = QueryResult{Sites: out.Sites[:0], SiteIDs: out.SiteIDs[:0], scratch: qs}
+	} else {
+		out = &QueryResult{}
 	}
+	out.EstimatedUtility = res.Utility
+	out.EstimatedCovered = res.Covered
+	out.InstanceUsed = p
+	out.NumRepresentatives = len(repClusters)
 	ins := idx.Instances[p]
 	for _, ri := range res.Selected {
 		node := ins.Clusters[repClusters[ri]].Rep

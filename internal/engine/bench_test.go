@@ -42,9 +42,12 @@ func benchIndex(b *testing.B) *core.Index {
 
 // BenchmarkEngineQPS measures sustained concurrent mixed-τ query throughput
 // through the engine, with the cover cache enabled (production path) and
-// disabled (the paper's per-query RepCover). The ISSUE acceptance bar is a
-// ≥5× cached/uncached ratio on the same dataset; EXPERIMENTS.md records the
-// measured numbers.
+// disabled (the paper's per-query RepCover). The cached arm is the
+// zero-allocation hot path — memoized cover, pooled scratch — and
+// cached_unpooled is its "before" reference (fresh buffers per query), so
+// the pair measures what the data-layout rework and pooling buy.
+// EXPERIMENTS.md records the measured numbers; .github CI gates ns/op
+// regressions against BENCH_BASELINE.txt.
 func BenchmarkEngineQPS(b *testing.B) {
 	idx := benchIndex(b)
 	taus := []float64{0.4, 0.8, 1.6, 2.4}
@@ -54,16 +57,19 @@ func BenchmarkEngineQPS(b *testing.B) {
 			b.Fatal(err)
 		}
 		var worker atomic.Int64
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			i := int(worker.Add(1))
 			for pb.Next() {
 				q := core.QueryOptions{K: 5, Pref: tops.Binary(taus[i%len(taus)])}
 				i++
-				if _, err := eng.Query(context.Background(), q); err != nil {
+				res, err := eng.Query(context.Background(), q)
+				if err != nil {
 					b.Error(err)
 					return
 				}
+				res.Release()
 			}
 		})
 		b.StopTimer()
@@ -74,5 +80,6 @@ func BenchmarkEngineQPS(b *testing.B) {
 		}
 	}
 	b.Run("cached", func(b *testing.B) { run(b, Options{}) })
+	b.Run("cached_unpooled", func(b *testing.B) { run(b, Options{DisablePooling: true}) })
 	b.Run("uncached", func(b *testing.B) { run(b, Options{DisableCoverCache: true}) })
 }

@@ -37,6 +37,12 @@ type Options struct {
 	// BatchWorkers bounds the number of concurrent greedy runs inside one
 	// QueryBatch call. Zero means runtime.NumCPU().
 	BatchWorkers int
+	// DisablePooling makes every query allocate fresh result and greedy
+	// buffers instead of drawing from the scratch pool, and makes Release
+	// on its results a no-op. It is the reference arm: the pooling
+	// differential tests (and the "before" benchmark arm) compare pooled
+	// answers bit-for-bit against an engine running with this set.
+	DisablePooling bool
 }
 
 // Engine wraps a *core.Index for concurrent serving. All exported methods
@@ -223,9 +229,19 @@ func (e *Engine) serve(ctx context.Context, opts core.QueryOptions) (*core.Query
 		return nil, err
 	}
 	t0 := time.Now()
-	res, err := e.idx.QueryOnCoverCtx(ctx, p, cs, reps, opts)
+	res, err := e.queryOnCover(ctx, p, cs, reps, opts)
 	e.greedyNanos.Add(time.Since(t0).Nanoseconds())
 	return res, err
+}
+
+// queryOnCover runs the greedy phase under the engine's pooling policy:
+// pooled scratch by default (the caller may Release the result), fresh
+// allocations under DisablePooling.
+func (e *Engine) queryOnCover(ctx context.Context, p int, cs *tops.CoverSets, reps []core.ClusterID, opts core.QueryOptions) (*core.QueryResult, error) {
+	if e.opts.DisablePooling {
+		return e.idx.QueryOnCoverCtx(ctx, p, cs, reps, opts)
+	}
+	return e.idx.QueryOnCoverPooledCtx(ctx, p, cs, reps, opts)
 }
 
 // Sharding hooks. internal/shard runs one Engine per shard and drives the
@@ -361,7 +377,7 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []core.QueryOptions) []Batch
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				t0 := time.Now()
-				out[i].Result, out[i].Err = e.idx.QueryOnCoverCtx(ctx, key.p, cs, reps, qs[i])
+				out[i].Result, out[i].Err = e.queryOnCover(ctx, key.p, cs, reps, qs[i])
 				e.greedyNanos.Add(time.Since(t0).Nanoseconds())
 				if out[i].Err == nil {
 					e.batchQueries.Add(1)

@@ -68,20 +68,22 @@ func sameCover(t *testing.T, label string, got, want *tops.CoverSets) {
 		t.Fatalf("%s: cover shape (%d sites, %d trajs) != (%d, %d)", label, got.N(), got.M, want.N(), want.M)
 	}
 	for s := 0; s < got.N(); s++ {
-		gm := make(map[int32]float64, len(got.TC[s]))
-		for _, st := range got.TC[s] {
-			gm[st.Traj] = st.Score
+		gTrajs, gScores := got.TC(int32(s))
+		gm := make(map[int32]float64, len(gTrajs))
+		for i, tr := range gTrajs {
+			gm[tr] = gScores[i]
 		}
-		if len(gm) != len(want.TC[s]) {
-			t.Fatalf("%s: rep %d covers %d trajectories, oracle says %d", label, s, len(gm), len(want.TC[s]))
+		wTrajs, wScores := want.TC(int32(s))
+		if len(gm) != len(wTrajs) {
+			t.Fatalf("%s: rep %d covers %d trajectories, oracle says %d", label, s, len(gm), len(wTrajs))
 		}
-		for _, st := range want.TC[s] {
-			g, ok := gm[st.Traj]
+		for i, tr := range wTrajs {
+			g, ok := gm[tr]
 			if !ok {
-				t.Fatalf("%s: rep %d misses trajectory %d", label, s, st.Traj)
+				t.Fatalf("%s: rep %d misses trajectory %d", label, s, tr)
 			}
-			if g != st.Score {
-				t.Fatalf("%s: rep %d trajectory %d score %v != oracle %v", label, s, st.Traj, g, st.Score)
+			if g != wScores[i] {
+				t.Fatalf("%s: rep %d trajectory %d score %v != oracle %v", label, s, tr, g, wScores[i])
 			}
 		}
 	}

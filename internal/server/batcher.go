@@ -58,6 +58,16 @@ type batchOutcome struct {
 	err error
 }
 
+// flushBufs bundles the two slices a flush needs — the gathered queries and
+// their lowered engine options — recycled across flushes so steady-state
+// admission allocates nothing per window.
+type flushBufs struct {
+	pend []*pendingQuery
+	qs   []core.QueryOptions
+}
+
+var flushBufPool = sync.Pool{New: func() any { return new(flushBufs) }}
+
 func newBatcher(eng Engine, window time.Duration, maxSize int) *batcher {
 	b := &batcher{
 		eng:     eng,
@@ -110,14 +120,14 @@ func (b *batcher) collect() {
 		case <-b.stop:
 			return
 		}
-		buf := make([]*pendingQuery, 1, b.maxSize)
-		buf[0] = first
+		fb := flushBufPool.Get().(*flushBufs)
+		fb.pend = append(fb.pend[:0], first)
 		timer.Reset(b.window)
 	gather:
-		for len(buf) < b.maxSize {
+		for len(fb.pend) < b.maxSize {
 			select {
 			case p := <-b.in:
-				buf = append(buf, p)
+				fb.pend = append(fb.pend, p)
 			case <-timer.C:
 				break gather
 			case <-b.stop:
@@ -131,30 +141,36 @@ func (b *batcher) collect() {
 			}
 		}
 		b.wg.Add(1)
-		go b.flush(buf)
+		go b.flush(fb)
 	}
 }
 
 // flush answers one coalesced batch. It runs under a background context:
 // per-query deadlines only abandon the wait in Do, they do not abort a
 // flush that other queries in the batch still depend on.
-func (b *batcher) flush(buf []*pendingQuery) {
+func (b *batcher) flush(fb *flushBufs) {
 	defer b.wg.Done()
 	b.flushInUse.Add(1)
 	defer b.flushInUse.Add(-1)
-	qs := make([]core.QueryOptions, len(buf))
-	for i, p := range buf {
-		qs[i] = p.opts
+	n := len(fb.pend)
+	fb.qs = fb.qs[:0]
+	for _, p := range fb.pend {
+		fb.qs = append(fb.qs, p.opts)
 	}
-	items := b.eng.QueryBatch(context.Background(), qs)
-	for i, p := range buf {
+	items := b.eng.QueryBatch(context.Background(), fb.qs)
+	for i, p := range fb.pend {
 		p.done <- batchOutcome{res: items[i].Result, err: items[i].Err}
 	}
+	// Drop the query references before recycling so the pool does not pin
+	// delivered pendingQuery structs (or their option payloads) alive.
+	clear(fb.pend)
+	clear(fb.qs)
+	flushBufPool.Put(fb)
 	b.flushes.Add(1)
-	b.coalesced.Add(uint64(len(buf)))
+	b.coalesced.Add(uint64(n))
 	for {
 		cur := b.maxFlush.Load()
-		if uint64(len(buf)) <= cur || b.maxFlush.CompareAndSwap(cur, uint64(len(buf))) {
+		if uint64(n) <= cur || b.maxFlush.CompareAndSwap(cur, uint64(n)) {
 			break
 		}
 	}

@@ -55,9 +55,11 @@ var benchTaus = []float64{0.4, 0.8, 1.6, 2.4}
 
 func runQueryMix(b testing.TB, q querier) {
 	for _, tau := range benchTaus {
-		if _, err := q.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)}); err != nil {
+		res, err := q.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		res.Release()
 	}
 }
 
@@ -71,12 +73,15 @@ func runQueryMix(b testing.TB, q querier) {
 func BenchmarkShardedHotQPS(b *testing.B) {
 	runArm := func(b *testing.B, q querier) {
 		runQueryMix(b, q) // warm covers
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			tau := benchTaus[i%len(benchTaus)]
-			if _, err := q.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)}); err != nil {
+			res, err := q.Query(context.Background(), core.QueryOptions{K: 5, Pref: tops.Binary(tau)})
+			if err != nil {
 				b.Fatal(err)
 			}
+			res.Release()
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")

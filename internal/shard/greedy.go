@@ -26,6 +26,11 @@ import (
 // tops.plainGreedy's op for op, so Selected/Utility/Covered carry identical
 // bits. The oracle test battery (oracle_test.go) holds this equality
 // against the single-shard engine across random workloads.
+//
+// Per-query state (utility vector, per-shard marginals and selection masks,
+// delta buffers, result slices) lives in a greedyScratch recycled through a
+// pool, so the sharded hot path — memoized per-shard covers, pooled gather
+// state — runs its rounds without allocating.
 
 // utilDelta is one trajectory's utility improvement from a selection round,
 // broadcast from the gather to the shards.
@@ -51,19 +56,88 @@ type gatherCand struct {
 	weight float64 // site weight, for the tie-break
 }
 
+// greedyScratch pools the gather greedy's buffers across queries. States
+// are held by value so the per-shard slice is one allocation for its
+// lifetime; the marg/selected sub-buffers grow to the largest shard seen.
+type greedyScratch struct {
+	util    []float64
+	states  []shardGreedy
+	deltas  []utilDelta
+	sel     []tops.SiteID
+	perIter []float64
+}
+
+var greedyScratchPool = sync.Pool{New: func() any { return new(greedyScratch) }}
+
+// prepare sizes the scratch for the gather set: the utility vector over m
+// trajectories (cleared), one state per shard cover with marg/selected at
+// the local cover size (selected cleared; marg is overwritten by seeding).
+func (g *greedyScratch) prepare(gs *gatherSet) {
+	if cap(g.util) < gs.m {
+		g.util = make([]float64, gs.m)
+	} else {
+		g.util = g.util[:gs.m]
+		clear(g.util)
+	}
+	if cap(g.states) < len(gs.loc) {
+		g.states = make([]shardGreedy, len(gs.loc))
+	} else {
+		g.states = g.states[:len(gs.loc)]
+	}
+	for si := range g.states {
+		st := &g.states[si]
+		n := len(gs.loc[si].g2l)
+		st.sc = gs.loc[si]
+		if cap(st.marg) < n {
+			st.marg = make([]float64, n)
+		} else {
+			st.marg = st.marg[:n]
+		}
+		if cap(st.selected) < n {
+			st.selected = make([]bool, n)
+		} else {
+			st.selected = st.selected[:n]
+			clear(st.selected)
+		}
+		st.cand = gatherCand{}
+	}
+	g.deltas = g.deltas[:0]
+}
+
+// release detaches the scratch from the covers it referenced and returns it
+// to the pool. The caller must be done with any Result slices the run
+// produced (they alias g.sel / g.perIter).
+func (g *greedyScratch) release() {
+	for si := range g.states {
+		g.states[si].sc = nil
+	}
+	greedyScratchPool.Put(g)
+}
+
 // greedy runs the distributed plain greedy for k selections. When parallel
 // is set, the per-shard round work fans out across goroutines (one per
 // shard); the reduce is order-invariant either way because the comparator
-// is a strict total order over distinct global indices.
-func (gs *gatherSet) greedy(k int, parallel bool) tops.Result {
-	util := make([]float64, gs.m)
-	states := make([]*shardGreedy, len(gs.loc))
-	forEach(parallel, len(gs.loc), func(si int) {
-		sc := gs.loc[si]
-		st := &shardGreedy{
-			sc:       sc,
-			marg:     make([]float64, len(sc.g2l)),
-			selected: make([]bool, len(sc.g2l)),
+// is a strict total order over distinct global indices. The returned
+// Result's Selected and UtilityPerIter alias the scratch.
+func (gs *gatherSet) greedy(k int, parallel bool, g *greedyScratch) tops.Result {
+	g.prepare(gs)
+	util := g.util
+	forEach(parallel, len(g.states), func(si int) {
+		st := &g.states[si]
+		sc := st.sc
+		if sc.cs.AllPositiveScores() {
+			// util is all zeros here, so the initial marginal of every
+			// local site is bit-identical to its weight (the same
+			// left-to-right sum) — one copy instead of an O(pairs) scan.
+			// Non-winner slots keep a junk marginal but are permanently
+			// selected, so the argmax and the delta loop never read them.
+			copy(st.marg, sc.cs.Weights)
+			for li := range sc.g2l {
+				if sc.g2l[li] < 0 {
+					st.selected[li] = true
+				}
+			}
+			return
 		}
 		for li := range sc.g2l {
 			if sc.g2l[li] < 0 {
@@ -73,101 +147,109 @@ func (gs *gatherSet) greedy(k int, parallel bool) tops.Result {
 				continue
 			}
 			var m float64
-			for _, st1 := range sc.cs.TC[li] {
-				if g := st1.Score - util[st1.Traj]; g > 0 { // util is all zeros here
+			trajs, scores := sc.cs.TC(int32(li))
+			for i, tr := range trajs {
+				if g := scores[i] - util[tr]; g > 0 { // util is all zeros here
 					m += g
 				}
 			}
 			st.marg[li] = m
 		}
-		states[si] = st
 	})
 
-	var res tops.Result
+	res := tops.Result{Selected: g.sel[:0], UtilityPerIter: g.perIter[:0]}
 	covered := 0
-	var deltas []utilDelta
+	deltas := g.deltas[:0]
 	for len(res.Selected) < k {
-		forEach(parallel, len(states), func(si int) {
-			st := states[si]
+		forEach(parallel, len(g.states), func(si int) {
+			st := &g.states[si]
 			// Absorb the previous round's winner into this shard's
 			// marginals — the exact update loop of Algorithm 1 lines 11–17,
 			// restricted to the sites this shard owns.
+			// As in plainGreedy, the scatter writes stale deltas into
+			// selected (and non-winner) slots too: those marginals are
+			// never read again, and dropping the selected[li] load removes
+			// a random byte access per covering pair. Unselected slots see
+			// the exact float sequence of Algorithm 1 lines 11–17.
+			marg := st.marg
 			for _, d := range deltas {
-				if int(d.traj) >= len(st.sc.cs.SC) {
+				if int(d.traj) >= st.sc.cs.M {
 					continue
 				}
-				for _, ss := range st.sc.cs.SC[d.traj] {
-					li := ss.Site
-					if st.selected[li] {
-						continue
-					}
-					oldGain := ss.Score - d.oldU
+				sites, scores := st.sc.cs.SC(d.traj)
+				scores = scores[:len(sites)]
+				for i, li := range sites {
+					oldGain := scores[i] - d.oldU
 					if oldGain <= 0 {
 						continue
 					}
-					newGain := ss.Score - d.newU
+					newGain := scores[i] - d.newU
 					if newGain < 0 {
 						newGain = 0
 					}
-					st.marg[li] -= oldGain - newGain
+					marg[li] -= oldGain - newGain
 				}
 			}
+			// Local argmax with the incumbent's key in locals; the order is
+			// GreaterSite's exact total order, so the reduce stays bit-equal.
+			weights, g2l := st.sc.cs.Weights, st.sc.g2l
 			best := -1
-			for li := range st.marg {
+			var bm, bw float64
+			var bg int
+			for li := range marg {
 				if st.selected[li] {
 					continue
 				}
-				if best < 0 || tops.GreaterSite(st.marg[li], st.sc.cs.Weights[li], int(st.sc.g2l[li]),
-					st.marg[best], st.sc.cs.Weights[best], int(st.sc.g2l[best])) {
-					best = li
+				m := marg[li]
+				if best >= 0 && !tops.GreaterSite(m, weights[li], int(g2l[li]), bm, bw, bg) {
+					continue
 				}
+				best, bm, bw, bg = li, m, weights[li], int(g2l[li])
 			}
 			if best < 0 {
 				st.cand = gatherCand{}
 				return
 			}
-			st.cand = gatherCand{
-				ok:     true,
-				li:     best,
-				gi:     st.sc.g2l[best],
-				marg:   st.marg[best],
-				weight: st.sc.cs.Weights[best],
-			}
+			st.cand = gatherCand{ok: true, li: best, gi: g2l[best], marg: bm, weight: bw}
 		})
 		// Reduce the candidates under the greedy's total order.
 		win := -1
-		for si, st := range states {
+		for si := range g.states {
+			st := &g.states[si]
 			if !st.cand.ok {
 				continue
 			}
 			if win < 0 || tops.GreaterSite(st.cand.marg, st.cand.weight, int(st.cand.gi),
-				states[win].cand.marg, states[win].cand.weight, int(states[win].cand.gi)) {
+				g.states[win].cand.marg, g.states[win].cand.weight, int(g.states[win].cand.gi)) {
 				win = si
 			}
 		}
 		if win < 0 {
 			break // every representative selected
 		}
-		st := states[win]
+		st := &g.states[win]
 		c := st.cand
 		st.selected[c.li] = true
 		res.Selected = append(res.Selected, tops.SiteID(c.gi))
 		res.Utility += c.marg
 		deltas = deltas[:0]
-		for _, st1 := range st.sc.cs.TC[c.li] {
-			oldU := util[st1.Traj]
-			if st1.Score <= oldU {
+		trajs, scores := st.sc.cs.TC(int32(c.li))
+		for i, tr := range trajs {
+			oldU := util[tr]
+			if scores[i] <= oldU {
 				continue
 			}
-			util[st1.Traj] = st1.Score
+			util[tr] = scores[i]
 			if oldU == 0 {
 				covered++
 			}
-			deltas = append(deltas, utilDelta{traj: st1.Traj, oldU: oldU, newU: st1.Score})
+			deltas = append(deltas, utilDelta{traj: tr, oldU: oldU, newU: scores[i]})
 		}
 		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
 	}
 	res.Covered = covered
+	// Keep any growth for the scratch's next run.
+	g.sel, g.perIter, g.deltas = res.Selected, res.UtilityPerIter, deltas
 	return res
 }
 

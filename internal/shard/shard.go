@@ -524,6 +524,7 @@ func (s *Sharded) answer(ctx context.Context, gs *gatherSet, p int, opts core.Qu
 
 	var res tops.Result
 	var err error
+	var g *greedyScratch
 	if opts.UseFM || opts.Greedy.Lazy || len(opts.Greedy.InitialSites) > 0 || opts.Greedy.TargetCoverage > 0 {
 		cs := gs.merged()
 		if opts.UseFM {
@@ -540,15 +541,24 @@ func (s *Sharded) answer(ctx context.Context, gs *gatherSet, p int, opts core.Qu
 			return nil, err
 		}
 	} else {
-		res = gs.greedy(k, parallel)
+		if s.opts.Engine.DisablePooling {
+			g = new(greedyScratch)
+		} else {
+			g = greedyScratchPool.Get().(*greedyScratch)
+		}
+		res = gs.greedy(k, parallel, g)
 	}
 
-	out := &core.QueryResult{
-		EstimatedUtility:   res.Utility,
-		EstimatedCovered:   res.Covered,
-		InstanceUsed:       p,
-		NumRepresentatives: gs.n,
+	var out *core.QueryResult
+	if s.opts.Engine.DisablePooling {
+		out = &core.QueryResult{}
+	} else {
+		out = core.AcquireQueryResult()
 	}
+	out.EstimatedUtility = res.Utility
+	out.EstimatedCovered = res.Covered
+	out.InstanceUsed = p
+	out.NumRepresentatives = gs.n
 	for _, ri := range res.Selected {
 		w := gs.own.winners[ri]
 		out.Sites = append(out.Sites, w.node)
@@ -558,23 +568,30 @@ func (s *Sharded) answer(ctx context.Context, gs *gatherSet, p int, opts core.Qu
 		}
 		out.SiteIDs = append(out.SiteIDs, sid)
 	}
+	if g != nil && !s.opts.Engine.DisablePooling {
+		// res.Selected (aliasing g.sel) is fully consumed above, so the
+		// scratch can recycle.
+		g.release()
+	}
 	return out, nil
 }
 
 // merged stitches the per-shard covers into one global CoverSets in the
-// single-shard dense representative space. TC slices are shared (they are
-// read-only downstream); weights recompute through the same summation
-// SetTC performs on the single-shard fill, so they carry identical bits.
+// single-shard dense representative space. TC slices are borrowed until
+// Finalize copies them (the shard covers are read-only for the query's
+// lifetime); weights recompute through the same left-to-right summation
+// the single-shard fill performs, so they carry identical bits.
 func (gs *gatherSet) merged() *tops.CoverSets {
 	cs := tops.NewCoverSets(gs.n, gs.m)
 	for _, sc := range gs.loc {
 		for li, gi := range sc.g2l {
 			if gi >= 0 {
-				cs.SetTC(gi, sc.cs.TC[li])
+				trajs, scores := sc.cs.TC(int32(li))
+				cs.SetTCArrays(gi, trajs, scores)
 			}
 		}
 	}
-	cs.RebuildSC()
+	cs.Finalize()
 	return cs
 }
 

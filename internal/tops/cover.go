@@ -6,15 +6,12 @@ import (
 )
 
 // ScoredTraj is one member of a trajectory-cover set TC(s): a trajectory
-// covered by the site together with its preference score ψ(T, s).
+// covered by the site together with its preference score ψ(T, s). The query
+// hot path stores cover sets in flat parallel arrays (see CoverSets); this
+// struct survives as the exchange type for algorithms that materialize
+// per-trajectory gain lists (TOPS-CAPACITY's top-α selection).
 type ScoredTraj struct {
 	Traj  int32
-	Score float64
-}
-
-// ScoredSite is one member of a site-cover set SC(T).
-type ScoredSite struct {
-	Site  int32
 	Score float64
 }
 
@@ -24,89 +21,225 @@ type ScoredSite struct {
 // weights w_i = Σ ψ(T_j, s_i). The structure is deliberately decoupled from
 // Instance so that NETCLUS can instantiate it over cluster representatives
 // with estimated distances (§5.1) and reuse the same greedy machinery.
+//
+// Layout: the lists live in struct-of-arrays (CSR) form — one flat int32
+// id array and one flat float64 score array per direction, indexed by
+// offset tables — so a greedy sweep over every TC entry is a contiguous
+// scan instead of a pointer chase through per-site slices. Construction
+// goes through a staging phase (AddPair / SetTCArrays) and is sealed by
+// Finalize, which flattens the staged lists and derives the SC side; the
+// read accessors finalize lazily on first use. A finalized CoverSets is
+// immutable and safe for concurrent readers; Finalize itself must not race
+// with readers (parallel builders call it before sharing, as fillCover
+// does).
 type CoverSets struct {
 	// M is the size of the trajectory universe; trajectory ids in TC are
 	// indices in [0, M).
 	M int
-	// TC[s] lists covered trajectories of site s.
-	TC [][]ScoredTraj
-	// SC[t] lists covering sites of trajectory t.
-	SC [][]ScoredSite
 	// Weights[s] is the site weight w_s.
 	Weights []float64
+
+	// Finalized CSR arrays: site s's TC list is tcTraj/tcScore[tcOff[s] :
+	// tcOff[s+1]], trajectory t's SC list is scSite/scScore[scOff[t] :
+	// scOff[t+1]]. SC lists are ordered by ascending site id — the order
+	// the former RebuildSC derivation produced, which the greedy's
+	// bit-exactness contract relies on only insofar as every SC-driven
+	// marginal update touches a distinct site slot (order-independent).
+	tcOff   []int32
+	tcTraj  []int32
+	tcScore []float64
+	scOff   []int32
+	scSite  []int32
+	scScore []float64
+	// allPositive records that every stored score is > 0. Algorithm 1's
+	// initial marginal of site s is then bit-identical to Weights[s]
+	// (both are the same left-to-right sum over the same values), letting
+	// the greedy seed its marginals with one O(n) copy instead of an
+	// O(pairs) scan.
+	allPositive bool
+	final       bool
+
+	// Staging: per-site id/score lists before Finalize.
+	stTraj  [][]int32
+	stScore [][]float64
 }
 
 // N returns the number of sites.
-func (cs *CoverSets) N() int { return len(cs.TC) }
+func (cs *CoverSets) N() int { return len(cs.Weights) }
 
 // NewCoverSets allocates empty cover sets for n sites over m trajectories.
 func NewCoverSets(n, m int) *CoverSets {
 	return &CoverSets{
 		M:       m,
-		TC:      make([][]ScoredTraj, n),
-		SC:      make([][]ScoredSite, m),
 		Weights: make([]float64, n),
+		stTraj:  make([][]int32, n),
+		stScore: make([][]float64, n),
 	}
 }
 
 // AddPair registers that site s covers trajectory t with the given score.
-// Callers are responsible for not adding duplicates.
+// Callers are responsible for not adding duplicates. Panics after Finalize.
 func (cs *CoverSets) AddPair(s, t int32, score float64) {
-	cs.TC[s] = append(cs.TC[s], ScoredTraj{Traj: t, Score: score})
-	cs.SC[t] = append(cs.SC[t], ScoredSite{Site: s, Score: score})
+	cs.mutable()
+	cs.stTraj[s] = append(cs.stTraj[s], t)
+	cs.stScore[s] = append(cs.stScore[s], score)
 	cs.Weights[s] += score
 }
 
-// SetTC installs site s's complete trajectory list wholesale, replacing any
-// previous entries and recomputing the site weight. It exists for parallel
-// cover builders: workers fill disjoint TC slots concurrently, then a single
-// RebuildSC pass derives the trajectory-side lists. SC is NOT updated here.
-func (cs *CoverSets) SetTC(s int32, tc []ScoredTraj) {
-	cs.TC[s] = tc
+// SetTCArrays installs site s's complete trajectory list wholesale,
+// replacing any previous entries and recomputing the site weight. It exists
+// for parallel cover builders: workers fill disjoint sites concurrently
+// (the slices are borrowed, not copied, until Finalize copies them into the
+// flat arrays), then a single Finalize pass seals the structure and derives
+// the trajectory-side lists. The caller must not mutate the slices before
+// Finalize. Panics after Finalize.
+func (cs *CoverSets) SetTCArrays(s int32, trajs []int32, scores []float64) {
+	cs.mutable()
+	cs.stTraj[s] = trajs[:len(trajs):len(trajs)]
+	cs.stScore[s] = scores[:len(scores):len(scores)]
 	var w float64
-	for _, st := range tc {
-		w += st.Score
+	for _, sc := range scores {
+		w += sc
 	}
 	cs.Weights[s] = w
 }
 
-// RebuildSC recomputes every SC list from TC. Call once after a sequence of
-// SetTC installs; AddPair-built cover sets never need it.
-func (cs *CoverSets) RebuildSC() {
-	counts := make([]int32, len(cs.SC))
-	for _, tc := range cs.TC {
-		for _, st := range tc {
-			counts[st.Traj]++
+func (cs *CoverSets) mutable() {
+	if cs.final {
+		panic("tops: CoverSets mutated after Finalize")
+	}
+}
+
+// Finalize flattens the staged lists into the CSR arrays and derives every
+// SC list from TC, releasing the staging storage. It is idempotent; the
+// read accessors call it lazily, so explicit calls only matter before
+// sharing the structure across goroutines.
+func (cs *CoverSets) Finalize() {
+	if cs.final {
+		return
+	}
+	n := len(cs.Weights)
+	total := 0
+	for s := range cs.stTraj {
+		total += len(cs.stTraj[s])
+	}
+	if total > math.MaxInt32 {
+		panic(fmt.Sprintf("tops: %d covering pairs overflow the int32 offset table", total))
+	}
+	cs.tcOff = make([]int32, n+1)
+	cs.tcTraj = make([]int32, total)
+	cs.tcScore = make([]float64, total)
+	counts := make([]int32, cs.M)
+	allPos := true
+	off := int32(0)
+	for s := 0; s < n; s++ {
+		cs.tcOff[s] = off
+		tr, sv := cs.stTraj[s], cs.stScore[s]
+		copy(cs.tcTraj[off:], tr)
+		copy(cs.tcScore[off:], sv)
+		for i, t := range tr {
+			counts[t]++
+			if sv[i] <= 0 {
+				allPos = false
+			}
+		}
+		off += int32(len(tr))
+	}
+	cs.tcOff[n] = off
+	cs.allPositive = allPos
+
+	// SC side: prefix sums over per-trajectory counts, then a fill in
+	// ascending site order (identical to the former RebuildSC order).
+	cs.scOff = make([]int32, cs.M+1)
+	var acc int32
+	for t := 0; t < cs.M; t++ {
+		cs.scOff[t] = acc
+		acc += counts[t]
+	}
+	cs.scOff[cs.M] = acc
+	cs.scSite = make([]int32, acc)
+	cs.scScore = make([]float64, acc)
+	next := counts // reuse as write cursors
+	for t := 0; t < cs.M; t++ {
+		next[t] = cs.scOff[t]
+	}
+	for s := 0; s < n; s++ {
+		for i := cs.tcOff[s]; i < cs.tcOff[s+1]; i++ {
+			t := cs.tcTraj[i]
+			j := next[t]
+			next[t]++
+			cs.scSite[j] = int32(s)
+			cs.scScore[j] = cs.tcScore[i]
 		}
 	}
-	for t := range cs.SC {
-		if counts[t] == 0 {
-			cs.SC[t] = nil
-			continue
-		}
-		cs.SC[t] = make([]ScoredSite, 0, counts[t])
+	cs.stTraj, cs.stScore = nil, nil
+	cs.final = true
+}
+
+func (cs *CoverSets) ensure() {
+	if !cs.final {
+		cs.Finalize()
 	}
-	for s, tc := range cs.TC {
-		for _, st := range tc {
-			cs.SC[st.Traj] = append(cs.SC[st.Traj], ScoredSite{Site: int32(s), Score: st.Score})
-		}
+}
+
+// TC returns site s's trajectory list as parallel id/score slices. The
+// slices are views into the flat arrays: zero-copy, read-only.
+func (cs *CoverSets) TC(s int32) ([]int32, []float64) {
+	cs.ensure()
+	lo, hi := cs.tcOff[s], cs.tcOff[s+1]
+	return cs.tcTraj[lo:hi], cs.tcScore[lo:hi]
+}
+
+// SC returns trajectory t's covering-site list as parallel id/score slices
+// (ascending site id). The slices are views into the flat arrays.
+func (cs *CoverSets) SC(t int32) ([]int32, []float64) {
+	cs.ensure()
+	lo, hi := cs.scOff[t], cs.scOff[t+1]
+	return cs.scSite[lo:hi], cs.scScore[lo:hi]
+}
+
+// TCLen returns |TC(s)| without materializing the lists.
+func (cs *CoverSets) TCLen(s int32) int {
+	if cs.final {
+		return int(cs.tcOff[s+1] - cs.tcOff[s])
 	}
+	return len(cs.stTraj[s])
+}
+
+// SCLen returns |SC(t)|.
+func (cs *CoverSets) SCLen(t int32) int {
+	cs.ensure()
+	return int(cs.scOff[t+1] - cs.scOff[t])
+}
+
+// AllPositiveScores reports whether every stored score is > 0 — the
+// precondition for seeding Algorithm 1's marginals straight from Weights.
+func (cs *CoverSets) AllPositiveScores() bool {
+	cs.ensure()
+	return cs.allPositive
 }
 
 // Pairs returns the total number of (site, trajectory) covering pairs.
 func (cs *CoverSets) Pairs() int {
+	if cs.final {
+		return len(cs.tcTraj)
+	}
 	total := 0
-	for _, tc := range cs.TC {
-		total += len(tc)
+	for s := range cs.stTraj {
+		total += len(cs.stTraj[s])
 	}
 	return total
 }
 
 // MemoryBytes estimates the resident size of the covering sets. Table 9 of
-// the paper tracks exactly this growth with τ.
+// the paper tracks exactly this growth with τ. A CSR entry is 12 bytes
+// (int32 id + float64 score) per direction, plus the offset tables and
+// weights.
 func (cs *CoverSets) MemoryBytes() int64 {
-	const entryBytes = 16
-	return int64(cs.Pairs())*2*entryBytes + int64(len(cs.Weights))*8
+	const entryBytes = 12
+	pairs := int64(cs.Pairs())
+	offsets := int64(len(cs.Weights)+1+cs.M+1) * 4
+	return pairs*2*entryBytes + offsets + int64(len(cs.Weights))*8
 }
 
 // BuildCoverSets evaluates the preference function against the distance
@@ -134,6 +267,7 @@ func BuildCoverSets(idx *DistanceIndex, pref Preference) (*CoverSets, error) {
 			cs.AddPair(int32(s), int32(p.Traj), score)
 		}
 	}
+	cs.Finalize()
 	return cs, nil
 }
 
@@ -142,9 +276,10 @@ func BuildCoverSets(idx *DistanceIndex, pref Preference) (*CoverSets, error) {
 func EvaluateSelection(cs *CoverSets, selected []SiteID) (float64, int) {
 	util := make(map[int32]float64, 256)
 	for _, s := range selected {
-		for _, st := range cs.TC[s] {
-			if st.Score > util[st.Traj] {
-				util[st.Traj] = st.Score
+		trajs, scores := cs.TC(int32(s))
+		for i, t := range trajs {
+			if scores[i] > util[t] {
+				util[t] = scores[i]
 			}
 		}
 	}

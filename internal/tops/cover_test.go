@@ -28,8 +28,8 @@ func TestBuildCoverSetsPrefix(t *testing.T) {
 					want++
 				}
 			}
-			if len(cs.TC[s]) != want {
-				t.Fatalf("tau=%v site %d: TC size %d, want %d", tau, s, len(cs.TC[s]), want)
+			if cs.TCLen(int32(s)) != want {
+				t.Fatalf("tau=%v site %d: TC size %d, want %d", tau, s, cs.TCLen(int32(s)), want)
 			}
 			if math.Abs(cs.Weights[s]-float64(want)) > 1e-9 {
 				t.Fatalf("binary weight != TC size")
@@ -38,7 +38,7 @@ func TestBuildCoverSetsPrefix(t *testing.T) {
 		// SC mirrors TC.
 		scSum := 0
 		for tr := 0; tr < inst.M(); tr++ {
-			scSum += len(cs.SC[tr])
+			scSum += cs.SCLen(int32(tr))
 		}
 		if scSum != cs.Pairs() {
 			t.Fatalf("SC total %d != pairs %d", scSum, cs.Pairs())
@@ -89,13 +89,14 @@ func TestBuildCoverSetsNonBinaryScores(t *testing.T) {
 		t.Fatal(err)
 	}
 	for s := 0; s < inst.N(); s++ {
-		for i, st := range cs.TC[s] {
+		_, scores := cs.TC(int32(s))
+		for i, sc := range scores {
 			dr := idx.SitePairs(SiteID(s))[i].Dr
-			if math.Abs(st.Score-pref.Score(dr)) > 1e-12 {
+			if math.Abs(sc-pref.Score(dr)) > 1e-12 {
 				t.Fatalf("score mismatch at site %d", s)
 			}
-			if st.Score < 0 || st.Score > 1 {
-				t.Fatalf("score %v outside [0,1]", st.Score)
+			if sc < 0 || sc > 1 {
+				t.Fatalf("score %v outside [0,1]", sc)
 			}
 		}
 	}

@@ -39,9 +39,10 @@ func FMGreedy(cs *CoverSets, opts FMGreedyOptions) (Result, error) {
 		opts.F = 30
 	}
 	for s := 0; s < n; s++ {
-		for _, st := range cs.TC[s] {
-			if st.Score != 1 {
-				return Result{}, fmt.Errorf("tops: FMGreedy requires binary scores, site %d has %v", s, st.Score)
+		_, scores := cs.TC(int32(s))
+		for _, sc := range scores {
+			if sc != 1 {
+				return Result{}, fmt.Errorf("tops: FMGreedy requires binary scores, site %d has %v", s, sc)
 			}
 		}
 	}
@@ -50,8 +51,9 @@ func FMGreedy(cs *CoverSets, opts FMGreedyOptions) (Result, error) {
 	sketches := make([]*fm.Sketch, n)
 	for s := 0; s < n; s++ {
 		sk := fm.NewSketchSeeded(opts.F, opts.Seed+1)
-		for _, st := range cs.TC[s] {
-			sk.Add(uint64(st.Traj))
+		trajs, _ := cs.TC(int32(s))
+		for _, t := range trajs {
+			sk.Add(uint64(t))
 		}
 		sketches[s] = sk
 	}

@@ -26,11 +26,58 @@ type GreedyOptions struct {
 	TargetCoverage float64
 }
 
+// GreedyScratch holds every buffer plainGreedy needs, so a caller serving
+// repeated queries can run the whole selection without allocating: after
+// the buffers have grown to the instance size once, subsequent runs reuse
+// them. A scratch must not be used by two greedy runs concurrently. The
+// Result returned from a scratch-backed run aliases the scratch's Selected
+// and UtilityPerIter buffers — valid until the scratch's next use.
+type GreedyScratch struct {
+	util     []float64
+	marg     []float64
+	selected []bool
+	sel      []SiteID
+	perIter  []float64
+}
+
+// prepare sizes the buffers for n sites over m trajectories and clears the
+// state the greedy reads before writing (util and selected; marg is fully
+// overwritten by the seeding pass).
+func (g *GreedyScratch) prepare(n, m int) {
+	if cap(g.util) < m {
+		g.util = make([]float64, m)
+	} else {
+		g.util = g.util[:m]
+		clear(g.util)
+	}
+	if cap(g.marg) < n {
+		g.marg = make([]float64, n)
+	} else {
+		g.marg = g.marg[:n]
+	}
+	if cap(g.selected) < n {
+		g.selected = make([]bool, n)
+	} else {
+		g.selected = g.selected[:n]
+		clear(g.selected)
+	}
+}
+
 // IncGreedy is the (1-1/e)-approximate greedy of §3.3 (Algorithm 1). It
 // runs on pre-built cover sets, so it serves both the exact algorithm
 // (cover sets from the full distance index) and NETCLUS (cover sets over
 // cluster representatives).
 func IncGreedy(cs *CoverSets, opts GreedyOptions) (Result, error) {
+	return IncGreedyScratch(cs, opts, nil)
+}
+
+// IncGreedyScratch is IncGreedy running in caller-supplied scratch buffers:
+// with a non-nil scratch the plain (non-lazy) greedy performs no heap
+// allocation once the buffers have warmed to the instance size, and the
+// returned Result's Selected and UtilityPerIter alias the scratch. A nil
+// scratch behaves exactly like IncGreedy. The lazy variant ignores the
+// scratch (it is an ablation arm, not a hot path).
+func IncGreedyScratch(cs *CoverSets, opts GreedyOptions, scratch *GreedyScratch) (Result, error) {
 	n := cs.N()
 	if opts.TargetCoverage > 0 {
 		if opts.TargetCoverage > 1 {
@@ -49,19 +96,22 @@ func IncGreedy(cs *CoverSets, opts GreedyOptions) (Result, error) {
 	if opts.Lazy {
 		return lazyGreedy(cs, opts), nil
 	}
-	return plainGreedy(cs, opts), nil
+	return plainGreedy(cs, opts, scratch), nil
 }
 
 // seedUtilities applies existing services and returns the per-trajectory
-// utility baseline plus its sum.
+// utility baseline plus its sum (lazyGreedy's seeding; plainGreedy inlines
+// the same loop over its scratch to stay allocation-free).
 func seedUtilities(cs *CoverSets, initial []SiteID) ([]float64, float64, map[SiteID]bool) {
+	cs.ensure()
 	util := make([]float64, cs.M)
 	existing := make(map[SiteID]bool, len(initial))
 	for _, s := range initial {
 		existing[s] = true
-		for _, st := range cs.TC[s] {
-			if st.Score > util[st.Traj] {
-				util[st.Traj] = st.Score
+		trajs, scores := cs.TC(int32(s))
+		for i, t := range trajs {
+			if scores[i] > util[t] {
+				util[t] = scores[i]
 			}
 		}
 	}
@@ -74,42 +124,81 @@ func seedUtilities(cs *CoverSets, initial []SiteID) ([]float64, float64, map[Sit
 
 // plainGreedy is the paper's Algorithm 1: incremental marginal maintenance
 // through the α_{ji} identities (α_{ji} = max(0, ψ_{ji} − U_j), kept
-// implicit as the paper's update rule only needs the delta).
-func plainGreedy(cs *CoverSets, opts GreedyOptions) Result {
+// implicit as the paper's update rule only needs the delta). The inner
+// loops run over the CSR arrays directly: contiguous scans, no interface
+// or bounds-escaping indirection.
+func plainGreedy(cs *CoverSets, opts GreedyOptions, g *GreedyScratch) Result {
+	cs.ensure()
 	n := cs.N()
-	util, base, existing := seedUtilities(cs, opts.InitialSites)
+	if g == nil {
+		g = &GreedyScratch{}
+	}
+	g.prepare(n, cs.M)
+	util, marg, selected := g.util, g.marg, g.selected
+	tcOff, tcTraj, tcScore := cs.tcOff, cs.tcTraj, cs.tcScore
+	scOff, scSite, scScore := cs.scOff, cs.scSite, cs.scScore
+	weights := cs.Weights
 
-	// marg[s] = Σ_{T ∈ TC(s)} max(0, ψ − U_T); with no existing services
-	// this equals the site weight w_s.
-	marg := make([]float64, n)
-	for s := 0; s < n; s++ {
-		var m float64
-		for _, st := range cs.TC[s] {
-			if g := st.Score - util[st.Traj]; g > 0 {
-				m += g
+	// Seed the baseline from existing services (§7.3) and count coverage.
+	// The float-op order matches the former seedUtilities exactly: apply
+	// sites in the caller's order, then sum util left to right.
+	var base float64
+	covered := 0
+	for _, s := range opts.InitialSites {
+		selected[s] = true
+		for i := tcOff[s]; i < tcOff[int(s)+1]; i++ {
+			if t := tcTraj[i]; tcScore[i] > util[t] {
+				util[t] = tcScore[i]
 			}
 		}
-		marg[s] = m
 	}
-	selected := make([]bool, n)
-	for s := range existing {
-		selected[s] = true
+	if len(opts.InitialSites) > 0 {
+		for _, u := range util {
+			base += u
+		}
+		covered = countCovered(util)
 	}
 
-	res := Result{Utility: base}
-	covered := countCovered(util)
+	// marg[s] = Σ_{T ∈ TC(s)} max(0, ψ − U_T); with no existing services
+	// this equals the site weight w_s — bit-exactly when every score is
+	// positive, because both are the same left-to-right sum — so the
+	// common case seeds with one copy instead of scanning every pair.
+	if len(opts.InitialSites) == 0 && cs.allPositive {
+		copy(marg, weights)
+	} else {
+		for s := 0; s < n; s++ {
+			var m float64
+			for i := tcOff[s]; i < tcOff[s+1]; i++ {
+				if d := tcScore[i] - util[tcTraj[i]]; d > 0 {
+					m += d
+				}
+			}
+			marg[s] = m
+		}
+	}
+
+	res := Result{Utility: base, Selected: g.sel[:0], UtilityPerIter: g.perIter[:0]}
 	for len(res.Selected) < opts.K {
 		if opts.TargetCoverage > 0 && float64(covered) >= opts.TargetCoverage*float64(cs.M) {
 			break
 		}
+		// Argmax under the exact (marginal, weight, index) tie-break. The
+		// incumbent's key stays in locals; with an ascending scan s > best
+		// always holds, so greaterSite's final higher-index tie-break
+		// always prefers s and the test reduces to m > bm || (m == bm &&
+		// w >= bw) — equivalent to greaterSite for every float (including
+		// NaN, where both keep the incumbent).
 		best := -1
+		var bestMarg, bestWeight float64
 		for s := 0; s < n; s++ {
 			if selected[s] {
 				continue
 			}
-			if best < 0 || greaterSite(marg[s], cs.Weights[s], s, marg[best], cs.Weights[best], best) {
-				best = s
+			m := marg[s]
+			if best >= 0 && !(m > bestMarg || (m == bestMarg && weights[s] >= bestWeight)) {
+				continue
 			}
+			best, bestMarg, bestWeight = s, m, weights[s]
 		}
 		if best < 0 {
 			break // everything selected
@@ -121,36 +210,45 @@ func plainGreedy(cs *CoverSets, opts GreedyOptions) Result {
 		res.Selected = append(res.Selected, SiteID(best))
 		res.Utility += marg[best]
 		// Update trajectory utilities and propagate marginal deltas to the
-		// other covering sites (lines 11–17 of Algorithm 1).
-		for _, st := range cs.TC[best] {
-			oldU := util[st.Traj]
-			if st.Score <= oldU {
+		// other covering sites (lines 11–17 of Algorithm 1). The scatter
+		// deliberately writes stale deltas into already-selected sites'
+		// marg slots too: those slots are dead (the argmax skips selected
+		// sites and marg[best] is read before selection), and dropping the
+		// selected[ss] load removes a random byte access per covering
+		// pair from the hottest loop in the query path. The re-sliced
+		// segments let the compiler drop the per-element bounds checks.
+		trajs := tcTraj[tcOff[best]:tcOff[best+1]]
+		tscores := tcScore[tcOff[best] : tcOff[best]+int32(len(trajs))]
+		for i, t := range trajs {
+			oldU := util[t]
+			if tscores[i] <= oldU {
 				continue
 			}
-			newU := st.Score
-			util[st.Traj] = newU
+			newU := tscores[i]
+			util[t] = newU
 			if oldU == 0 {
 				covered++
 			}
-			for _, ss := range cs.SC[st.Traj] {
-				if selected[ss.Site] {
-					continue
-				}
-				oldGain := ss.Score - oldU
+			sites := scSite[scOff[t]:scOff[t+1]]
+			scores := scScore[scOff[t] : scOff[t]+int32(len(sites))]
+			for j, ss := range sites {
+				oldGain := scores[j] - oldU
 				if oldGain <= 0 {
 					continue
 				}
-				newGain := ss.Score - newU
+				newGain := scores[j] - newU
 				if newGain < 0 {
 					newGain = 0
 				}
-				marg[ss.Site] -= oldGain - newGain
+				marg[ss] -= oldGain - newGain
 			}
 		}
 		marg[best] = 0
 		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
 	}
 	res.Covered = covered
+	// Keep any growth the appends produced for the scratch's next run.
+	g.sel, g.perIter = res.Selected, res.UtilityPerIter
 	return res
 }
 
@@ -179,13 +277,15 @@ func (h siteHeap) peekMarg() float64 { return h[0].marg }
 // heap value is an upper bound and a popped site whose value is fresh for
 // the current iteration is the true argmax (CELF).
 func lazyGreedy(cs *CoverSets, opts GreedyOptions) Result {
+	cs.ensure()
 	n := cs.N()
 	util, base, existing := seedUtilities(cs, opts.InitialSites)
+	tcOff, tcTraj, tcScore := cs.tcOff, cs.tcTraj, cs.tcScore
 
 	evalMarg := func(s int32) float64 {
 		var m float64
-		for _, st := range cs.TC[s] {
-			if g := st.Score - util[st.Traj]; g > 0 {
+		for i := tcOff[s]; i < tcOff[s+1]; i++ {
+			if g := tcScore[i] - util[tcTraj[i]]; g > 0 {
 				m += g
 			}
 		}
@@ -220,12 +320,13 @@ func lazyGreedy(cs *CoverSets, opts GreedyOptions) Result {
 		}
 		res.Selected = append(res.Selected, SiteID(top.site))
 		res.Utility += top.marg
-		for _, st := range cs.TC[top.site] {
-			if st.Score > util[st.Traj] {
-				if util[st.Traj] == 0 {
+		for i := tcOff[top.site]; i < tcOff[top.site+1]; i++ {
+			t := tcTraj[i]
+			if tcScore[i] > util[t] {
+				if util[t] == 0 {
 					covered++
 				}
-				util[st.Traj] = st.Score
+				util[t] = tcScore[i]
 			}
 		}
 		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)

@@ -45,8 +45,9 @@ func Optimal(cs *CoverSets, opts OptimalOptions) (Result, error) {
 
 	marg := func(s int) float64 {
 		var m float64
-		for _, st := range cs.TC[s] {
-			if g := st.Score - util[st.Traj]; g > 0 {
+		trajs, scores := cs.TC(int32(s))
+		for i, t := range trajs {
+			if g := scores[i] - util[t]; g > 0 {
 				m += g
 			}
 		}
@@ -76,11 +77,12 @@ func Optimal(cs *CoverSets, opts OptimalOptions) (Result, error) {
 	apply := func(s int) (float64, []undo) {
 		var gained float64
 		var log []undo
-		for _, st := range cs.TC[s] {
-			if st.Score > util[st.Traj] {
-				log = append(log, undo{traj: st.Traj, old: util[st.Traj]})
-				gained += st.Score - util[st.Traj]
-				util[st.Traj] = st.Score
+		trajs, scores := cs.TC(int32(s))
+		for i, t := range trajs {
+			if scores[i] > util[t] {
+				log = append(log, undo{traj: t, old: util[t]})
+				gained += scores[i] - util[t]
+				util[t] = scores[i]
 			}
 		}
 		return gained, log

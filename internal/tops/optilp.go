@@ -43,10 +43,11 @@ func OptimalILP(cs *CoverSets, opts OptimalOptions) (Result, error) {
 	var scores []float64
 	pairIdx := map[[2]int32]int{}
 	for s := 0; s < n; s++ {
-		for _, st := range cs.TC[s] {
-			pairIdx[[2]int32{int32(s), st.Traj}] = n + len(pairs)
-			pairs = append(pairs, pairVar{site: int32(s), traj: st.Traj})
-			scores = append(scores, st.Score)
+		trajs, tscores := cs.TC(int32(s))
+		for i, t := range trajs {
+			pairIdx[[2]int32{int32(s), t}] = n + len(pairs)
+			pairs = append(pairs, pairVar{site: int32(s), traj: t})
+			scores = append(scores, tscores[i])
 		}
 	}
 	nv := n + len(pairs)

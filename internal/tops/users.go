@@ -33,10 +33,11 @@ func CollapseToUsers(cs *CoverSets, userOf []int32, numUsers int) (*CoverSets, e
 	best := make(map[int32]float64, 64)
 	for s := 0; s < cs.N(); s++ {
 		clear(best)
-		for _, st := range cs.TC[s] {
-			u := userOf[st.Traj]
-			if st.Score > best[u] {
-				best[u] = st.Score
+		trajs, scores := cs.TC(int32(s))
+		for i, t := range trajs {
+			u := userOf[t]
+			if scores[i] > best[u] {
+				best[u] = scores[i]
 			}
 		}
 		for u, score := range best {

@@ -21,8 +21,8 @@ func TestCollapseToUsersBasic(t *testing.T) {
 	if ucs.M != 2 {
 		t.Fatalf("user universe = %d", ucs.M)
 	}
-	if len(ucs.TC[0]) != 1 || ucs.TC[0][0].Score != 0.9 {
-		t.Fatalf("site 0 user cover = %+v, want single 0.9 entry", ucs.TC[0])
+	if trajs, scores := ucs.TC(0); len(trajs) != 1 || scores[0] != 0.9 {
+		t.Fatalf("site 0 user cover = %v/%v, want single 0.9 entry", trajs, scores)
 	}
 	u, covered := EvaluateSelection(ucs, []SiteID{0})
 	if math.Abs(u-0.9) > 1e-12 || covered != 1 {

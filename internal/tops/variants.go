@@ -35,8 +35,9 @@ func CostGreedy(cs *CoverSets, opts CostOptions) (Result, error) {
 	util := make([]float64, cs.M)
 	marg := func(s int) float64 {
 		var m float64
-		for _, st := range cs.TC[s] {
-			if g := st.Score - util[st.Traj]; g > 0 {
+		trajs, scores := cs.TC(int32(s))
+		for i, t := range trajs {
+			if g := scores[i] - util[t]; g > 0 {
 				m += g
 			}
 		}
@@ -88,9 +89,10 @@ func CostGreedy(cs *CoverSets, opts CostOptions) (Result, error) {
 		remaining -= opts.Costs[best]
 		res.Selected = append(res.Selected, SiteID(best))
 		res.Utility += gain
-		for _, st := range cs.TC[best] {
-			if st.Score > util[st.Traj] {
-				util[st.Traj] = st.Score
+		trajs, scores := cs.TC(int32(best))
+		for i, t := range trajs {
+			if scores[i] > util[t] {
+				util[t] = scores[i]
 			}
 		}
 		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
@@ -152,9 +154,10 @@ func CapacityGreedy(cs *CoverSets, opts CapacityOptions) (Result, error) {
 			return 0, nil
 		}
 		gainsBuf = gainsBuf[:0]
-		for _, st := range cs.TC[s] {
-			if g := st.Score - util[st.Traj]; g > 0 {
-				gainsBuf = append(gainsBuf, ScoredTraj{Traj: st.Traj, Score: g})
+		trajs, scores := cs.TC(int32(s))
+		for i, t := range trajs {
+			if g := scores[i] - util[t]; g > 0 {
+				gainsBuf = append(gainsBuf, ScoredTraj{Traj: t, Score: g})
 			}
 		}
 		if len(gainsBuf) > cap {
