@@ -11,10 +11,17 @@
 // restarted with the same -wal-dir recovers to exactly the acknowledged
 // state: checkpoint + log-tail replay.
 //
-// Replication (-follow): a read-replica tails the primary's /v1/log,
+// Replication (-follow): a read-replica tails the primary's /v1/log —
+// long-polling by default (-follow-wait), falling back to -follow-poll —
 // applies records through the recovery replay path, rejects writes with
 // 403, and reports its lag in /healthz and /statsz. With -wal-dir it also
-// persists the stream locally (and can itself be tailed).
+// persists the stream locally (and can itself be tailed). POST /v1/promote
+// turns a replica into the primary: tailing stops, the local tail replays,
+// and a new epoch (fencing token) opens so the deposed primary's writes
+// are rejected with 409 fenced. With -quorum N a primary only acknowledges
+// an update once N followers have durably persisted it (semi-synchronous
+// replication); GET /v1/replication reports the whole topology. See API.md
+// for the complete HTTP surface.
 //
 // Usage:
 //
@@ -23,6 +30,7 @@
 //	topsserve -preset beijing -scale 0.02 -wal-dir ./wal -checkpoint-every 5m
 //	topsserve -preset beijing -scale 0.02 -shards 4 -wal-dir ./wal
 //	topsserve -preset beijing -scale 0.02 -follow http://primary:8080 -addr :8081
+//	topsserve -preset beijing -scale 0.02 -wal-dir ./wal -quorum 1
 //
 // Query it:
 //
@@ -104,6 +112,9 @@ type config struct {
 	checkpointEvery time.Duration
 	follow          string
 	followPoll      time.Duration
+	followWait      time.Duration
+	quorum          int
+	quorumTimeout   time.Duration
 	pprofAddr       string
 }
 
@@ -140,7 +151,10 @@ func main() {
 	flag.DurationVar(&c.fsyncInterval, "fsync-interval", 100*time.Millisecond, "group-commit period for -fsync interval")
 	flag.DurationVar(&c.checkpointEvery, "checkpoint-every", 0, "write a recovery checkpoint on this period and compact the log (requires -wal-dir)")
 	flag.StringVar(&c.follow, "follow", "", "run as a read-replica tailing this primary URL's /v1/log")
-	flag.DurationVar(&c.followPoll, "follow-poll", 500*time.Millisecond, "replica tailing period for -follow")
+	flag.DurationVar(&c.followPoll, "follow-poll", 500*time.Millisecond, "replica fallback polling period for -follow (used when long-polling is off or returns early)")
+	flag.DurationVar(&c.followWait, "follow-wait", 10*time.Second, "replica long-poll window for -follow: how long the primary parks an empty /v1/log read; 0 disables long-polling")
+	flag.IntVar(&c.quorum, "quorum", 0, "semi-sync replication: acknowledge an update only after this many followers durably persisted it (requires -wal-dir); 0 disables")
+	flag.DurationVar(&c.quorumTimeout, "quorum-timeout", 5*time.Second, "how long an update waits for the -quorum before answering 503 quorum_timeout")
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
@@ -154,6 +168,9 @@ func main() {
 	}
 	if c.checkpointEvery > 0 && c.walDir == "" {
 		fatal(fmt.Errorf("-checkpoint-every needs -wal-dir (checkpoints live in the log directory)"))
+	}
+	if c.quorum > 0 && c.walDir == "" {
+		fatal(fmt.Errorf("-quorum needs -wal-dir (followers acknowledge log positions)"))
 	}
 	if c.follow != "" && c.loadPath != "" {
 		fatal(fmt.Errorf("-follow bootstraps from its -wal-dir checkpoint or the primary; -load does not apply"))
@@ -230,6 +247,14 @@ func primaryMain(c *config) {
 		}
 		if err := eng.AttachWAL(log); err != nil {
 			fatal(err)
+		}
+		// A durable primary serves under a fencing token. The very first
+		// term is 1; recovery keeps the recovered epoch (a restart is not a
+		// new term — only promotion opens one).
+		if eng.Epoch() == 0 {
+			if err := eng.BeginEpoch(1); err != nil {
+				fatal(fmt.Errorf("opening epoch 1: %w", err))
+			}
 		}
 	}
 	startServer(eng, inst, c, log, nil)
@@ -450,11 +475,15 @@ func followerMain(c *config) {
 			fmt.Printf("replayed %d local WAL records to LSN %d\n", n, eng.LSN())
 		}
 	}
-	fol, err := netclus.NewFollower(c.follow, eng, log, netclus.FollowerOptions{Poll: c.followPoll})
+	wait := c.followWait
+	if wait <= 0 {
+		wait = -1 // follower convention: negative disables long-polling
+	}
+	fol, err := netclus.NewFollower(c.follow, eng, log, netclus.FollowerOptions{Poll: c.followPoll, Wait: wait})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("following %s from LSN %d (poll %v)\n", c.follow, eng.LSN(), c.followPoll)
+	fmt.Printf("following %s from LSN %d (poll %v, long-poll %v)\n", c.follow, eng.LSN(), c.followPoll, c.followWait)
 	startServer(eng, inst, c, log, fol)
 }
 
@@ -471,23 +500,62 @@ func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, l
 		BatchMaxSize:   c.batchMax,
 		DefaultTimeout: c.timeout,
 		Log:            log,
+		Quorum:         c.quorum,
+		QuorumTimeout:  c.quorumTimeout,
 	}
+
+	bg, stopBg := context.WithCancel(context.Background())
+	defer stopBg()
+	var folCtx context.Context
+	var folCancel context.CancelFunc
+	var folDone chan struct{}
 	if fol != nil {
 		sopts.ReadOnly = true
 		sopts.Replication = fol.Status
+		folCtx, folCancel = context.WithCancel(bg)
+		folDone = make(chan struct{})
+		// Promotion: stop tailing the deposed primary, replay whatever the
+		// tail loop already persisted locally but had not applied, attach
+		// the local log for new writes, and open a strictly newer epoch so
+		// the old primary is fenced the moment it hears from this node.
+		sopts.Promote = func(ctx context.Context) (uint64, error) {
+			folCancel()
+			select {
+			case <-folDone:
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			if log != nil {
+				if n, err := netclus.ReplayWAL(log, eng); err != nil {
+					return 0, fmt.Errorf("replaying local tail: %w", err)
+				} else if n > 0 {
+					fmt.Printf("promote: replayed %d local records to LSN %d\n", n, eng.LSN())
+				}
+				if err := eng.AttachWAL(log); err != nil {
+					return 0, fmt.Errorf("attaching local log: %w", err)
+				}
+			}
+			epoch := eng.Epoch() + 1
+			if err := eng.BeginEpoch(epoch); err != nil {
+				return 0, err
+			}
+			fmt.Printf("promoted to primary: epoch %d at LSN %d\n", epoch, eng.LSN())
+			return epoch, nil
+		}
 	}
 	srv, err := netclus.NewServer(eng, sopts)
 	if err != nil {
 		fatal(err)
 	}
 
-	bg, stopBg := context.WithCancel(context.Background())
-	defer stopBg()
 	if c.pprofAddr != "" {
 		go servePprof(c.pprofAddr)
 	}
 	if fol != nil {
-		go fol.Run(bg)
+		go func() {
+			defer close(folDone)
+			fol.Run(folCtx)
+		}()
 	}
 	// ckptDone joins the periodic-checkpoint goroutine on shutdown: the
 	// final checkpoint below must not race a stale in-flight periodic one,

@@ -313,6 +313,9 @@ func TestKillRecoverDifferential(t *testing.T) {
 			a := startChild(t, bin, freePort(t), append(shardArgs,
 				"-cache", cacheDir, "-wal-dir", walDir, "-fsync", "always")...)
 			a.waitHealthy(t, 5*time.Minute)
+			// The log is not all mutations: a fresh durable primary opens
+			// epoch 1 as its first record, so update counts are LSN-baseLSN.
+			baseLSN := a.statszLSN(t)
 			acked := 0
 			killAt := 12
 			for i, u := range ups {
@@ -342,13 +345,14 @@ func TestKillRecoverDifferential(t *testing.T) {
 				"-checkpoint-every", "200ms")...)
 			b.waitHealthy(t, 2*time.Minute)
 			lsn := b.statszLSN(t)
-			if lsn < uint64(acked) {
-				t.Fatalf("recovered LSN %d < %d acknowledged updates (-fsync always lost an ack)", lsn, acked)
+			muts := lsn - baseLSN
+			if muts < uint64(acked) {
+				t.Fatalf("recovered %d updates (LSN %d) < %d acknowledged (-fsync always lost an ack)", muts, lsn, acked)
 			}
-			if lsn > uint64(len(ups)) {
-				t.Fatalf("recovered LSN %d > %d sent updates", lsn, len(ups))
+			if muts > uint64(len(ups)) {
+				t.Fatalf("recovered %d updates > %d sent", muts, len(ups))
 			}
-			for _, u := range ups[:lsn] {
+			for _, u := range ups[:muts] {
 				u.applyTwin(t, twin)
 			}
 			for _, q := range []struct {
@@ -360,7 +364,7 @@ func TestKillRecoverDifferential(t *testing.T) {
 
 			// Phase 3: more acknowledged updates, wait for a checkpoint to
 			// land, SIGKILL again; C must recover from checkpoint + tail.
-			extra := ups[lsn:]
+			extra := ups[muts:]
 			if len(extra) > 5 {
 				extra = extra[:5]
 			}
@@ -432,5 +436,143 @@ func TestKillRecoverDifferential(t *testing.T) {
 				t.Fatalf("follower accepted a write: %d", resp.StatusCode)
 			}
 		})
+	}
+}
+
+// TestFailoverPromoteDifferential is the process-level failover drill: the
+// real primary is SIGKILLed, the follower is promoted via POST /v1/promote
+// and opens a new epoch, further writes land on it, and its answers stay
+// bit-identical to an uninterrupted in-process twin. The restarted old
+// primary is fenced the moment it hears the new epoch and cannot accept
+// writes that would fork the log.
+func TestFailoverPromoteDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real topsserve processes; skipped under -short")
+	}
+	bin := buildBinary(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	walA := filepath.Join(t.TempDir(), "wal-a")
+	walF := filepath.Join(t.TempDir(), "wal-f")
+
+	twin, inst := twinEngine(t, 1)
+	ups := script(t, inst, 15)
+
+	// Primary A and follower F, both durable; F long-polls A's log.
+	a := startChild(t, bin, freePort(t), "-cache", cacheDir, "-wal-dir", walA, "-fsync", "always")
+	a.waitHealthy(t, 5*time.Minute)
+	baseLSN := a.statszLSN(t) // epoch 1's record
+	f := startChild(t, bin, freePort(t),
+		"-cache", cacheDir, "-wal-dir", walF, "-fsync", "always",
+		"-follow", a.url(), "-follow-poll", "2s", "-follow-wait", "10s")
+	f.waitHealthy(t, 2*time.Minute)
+
+	phase1 := ups[:10]
+	for i, u := range phase1 {
+		resp, err := http.Post(a.url()+"/v1/update", "application/json", strings.NewReader(u.wire()))
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %d: status %d", i, resp.StatusCode)
+		}
+		u.applyTwin(t, twin)
+	}
+	target := baseLSN + uint64(len(phase1))
+	deadline := time.Now().Add(60 * time.Second)
+	for f.statszLSN(t) != target {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at LSN %d, primary at %d", f.statszLSN(t), target)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The primary dies hard; the follower takes over.
+	a.kill(t)
+	resp, err := http.Post(f.url()+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: %d %s", resp.StatusCode, raw)
+	}
+	var pr struct {
+		OK    bool   `json:"ok"`
+		Role  string `json:"role"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.OK || pr.Role != "primary" || pr.Epoch != 2 {
+		t.Fatalf("promote response: %+v", pr)
+	}
+	// A promoted node is a healthy primary, not a stalled replica.
+	hresp, err := http.Get(f.url() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted /healthz: %d", hresp.StatusCode)
+	}
+
+	// Writes now land on the promoted follower; answers stay bit-exact
+	// against the uninterrupted twin.
+	for i, u := range ups[10:] {
+		resp, err := http.Post(f.url()+"/v1/update", "application/json", strings.NewReader(u.wire()))
+		if err != nil {
+			t.Fatalf("post-promote update %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-promote update %d: status %d", i, resp.StatusCode)
+		}
+		u.applyTwin(t, twin)
+	}
+	for _, q := range []struct {
+		k   int
+		tau float64
+	}{{3, 0.8}, {5, 1.6}, {8, 2.8}} {
+		queryBoth(t, f.url(), twin, q.k, q.tau)
+	}
+
+	// The deposed primary restarts on its old log (still epoch 1) and is
+	// fenced as soon as a peer presents epoch 2 on its replication surface:
+	// it can serve reads but must reject writes that would fork history.
+	a2 := startChild(t, bin, freePort(t), "-cache", cacheDir, "-wal-dir", walA, "-fsync", "always")
+	a2.waitHealthy(t, 2*time.Minute)
+	fence, err := http.Get(fmt.Sprintf("%s/v1/log?from=1&max=1&peer_epoch=%d", a2.url(), pr.Epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, fence.Body)
+	fence.Body.Close()
+	if fence.StatusCode != http.StatusOK {
+		t.Fatalf("fencing tail request: %d", fence.StatusCode)
+	}
+	uresp, err := http.Post(a2.url()+"/v1/update", "application/json",
+		strings.NewReader(`{"op":"delete_site","node":`+fmt.Sprint(int64(inst.Sites[1]))+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uraw, _ := io.ReadAll(uresp.Body)
+	uresp.Body.Close()
+	if uresp.StatusCode != http.StatusConflict {
+		t.Fatalf("deposed primary accepted a write: %d %s", uresp.StatusCode, uraw)
+	}
+	var env struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(uraw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Code != "fenced" {
+		t.Fatalf("deposed primary error code %q, want fenced (%s)", env.Code, uraw)
 	}
 }

@@ -28,7 +28,13 @@
 // a system of record: every acknowledged mutation is an LSN-numbered
 // record, snapshots carry the LSN they reflect, recovery is checkpoint +
 // tail replay (ReplayWAL), and followers (NewFollower) tail a primary's
-// /v1/log into read-replicas that answer bit-identically.
+// /v1/log into read-replicas that answer bit-identically. Followers
+// long-poll the log (FollowerOptions.Wait) so replica lag is ~RTT rather
+// than a polling interval; ServeOptions.Quorum holds each update ack until
+// N followers are durably past its LSN; and promotion (ServeOptions.
+// Promote, DurableEngine.BeginEpoch) opens a new epoch — a logged fencing
+// token that makes a deposed primary reject writes (409 fenced). API.md
+// documents the complete HTTP surface, including the stable error codes.
 //
 // Layout:
 //

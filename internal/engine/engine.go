@@ -125,6 +125,9 @@ type Stats struct {
 	// primary, replayed on a follower or during recovery); 0 when the
 	// engine is not WAL-served.
 	LSN uint64 `json:"lsn"`
+	// Epoch is the replication fencing token of the primary term this
+	// engine last observed; 0 when no term was ever opened.
+	Epoch uint64 `json:"epoch"`
 	// Errors counts failed queries (single or batch items), including the
 	// Canceled subset below.
 	Errors uint64 `json:"errors"`
@@ -158,6 +161,7 @@ func (e *Engine) Stats() Stats {
 		TrajAdds:     e.trajAdds.Load(),
 		TrajDeletes:  e.trajDeletes.Load(),
 		LSN:          e.sink.LSN(),
+		Epoch:        e.sink.Epoch(),
 		Errors:       e.errors.Load(),
 		Canceled:     e.canceled.Load(),
 		CoverHits:    cc.Hits,
@@ -546,6 +550,33 @@ func (e *Engine) DeleteTrajectories(ids []trajectory.ID) error {
 // LSN reports the last applied write-ahead-log sequence number.
 func (e *Engine) LSN() uint64 { return e.sink.LSN() }
 
+// Epoch reports the replication fencing token this engine last observed
+// (0 until a term is opened or replayed).
+func (e *Engine) Epoch() uint64 { return e.sink.Epoch() }
+
+// RestoreEpoch stamps the epoch recovered from a checkpoint container.
+// Load-time only, before any mutations or replay.
+func (e *Engine) RestoreEpoch(epoch uint64) { e.sink.RestoreEpoch(epoch) }
+
+// BeginEpoch opens a new primary term: it logs a KindEpoch record (when a
+// WAL is attached) and advances the fencing token, which must be strictly
+// newer than the current one. Promotion calls this with Epoch()+1.
+func (e *Engine) BeginEpoch(epoch uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guardLog(); err != nil {
+		return err
+	}
+	lsn, err := e.sink.BeginEpoch(epoch)
+	if err != nil {
+		return err
+	}
+	if lsn > 0 {
+		e.idx.SetWalLSN(lsn)
+	}
+	return nil
+}
+
 // AttachWAL connects the engine to its log: every later mutation appends a
 // record before it is acknowledged. The log must be positioned exactly at
 // the engine's LSN — recover first (wal.Replay), then attach. An empty log
@@ -572,6 +603,13 @@ func (e *Engine) ApplyRecord(rec wal.Record) error {
 	defer e.mu.Unlock()
 	if err := e.sink.CheckReplay(rec); err != nil {
 		return fmt.Errorf("engine: %w", err)
+	}
+	if m.Kind == wal.KindEpoch {
+		if err := e.sink.ApplyEpoch(rec); err != nil {
+			return fmt.Errorf("engine: replaying LSN %d (%s): %w", rec.LSN, m.Kind, err)
+		}
+		e.idx.SetWalLSN(rec.LSN)
+		return nil
 	}
 	if err := e.applyMutation(m); err != nil {
 		return fmt.Errorf("engine: replaying LSN %d (%s): %w", rec.LSN, m.Kind, err)
@@ -657,5 +695,5 @@ func (e *Engine) Checkpoint(w io.Writer) (int64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	inst := e.idx.TopsInstance()
-	return wal.WriteCheckpoint(w, inst.Sites, inst.Trajs, e.idx.WriteTo)
+	return wal.WriteCheckpoint(w, inst.Sites, inst.Trajs, e.sink.Epoch(), e.idx.WriteTo)
 }

@@ -266,7 +266,7 @@ func TestWALRecoveryDifferential(t *testing.T) {
 		defer f.Close()
 		// The checkpoint reconstructs the mutated dataset over the preset's
 		// immutable graph — no preset site/trajectory state is consulted.
-		inst, br, err := wal.ReadCheckpoint(f, city.Graph)
+		inst, _, br, err := wal.ReadCheckpoint(f, city.Graph)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
@@ -339,7 +339,7 @@ func TestCheckpointRejectsCorruption(t *testing.T) {
 	}
 	valid := buf.Bytes()
 	load := func(data []byte) error {
-		inst, br, err := wal.ReadCheckpoint(bytes.NewReader(data), city.Graph)
+		inst, _, br, err := wal.ReadCheckpoint(bytes.NewReader(data), city.Graph)
 		if err != nil {
 			return err
 		}
@@ -444,5 +444,77 @@ func TestPerKindCounters(t *testing.T) {
 	}
 	if st.Updates != 5 {
 		t.Fatalf("updates %d, want 5 calls", st.Updates)
+	}
+}
+
+// TestCheckpointCarriesEpoch: the fencing token survives the checkpoint
+// container (v2) and the epoch record survives log replay, so a recovered
+// node knows which primary term it last observed.
+func TestCheckpointCarriesEpoch(t *testing.T) {
+	idx, _, city := buildFixture(t, 811)
+	eng, err := New(idx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	log, err := wal.Open(walDir, wal.Options{Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if err := eng.AttachWAL(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.BeginEpoch(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddSite(findNonSite(t, idx)); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != 4 {
+		t.Fatalf("epoch %d after BeginEpoch(4)", eng.Epoch())
+	}
+	if eng.Stats().Epoch != 4 {
+		t.Fatalf("stats epoch %d", eng.Stats().Epoch)
+	}
+
+	var buf bytes.Buffer
+	if _, err := eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	inst, epoch, br, err := wal.ReadCheckpoint(bytes.NewReader(buf.Bytes()), city.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 4 {
+		t.Fatalf("checkpoint epoch %d, want 4", epoch)
+	}
+	idx2, err := core.ReadIndex(br, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := New(idx2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.RestoreEpoch(epoch)
+	if eng2.Epoch() != 4 {
+		t.Fatalf("restored epoch %d", eng2.Epoch())
+	}
+
+	// Replaying the full log into a fresh engine observes the epoch record.
+	idx3, _, _ := buildFixture(t, 811)
+	eng3, err := New(idx3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := wal.Replay(log, eng3); err != nil || n != 2 {
+		t.Fatalf("replay = %d, %v", n, err)
+	}
+	if eng3.Epoch() != 4 {
+		t.Fatalf("replayed epoch %d, want 4", eng3.Epoch())
+	}
+	if eng3.LSN() != eng.LSN() {
+		t.Fatalf("replayed LSN %d, want %d", eng3.LSN(), eng.LSN())
 	}
 }

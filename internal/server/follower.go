@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"os"
 	"strconv"
 	"sync"
 	"time"
@@ -20,9 +22,15 @@ import (
 // runs with Options.ReadOnly (writes 403) and Options.Replication set to
 // Follower.Status, which surfaces lag in /healthz and /statsz.
 //
-// Consistency model: asynchronous replication. The replica serves reads at
-// its own LSN, which trails the primary by at most one poll interval plus
-// apply time; Status reports the exact record lag.
+// Consistency model: asynchronous replication by default — the replica
+// serves reads at its own LSN and Status reports the exact record lag.
+// With long-polling (FollowerOptions.Wait, the default) that lag is ~RTT
+// plus apply time rather than a poll interval; with a primary quorum
+// (-quorum) the primary additionally withholds mutation acks until enough
+// replicas durably acknowledged them. Each tail request piggybacks the
+// follower's identity, durable ack position, and fencing epoch, so the
+// primary's /v1/replication shows this replica and a promoted follower's
+// higher epoch fences a deposed primary.
 type Follower struct {
 	primary string
 	eng     wal.Applier
@@ -38,10 +46,25 @@ type Follower struct {
 
 // FollowerOptions configures the tailing loop.
 type FollowerOptions struct {
-	// Poll is the tailing period. Zero selects 500ms.
+	// Poll is the fallback tailing period: the retry delay after a failed
+	// round, and the full cadence when long-polling is disabled. Zero
+	// selects 500ms.
 	Poll time.Duration
+	// Wait is the long-poll duration sent as /v1/log?wait=: a caught-up
+	// tail request parks on the primary until new records arrive, cutting
+	// replica lag from the poll period to ~RTT. Zero selects 10s;
+	// negative disables long-polling (classic periodic polls).
+	Wait time.Duration
 	// MaxBatch bounds records fetched per poll. Zero selects 8192.
 	MaxBatch int
+	// ID identifies this follower in the primary's ack table (quorum
+	// tracking, /v1/replication). Zero selects "<hostname>-<pid>".
+	ID string
+	// UnhealthyAfter is how many consecutive poll failures latch the
+	// replica's /healthz to 503 tail_stalled (a silently-stalled replica
+	// leaves rotation instead of serving ever-staler reads). Zero selects
+	// 5; negative disables the latch.
+	UnhealthyAfter int
 	// Client issues the HTTP requests. Nil selects a client with a 30s
 	// timeout.
 	Client *http.Client
@@ -51,8 +74,24 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 	if o.Poll <= 0 {
 		o.Poll = 500 * time.Millisecond
 	}
+	if o.Wait == 0 {
+		o.Wait = 10 * time.Second
+	}
+	if o.Wait < 0 {
+		o.Wait = 0
+	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 8192
+	}
+	if o.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "follower"
+		}
+		o.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if o.UnhealthyAfter == 0 {
+		o.UnhealthyAfter = 5
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 30 * time.Second}
@@ -86,6 +125,7 @@ func (f *Follower) Status() ReplicationStatus {
 	defer f.mu.Unlock()
 	st := f.status
 	st.LSN = f.eng.LSN()
+	st.Epoch = f.epoch()
 	if st.PrimaryLSN >= st.LSN {
 		st.Lag = st.PrimaryLSN - st.LSN
 	}
@@ -95,18 +135,36 @@ func (f *Follower) Status() ReplicationStatus {
 	return st
 }
 
+// epoch reads the replay engine's fencing token when it exposes one.
+func (f *Follower) epoch() uint64 {
+	if ep, ok := f.eng.(interface{ Epoch() uint64 }); ok {
+		return ep.Epoch()
+	}
+	return 0
+}
+
 // Run tails the primary until ctx is done. Poll failures are recorded in
-// Status and retried at the next tick — a follower outlives primary
-// restarts and transient network trouble.
+// Status and retried after the poll period — a follower outlives primary
+// restarts and transient network trouble. With long-polling enabled a
+// successful round loops immediately: the primary parks the caught-up
+// request server-side, so the loop adds no lag of its own.
 func (f *Follower) Run(ctx context.Context) {
-	t := time.NewTicker(f.opts.Poll)
-	defer t.Stop()
 	for {
-		_, _ = f.Poll(ctx) // failures are recorded in Status and retried
+		t0 := time.Now()
+		n, err := f.Poll(ctx) // failures are recorded in Status and retried
+		if ctx.Err() != nil {
+			return
+		}
+		// Fall back to the poll period on errors, and when a primary that
+		// ignores ?wait= answers a caught-up request instantly (otherwise
+		// this loop would spin hot against it).
+		if f.opts.Wait > 0 && err == nil && (n > 0 || time.Since(t0) >= f.opts.Wait/2) {
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-time.After(f.opts.Poll):
 		}
 	}
 }
@@ -126,6 +184,10 @@ func (f *Follower) Poll(ctx context.Context) (int, error) {
 	if err != nil && ctx.Err() == nil {
 		f.mu.Lock()
 		f.status.PollErrors++
+		f.status.ConsecutiveFailures++
+		if f.opts.UnhealthyAfter > 0 && f.status.ConsecutiveFailures >= uint64(f.opts.UnhealthyAfter) {
+			f.status.Unhealthy = true
+		}
 		f.status.LastError = err.Error()
 		if errors.Is(err, ErrNeedBootstrap) {
 			f.status.NeedsBootstrap = true
@@ -148,6 +210,8 @@ func (f *Follower) poll(ctx context.Context) (int, error) {
 		f.status.Polls++
 		f.status.LastError = ""
 		f.status.NeedsBootstrap = false
+		f.status.ConsecutiveFailures = 0
+		f.status.Unhealthy = false
 		f.lastOK = time.Now()
 		f.mu.Unlock()
 		if f.eng.LSN() >= head || n == 0 {
@@ -156,11 +220,22 @@ func (f *Follower) poll(ctx context.Context) (int, error) {
 	}
 }
 
-// fetchOnce issues one GET /v1/log round and applies its records.
+// fetchOnce issues one GET /v1/log round and applies its records. The
+// request carries the follower's identity, last durable ack, and fencing
+// epoch; with long-polling it also carries ?wait=, making a caught-up
+// round park on the primary until records arrive.
 func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
 	from := f.eng.LSN() + 1
-	url := fmt.Sprintf("%s/v1/log?from=%d&max=%d", f.primary, from, f.opts.MaxBatch)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	own := f.epoch()
+	f.mu.Lock()
+	acked := f.status.AckedLSN
+	f.mu.Unlock()
+	u := fmt.Sprintf("%s/v1/log?from=%d&max=%d&id=%s&acked=%d&peer_epoch=%d",
+		f.primary, from, f.opts.MaxBatch, url.QueryEscape(f.opts.ID), acked, own)
+	if f.opts.Wait > 0 {
+		u += "&wait=" + url.QueryEscape(f.opts.Wait.String())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -170,6 +245,19 @@ func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
 	}
 	defer resp.Body.Close()
 	head, _ := strconv.ParseUint(resp.Header.Get("X-Netclus-Head-LSN"), 10, 64)
+	if raw := resp.Header.Get("X-Netclus-Epoch"); raw != "" {
+		if pe, perr := strconv.ParseUint(raw, 10, 64); perr == nil {
+			f.mu.Lock()
+			f.status.PrimaryEpoch = pe
+			f.mu.Unlock()
+			if own > 0 && pe < own {
+				// The "primary" is running a term we have already moved past
+				// (this replica was promoted, or follows a newer primary):
+				// applying its stream would corrupt the replica.
+				return 0, head, fmt.Errorf("%w: primary %s reports epoch %d below ours (%d); refusing its stream", wal.ErrFenced, f.primary, pe, own)
+			}
+		}
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusGone:
@@ -191,6 +279,7 @@ func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
 	for {
 		rec, err := wal.ReadFrame(br)
 		if err == io.EOF {
+			f.noteDurable(applied)
 			return applied, head, nil
 		}
 		if err != nil {
@@ -211,6 +300,29 @@ func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
 		}
 		applied++
 	}
+}
+
+// noteDurable advances the durable replication position reported to the
+// primary on the next tail request (the quorum-ack channel). With a local
+// log the batch is fsynced first, so an ack never claims durability the
+// disk does not have; a log-less follower acks its applied LSN, which is
+// only as durable as the primary's own log.
+func (f *Follower) noteDurable(applied int) {
+	if applied == 0 {
+		return
+	}
+	ack := f.eng.LSN()
+	if f.local != nil {
+		if err := f.local.Sync(); err != nil {
+			return // unsynced tail: keep the previous ack
+		}
+		ack = f.local.HeadLSN()
+	}
+	f.mu.Lock()
+	if ack > f.status.AckedLSN {
+		f.status.AckedLSN = ack
+	}
+	f.mu.Unlock()
 }
 
 // LogAvailableFrom reports whether the primary can stream records starting

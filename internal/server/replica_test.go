@@ -271,7 +271,7 @@ func TestFollowerBootstrapFromCheckpointAfterCompaction(t *testing.T) {
 	defer body.Close()
 	idx, _ := buildFixture(t, seed) // only the graph is reused
 	g := idx.TopsInstance().G
-	inst, br, err := wal.ReadCheckpoint(body, g)
+	inst, _, br, err := wal.ReadCheckpoint(body, g)
 	if err != nil {
 		t.Fatal(err)
 	}

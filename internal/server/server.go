@@ -9,9 +9,17 @@
 //	POST /v1/update       §6 dynamic updates (site/trajectory add/delete)
 //	POST /v1/snapshot     stream a consistent checkpoint of the live index
 //	POST /v1/checkpoint   stream the recovery bundle (dataset + snapshot)
-//	GET  /v1/log          stream WAL records from ?from=<lsn> (primaries)
-//	GET  /healthz         liveness; 503 once draining
+//	GET  /v1/log          stream WAL records from ?from=<lsn>; ?wait=<dur>
+//	                      long-polls until new records arrive
+//	GET  /v1/replication  replication status resource (role, epoch, LSNs,
+//	                      per-follower acks, quorum config)
+//	POST /v1/promote      promote a read-only follower to primary
+//	GET  /healthz         liveness; 503 once draining or stale
 //	GET  /statsz          engine + server counters
+//
+// Every error answers the uniform envelope {"error": …, "code": …} where
+// code is a stable machine-readable class (see API.md); all 503 responses
+// carry a Retry-After header.
 //
 // The layering mirrors the rest of the module: core stays synchronous,
 // engine owns the reader/writer protocol, and this package owns transport
@@ -85,12 +93,30 @@ type Options struct {
 	// Log, when non-nil, is the primary's write-ahead log: GET /v1/log
 	// streams its records to followers and /statsz reports its counters.
 	Log *wal.Log
-	// ReadOnly rejects /v1/update with 403 — the follower role: replicas
-	// apply mutations only from the primary's log stream.
+	// ReadOnly starts the server in the follower role: /v1/update answers
+	// 403 read_only, because replicas apply mutations only from the
+	// primary's log stream. A successful POST /v1/promote clears it.
 	ReadOnly bool
 	// Replication, when non-nil, reports the follower's tailing status;
-	// it is embedded in /healthz and /statsz.
+	// it is embedded in /healthz, /statsz, and /v1/replication.
 	Replication func() ReplicationStatus
+	// Quorum, when > 0 on a log-serving primary, makes replication
+	// semi-synchronous: a mutation's HTTP ack additionally waits until
+	// Quorum followers have durably acknowledged its LSN (acks piggyback
+	// on /v1/log tail requests as id=/acked= params). A mutation that
+	// cannot gather the quorum within QuorumTimeout has still applied
+	// locally but answers 503 quorum_timeout.
+	Quorum int
+	// QuorumTimeout bounds the quorum wait (default 5s).
+	QuorumTimeout time.Duration
+	// MaxLogWait caps the ?wait= long-poll park of GET /v1/log
+	// (default 60s).
+	MaxLogWait time.Duration
+	// Promote, when non-nil, enables POST /v1/promote on a read-only
+	// server. The callback must stop tailing the old primary, replay any
+	// local log tail, attach the local log, and open a new epoch,
+	// returning it; the server then leaves read-only mode.
+	Promote func(ctx context.Context) (uint64, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +128,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultTimeout <= 0 {
 		o.DefaultTimeout = 10 * time.Second
+	}
+	if o.QuorumTimeout <= 0 {
+		o.QuorumTimeout = 5 * time.Second
+	}
+	if o.MaxLogWait <= 0 {
+		o.MaxLogWait = 60 * time.Second
 	}
 	o.Limits = o.Limits.withDefaults()
 	return o
@@ -163,15 +195,30 @@ type Server struct {
 
 	start    time.Time
 	draining atomic.Bool
+	// drainCh is closed when draining flips on, waking parked long-poll
+	// waiters and quorum waits so shutdown is not held up by them.
+	drainMu sync.Mutex
+	drainCh chan struct{}
 
-	mQuery      routeMetrics
-	mBatch      routeMetrics
-	mUpdate     routeMetrics
-	mSnapshot   routeMetrics
-	mCheckpoint routeMetrics
-	mLog        routeMetrics
-	mHealth     routeMetrics
-	mStats      routeMetrics
+	// readOnly is the live role (seeded from Options.ReadOnly, cleared by
+	// a successful promotion); fencedBy latches the highest epoch any peer
+	// presented on the replication surface (see noteFencing); promoteMu
+	// serializes /v1/promote.
+	readOnly  atomic.Bool
+	fencedBy  atomic.Uint64
+	promoteMu sync.Mutex
+	acks      *ackTracker
+
+	mQuery       routeMetrics
+	mBatch       routeMetrics
+	mUpdate      routeMetrics
+	mSnapshot    routeMetrics
+	mCheckpoint  routeMetrics
+	mLog         routeMetrics
+	mReplication routeMetrics
+	mPromote     routeMetrics
+	mHealth      routeMetrics
+	mStats       routeMetrics
 
 	snapshotBytes atomic.Int64
 	logRecords    atomic.Uint64
@@ -185,7 +232,8 @@ func New(eng Engine, opts Options) (*Server, error) {
 	}
 	batching := opts.BatchWindow >= 0
 	opts = opts.withDefaults()
-	s := &Server{eng: eng, opts: opts, start: time.Now()}
+	s := &Server{eng: eng, opts: opts, start: time.Now(), drainCh: make(chan struct{}), acks: newAckTracker()}
+	s.readOnly.Store(opts.ReadOnly)
 	if batching {
 		s.bat = newBatcher(eng, opts.BatchWindow, opts.BatchMaxSize)
 	}
@@ -198,6 +246,10 @@ func New(eng Engine, opts Options) (*Server, error) {
 	if opts.Log != nil {
 		mux.HandleFunc("/v1/log", s.instrument(&s.mLog, http.MethodGet, s.handleLog))
 	}
+	mux.HandleFunc("/v1/replication", s.instrument(&s.mReplication, http.MethodGet, s.handleReplication))
+	if opts.Promote != nil {
+		mux.HandleFunc("/v1/promote", s.instrument(&s.mPromote, http.MethodPost, s.handlePromote))
+	}
 	mux.HandleFunc("/healthz", s.instrument(&s.mHealth, http.MethodGet, s.handleHealth))
 	mux.HandleFunc("/statsz", s.instrument(&s.mStats, http.MethodGet, s.handleStats))
 	s.mux = mux
@@ -208,8 +260,27 @@ func New(eng Engine, opts Options) (*Server, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // SetDraining flips the health signal: load balancers polling /healthz see
-// 503 and stop routing new traffic while in-flight requests finish.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// 503 and stop routing new traffic while in-flight requests finish. It
+// also wakes parked /v1/log long-polls and quorum waits, so shutdown does
+// not have to ride out their timeouts.
+func (s *Server) SetDraining(v bool) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	was := s.draining.Load()
+	if v && !was {
+		close(s.drainCh)
+	} else if !v && was {
+		s.drainCh = make(chan struct{})
+	}
+	s.draining.Store(v)
+}
+
+// drainSignal returns the channel closed when draining begins.
+func (s *Server) drainSignal() <-chan struct{} {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.drainCh
+}
 
 // Close stops the micro-batcher after the HTTP server has drained. Safe to
 // call once, after http.Server.Shutdown has returned.
@@ -241,7 +312,7 @@ func (s *Server) instrument(m *routeMetrics, method string, h http.HandlerFunc) 
 		// counted; the panic continues unwinding afterwards.
 		defer func() { m.observe(sw.status, time.Since(t0)) }()
 		if r.Method != method {
-			writeError(sw, http.StatusMethodNotAllowed, fmt.Errorf("%s requires %s", r.URL.Path, method))
+			writeError(sw, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("%s requires %s", r.URL.Path, method))
 			return
 		}
 		r.Body = http.MaxBytesReader(sw, r.Body, s.opts.Limits.MaxBodyBytes)
@@ -249,15 +320,22 @@ func (s *Server) instrument(m *routeMetrics, method string, h http.HandlerFunc) 
 	}
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Error is the human-readable
+// message (kept for backward compatibility); Code is the stable
+// machine-readable class clients should branch on (see the Code*
+// constants and API.md).
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+func writeError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Code: code})
 }
 
 // bufPool recycles the request-body and response-encode buffers across
@@ -281,18 +359,21 @@ func writeJSON(w http.ResponseWriter, v any) {
 	putBuf(buf)
 }
 
-// queryStatus maps an engine-side query failure to an HTTP status.
-func queryStatus(err error) int {
+// queryStatus maps an engine-side query failure to an HTTP status and
+// error code.
+func queryStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled), errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
+		return http.StatusGatewayTimeout, CodeTimeout
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, CodeCanceled
 	default:
 		// Structurally valid requests that the engine still rejects (an
 		// instance left without representatives, FM over a non-binary ψ
 		// that slipped the decoder) are client-resolvable.
-		return http.StatusBadRequest
+		return http.StatusBadRequest, CodeBadRequest
 	}
 }
 
@@ -348,9 +429,9 @@ func readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, bool) {
 		// resets mid-upload is a plain bad request.
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, err)
 		} else {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		}
 		return nil, false
 	}
@@ -365,7 +446,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	opts, timeout, err := decodeQueryRequest(body.Bytes(), s.opts.Limits)
 	putBuf(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, timeout)
@@ -379,7 +460,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = s.eng.Query(ctx, opts)
 	}
 	if err != nil {
-		writeError(w, queryStatus(err), err)
+		status, code := queryStatus(err)
+		writeError(w, status, code, err)
 		return
 	}
 	resp := toQueryResponse(res, batched, time.Since(t0))
@@ -406,7 +488,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	qs, itemErrs, timeout, err := decodeBatchRequest(body.Bytes(), s.opts.Limits)
 	putBuf(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	// Only structurally valid items reach the engine; invalid ones keep
@@ -448,11 +530,21 @@ type updateResponse struct {
 	OK bool `json:"ok"`
 	// TrajectoryID reports the id assigned by add_trajectory.
 	TrajectoryID *int32 `json:"trajectory_id,omitempty"`
+	// LSN is the write-ahead-log head right after this mutation committed
+	// (0 when the server has no log).
+	LSN uint64 `json:"lsn,omitempty"`
+	// Quorum reports that the configured follower quorum durably
+	// acknowledged LSN before this response.
+	Quorum bool `json:"quorum,omitempty"`
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if s.opts.ReadOnly {
-		writeError(w, http.StatusForbidden, errors.New("read-only replica: send updates to the primary"))
+	if s.readOnly.Load() {
+		writeError(w, http.StatusForbidden, CodeReadOnly, errors.New("read-only replica: send updates to the primary (or promote this replica)"))
+		return
+	}
+	if own := s.engineEpoch(); s.fencedBy.Load() > own {
+		writeError(w, http.StatusConflict, CodeFenced, fmt.Errorf("primary fenced: a peer opened epoch %d past ours (%d); this deposed node rejects writes", s.fencedBy.Load(), own))
 		return
 	}
 	body, ok := readBody(w, r)
@@ -462,7 +554,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	u, err := decodeUpdateRequest(body.Bytes())
 	putBuf(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	var resp updateResponse
@@ -495,13 +587,28 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// conflict (node already a site, id already deleted, node outside
 		// graph): the client's fault.
 		if errors.Is(err, wal.ErrLogFailed) {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, CodeLogFailed, err)
 		} else {
-			writeError(w, http.StatusConflict, err)
+			writeError(w, http.StatusConflict, CodeConflict, err)
 		}
 		return
 	}
 	resp.OK = true
+	if s.opts.Log != nil {
+		resp.LSN = s.opts.Log.HeadLSN()
+	}
+	// Semi-sync quorum: hold the ack until Quorum followers have durably
+	// persisted past this mutation's LSN. On timeout the mutation has
+	// still applied (and logged) locally — the envelope says so and the
+	// client retries its read of the replicas, not the write.
+	if s.opts.Quorum > 0 && s.opts.Log != nil {
+		if !s.acks.await(r.Context(), s.opts.Quorum, resp.LSN, s.opts.QuorumTimeout, s.drainSignal()) {
+			writeError(w, http.StatusServiceUnavailable, CodeQuorumTimeout,
+				fmt.Errorf("update applied locally at LSN %d but %d follower ack(s) did not arrive within %v", resp.LSN, s.opts.Quorum, s.opts.QuorumTimeout))
+			return
+		}
+		resp.Quorum = true
+	}
 	writeJSON(w, resp)
 }
 
@@ -544,33 +651,101 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleLog streams WAL records from ?from=<lsn> in the on-disk frame
-// format. The response carries the log's first retained and head LSNs in
-// headers, so a follower can measure its lag without decoding the body. A
-// from below the first retained LSN is 410 Gone: those records were
-// compacted away and the follower must bootstrap from /v1/checkpoint.
+// format. With ?wait=<dur> the request long-polls: a caught-up follower
+// parks until the WAL's commit notification reports new records (or the
+// wait lapses, the client disconnects, or the server drains), cutting
+// replica lag from poll-interval to ~RTT. Followers piggyback their
+// identity, durable ack position, and fencing token on the same request
+// (?id=, ?acked=, ?peer_epoch=), feeding the quorum tracker and the
+// deposed-primary latch.
+//
+// The response carries the log's first retained and head LSNs plus the
+// primary's epoch in headers (deprecated in favor of GET /v1/replication;
+// kept for existing clients). A from below the first retained LSN is 410
+// Gone: those records were compacted away and the follower must bootstrap
+// from /v1/checkpoint.
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
-	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
 	if err != nil || from == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("from must be a positive LSN"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("from must be a positive LSN"))
 		return
 	}
 	maxN := 8192
-	if raw := r.URL.Query().Get("max"); raw != "" {
+	if raw := q.Get("max"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 || v > 1<<16 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("max must be in 1..%d", 1<<16))
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("max must be in 1..%d", 1<<16))
 			return
 		}
 		maxN = v
 	}
-	recs, head, err := s.opts.Log.ReadFrom(from, maxN)
+	var wait time.Duration
+	if raw := q.Get("wait"); raw != "" {
+		wait, err = time.ParseDuration(raw)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("wait must be a non-negative Go duration"))
+			return
+		}
+		if wait > s.opts.MaxLogWait {
+			wait = s.opts.MaxLogWait
+		}
+	}
+	if id := q.Get("id"); id != "" {
+		var acked uint64
+		if raw := q.Get("acked"); raw != "" {
+			acked, _ = strconv.ParseUint(raw, 10, 64)
+		}
+		s.acks.record(id, acked)
+	}
+	if raw := q.Get("peer_epoch"); raw != "" {
+		if peer, perr := strconv.ParseUint(raw, 10, 64); perr == nil {
+			s.noteFencing(peer)
+		}
+	}
+
+	var expire <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		expire = t.C
+	}
+	var recs []wal.Record
+	var head uint64
+	for {
+		recs, head, err = s.opts.Log.ReadFrom(from, maxN)
+		if err != nil || len(recs) > 0 || wait <= 0 || s.draining.Load() || r.Context().Err() != nil {
+			break
+		}
+		// Grab the commit signal, then re-check the head: an append landing
+		// between ReadFrom and CommitSignal would otherwise be missed.
+		commit := s.opts.Log.CommitSignal()
+		if s.opts.Log.HeadLSN() >= from {
+			continue
+		}
+		stop := false
+		select {
+		case <-commit:
+		case <-expire:
+			stop = true
+		case <-r.Context().Done():
+			stop = true
+		case <-s.drainSignal():
+			stop = true
+		}
+		if stop {
+			recs, head, err = s.opts.Log.ReadFrom(from, maxN)
+			break
+		}
+	}
 	w.Header().Set("X-Netclus-First-LSN", strconv.FormatUint(s.opts.Log.FirstLSN(), 10))
 	w.Header().Set("X-Netclus-Head-LSN", strconv.FormatUint(head, 10))
+	w.Header().Set("X-Netclus-Epoch", strconv.FormatUint(s.engineEpoch(), 10))
 	if err != nil {
 		if errors.Is(err, wal.ErrCompacted) {
-			writeError(w, http.StatusGone, err)
+			writeError(w, http.StatusGone, CodeLogCompacted, err)
 		} else {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		}
 		return
 	}
@@ -603,6 +778,19 @@ type ReplicationStatus struct {
 	Polls      uint64 `json:"polls"`
 	PollErrors uint64 `json:"poll_errors"`
 	LastError  string `json:"last_error,omitempty"`
+	// Epoch is the fencing token this replica has applied from the
+	// stream; PrimaryEpoch is the one the primary last reported.
+	Epoch        uint64 `json:"epoch,omitempty"`
+	PrimaryEpoch uint64 `json:"primary_epoch,omitempty"`
+	// AckedLSN is the durable position last reported to the primary (the
+	// quorum-ack channel piggybacked on tail requests).
+	AckedLSN uint64 `json:"acked_lsn,omitempty"`
+	// ConsecutiveFailures counts polls failed since the last success;
+	// Unhealthy latches once the follower's threshold is crossed, and
+	// /healthz answers 503 tail_stalled so a silently-stalled replica
+	// leaves rotation instead of serving ever-staler reads.
+	ConsecutiveFailures uint64 `json:"consecutive_failures,omitempty"`
+	Unhealthy           bool   `json:"unhealthy,omitempty"`
 	// NeedsBootstrap reports that the primary compacted past this replica's
 	// position: polling can never catch up again and the replica serves
 	// ever-staler reads until it is re-bootstrapped. /healthz answers 503
@@ -612,7 +800,10 @@ type ReplicationStatus struct {
 
 // healthResponse is the /healthz body.
 type healthResponse struct {
-	Status        string  `json:"status"`
+	Status string `json:"status"`
+	// Code is the machine-readable reason when unhealthy (draining,
+	// need_bootstrap, tail_stalled); empty while healthy.
+	Code          string  `json:"code,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Replication reports follower lag when this server is a read-replica.
 	Replication *ReplicationStatus `json:"replication,omitempty"`
@@ -623,20 +814,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Replication != nil {
 		st := s.opts.Replication()
 		h.Replication = &st
-		if st.NeedsBootstrap {
-			// The replica can never catch up by polling; take it out of
-			// rotation rather than serving unboundedly stale reads as
-			// healthy.
-			h.Status = "stale-replica"
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			_ = json.NewEncoder(w).Encode(h)
-			return
+		// Tailing health gates serving only while this node is still a
+		// follower; a promoted primary's stale tail status is history.
+		if s.readOnly.Load() {
+			switch {
+			case st.NeedsBootstrap:
+				// The replica can never catch up by polling; take it out of
+				// rotation rather than serving unboundedly stale reads as
+				// healthy.
+				h.Status, h.Code = "stale-replica", CodeNeedBootstrap
+			case st.Unhealthy:
+				// The tail loop has failed repeatedly: the replica is
+				// silently falling behind.
+				h.Status, h.Code = "tail-stalled", CodeTailStalled
+			}
 		}
 	}
-	if s.draining.Load() {
-		h.Status = "draining"
+	if h.Code == "" && s.draining.Load() {
+		h.Status, h.Code = "draining", CodeDraining
+	}
+	if h.Code != "" {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(h)
 		return
@@ -705,6 +904,7 @@ func (s *Server) Stats() statszResponse {
 			"/v1/update":      s.mUpdate.stats(),
 			"/v1/snapshot":    s.mSnapshot.stats(),
 			"/v1/checkpoint":  s.mCheckpoint.stats(),
+			"/v1/replication": s.mReplication.stats(),
 			"/healthz":        s.mHealth.stats(),
 			"/statsz":         s.mStats.stats(),
 		},
@@ -723,6 +923,9 @@ func (s *Server) Stats() statszResponse {
 		resp.WAL = &st
 		resp.Routes["/v1/log"] = s.mLog.stats()
 		resp.LogRecordsServed = s.logRecords.Load()
+	}
+	if s.opts.Promote != nil {
+		resp.Routes["/v1/promote"] = s.mPromote.stats()
 	}
 	if s.opts.Replication != nil {
 		st := s.opts.Replication()

@@ -920,6 +920,24 @@ func (s *Sharded) DeleteTrajectories(ids []trajectory.ID) error {
 // LSN reports the last applied write-ahead-log sequence number.
 func (s *Sharded) LSN() uint64 { return s.sink.LSN() }
 
+// Epoch reports the replication fencing token this engine last observed.
+func (s *Sharded) Epoch() uint64 { return s.sink.Epoch() }
+
+// RestoreEpoch stamps the epoch recovered from a checkpoint container.
+// Load-time only, before any mutations or replay.
+func (s *Sharded) RestoreEpoch(epoch uint64) { s.sink.RestoreEpoch(epoch) }
+
+// BeginEpoch opens a new primary term (see engine.Engine.BeginEpoch).
+func (s *Sharded) BeginEpoch(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.guardLog(); err != nil {
+		return err
+	}
+	_, err := s.sink.BeginEpoch(epoch)
+	return err
+}
+
 // AttachWAL connects the sharded engine to its log. The log must sit
 // exactly at the engine's LSN; an empty log is based there.
 func (s *Sharded) AttachWAL(l *wal.Log) error {
@@ -940,6 +958,12 @@ func (s *Sharded) ApplyRecord(rec wal.Record) error {
 	defer s.mu.Unlock()
 	if err := s.sink.CheckReplay(rec); err != nil {
 		return fmt.Errorf("shard: %w", err)
+	}
+	if m.Kind == wal.KindEpoch {
+		if err := s.sink.ApplyEpoch(rec); err != nil {
+			return fmt.Errorf("shard: replaying LSN %d (%s): %w", rec.LSN, m.Kind, err)
+		}
+		return nil
 	}
 	if err := s.applyMutation(m); err != nil {
 		return fmt.Errorf("shard: replaying LSN %d (%s): %w", rec.LSN, m.Kind, err)
@@ -1032,6 +1056,7 @@ func (s *Sharded) Stats() engine.Stats {
 		TrajAdds:     s.trajAdds.Load(),
 		TrajDeletes:  s.trajDeletes.Load(),
 		LSN:          s.sink.LSN(),
+		Epoch:        s.sink.Epoch(),
 		Errors:       s.errorCount.Load(),
 		Canceled:     s.canceled.Load(),
 		CoverTime:    time.Duration(s.coverNanos.Load()),

@@ -116,7 +116,7 @@ func (s *Sharded) Snapshot(w io.Writer) (int64, error) {
 func (s *Sharded) Checkpoint(w io.Writer) (int64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return wal.WriteCheckpoint(w, s.sites, s.shards[0].inst.Trajs, s.snapshotLocked)
+	return wal.WriteCheckpoint(w, s.sites, s.shards[0].inst.Trajs, s.sink.Epoch(), s.snapshotLocked)
 }
 
 // snapshotLocked streams the container format; the caller holds at least

@@ -199,7 +199,7 @@ func TestShardedWALRecoveryDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	rinst, br, err := wal.ReadCheckpoint(f, city.Graph)
+	rinst, _, br, err := wal.ReadCheckpoint(f, city.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,6 +30,7 @@ import (
 // Layout, little-endian:
 //
 //	u32 magic "NCCK" | u32 version
+//	u64 epoch (v2+; the replication fencing token at checkpoint time)
 //	u32 nSites | nSites * u32 node
 //	u64 storeLen | store (trajectory.Store.WriteTo)
 //	u32 crc32 over everything above
@@ -41,21 +42,22 @@ import (
 
 const (
 	ckptMagic   uint32 = 0x4b43434e // "NCCK" little-endian
-	ckptVersion uint32 = 1
+	ckptVersion uint32 = 2          // v2 added the epoch field; v1 reads as epoch 0
 	// maxCkptSites bounds the decoded site list.
 	maxCkptSites = 1 << 28
 )
 
 // WriteCheckpoint writes the dataset section for (sites, store) and then
-// streams the inner snapshot via writeInner. The caller holds whatever lock
-// makes the three views consistent (Engine.Checkpoint holds the engine read
-// lock).
-func WriteCheckpoint(w io.Writer, sites []roadnet.NodeID, store *trajectory.Store, writeInner func(io.Writer) (int64, error)) (int64, error) {
+// streams the inner snapshot via writeInner. epoch is the replication
+// fencing token at checkpoint time (0 when the engine never saw one). The
+// caller holds whatever lock makes the views consistent
+// (Engine.Checkpoint holds the engine read lock).
+func WriteCheckpoint(w io.Writer, sites []roadnet.NodeID, store *trajectory.Store, epoch uint64, writeInner func(io.Writer) (int64, error)) (int64, error) {
 	var store64 bytes.Buffer
 	if _, err := store.WriteTo(&store64); err != nil {
 		return 0, fmt.Errorf("wal: serializing trajectory store: %w", err)
 	}
-	head := make([]byte, 0, 12+4*len(sites)+8)
+	head := make([]byte, 0, 20+4*len(sites)+8)
 	var u4 [4]byte
 	var u8 [8]byte
 	put32 := func(v uint32) {
@@ -64,6 +66,8 @@ func WriteCheckpoint(w io.Writer, sites []roadnet.NodeID, store *trajectory.Stor
 	}
 	put32(ckptMagic)
 	put32(ckptVersion)
+	binary.LittleEndian.PutUint64(u8[:], epoch)
+	head = append(head, u8[:]...)
 	put32(uint32(len(sites)))
 	for _, s := range sites {
 		put32(uint32(s))
@@ -95,12 +99,13 @@ func WriteCheckpoint(w io.Writer, sites []roadnet.NodeID, store *trajectory.Stor
 
 // ReadCheckpoint decodes the dataset section and reconstructs the problem
 // instance the inner snapshot re-attaches to, over the given (immutable)
-// road network. It returns the instance and a buffered reader positioned at
-// the inner snapshot — peek its magic to decide between core.ReadIndex and
-// shard.LoadSharded.
-func ReadCheckpoint(r io.Reader, g *roadnet.Graph) (*tops.Instance, *bufio.Reader, error) {
+// road network. It returns the instance, the checkpoint's replication
+// epoch (0 for v1 containers, which predate epochs), and a buffered reader
+// positioned at the inner snapshot — peek its magic to decide between
+// core.ReadIndex and shard.LoadSharded.
+func ReadCheckpoint(r io.Reader, g *roadnet.Graph) (*tops.Instance, uint64, *bufio.Reader, error) {
 	if g == nil {
-		return nil, nil, fmt.Errorf("wal: checkpoint needs the road network")
+		return nil, 0, nil, fmt.Errorf("wal: checkpoint needs the road network")
 	}
 	sum := crc32.NewIEEE()
 	var u4 [4]byte
@@ -114,80 +119,88 @@ func ReadCheckpoint(r io.Reader, g *roadnet.Graph) (*tops.Instance, *bufio.Reade
 	}
 	magic, err := get32()
 	if err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint magic: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: reading checkpoint magic: %w", err)
 	}
 	if magic != ckptMagic {
-		return nil, nil, fmt.Errorf("wal: bad checkpoint magic %#x (want %#x)", magic, ckptMagic)
+		return nil, 0, nil, fmt.Errorf("wal: bad checkpoint magic %#x (want %#x)", magic, ckptMagic)
 	}
 	version, err := get32()
 	if err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint version: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: reading checkpoint version: %w", err)
 	}
 	if version > ckptVersion {
-		return nil, nil, fmt.Errorf("wal: checkpoint format v%d, this reader supports <=v%d", version, ckptVersion)
+		return nil, 0, nil, fmt.Errorf("wal: checkpoint format v%d, this reader supports <=v%d", version, ckptVersion)
 	}
 	if version < 1 {
-		return nil, nil, fmt.Errorf("wal: invalid checkpoint version %d", version)
+		return nil, 0, nil, fmt.Errorf("wal: invalid checkpoint version %d", version)
+	}
+	var epoch uint64
+	if version >= 2 {
+		if _, err := io.ReadFull(r, u8[:]); err != nil {
+			return nil, 0, nil, fmt.Errorf("wal: reading checkpoint epoch: %w", err)
+		}
+		sum.Write(u8[:])
+		epoch = binary.LittleEndian.Uint64(u8[:])
 	}
 	nSites, err := get32()
 	if err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint site count: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: reading checkpoint site count: %w", err)
 	}
 	if nSites > maxCkptSites || int(nSites) > g.NumNodes() {
-		return nil, nil, fmt.Errorf("wal: checkpoint lists %d sites over a %d-node graph", nSites, g.NumNodes())
+		return nil, 0, nil, fmt.Errorf("wal: checkpoint lists %d sites over a %d-node graph", nSites, g.NumNodes())
 	}
 	sites := make([]roadnet.NodeID, nSites)
 	seen := make(map[roadnet.NodeID]bool, nSites)
 	for i := range sites {
 		v, err := get32()
 		if err != nil {
-			return nil, nil, fmt.Errorf("wal: reading checkpoint site %d: %w", i, err)
+			return nil, 0, nil, fmt.Errorf("wal: reading checkpoint site %d: %w", i, err)
 		}
 		nv := roadnet.NodeID(int32(v))
 		if nv < 0 || int(nv) >= g.NumNodes() {
-			return nil, nil, fmt.Errorf("wal: checkpoint site %d outside graph", v)
+			return nil, 0, nil, fmt.Errorf("wal: checkpoint site %d outside graph", v)
 		}
 		if seen[nv] {
-			return nil, nil, fmt.Errorf("wal: checkpoint lists site %d twice", nv)
+			return nil, 0, nil, fmt.Errorf("wal: checkpoint lists site %d twice", nv)
 		}
 		seen[nv] = true
 		sites[i] = nv
 	}
 	if _, err := io.ReadFull(r, u8[:]); err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint store length: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: reading checkpoint store length: %w", err)
 	}
 	sum.Write(u8[:])
 	storeLen := binary.LittleEndian.Uint64(u8[:])
 	const maxStore = 1 << 32
 	if storeLen == 0 || storeLen > maxStore {
-		return nil, nil, fmt.Errorf("wal: implausible checkpoint store length %d", storeLen)
+		return nil, 0, nil, fmt.Errorf("wal: implausible checkpoint store length %d", storeLen)
 	}
 	raw := make([]byte, storeLen)
 	if _, err := io.ReadFull(r, raw); err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint store: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: reading checkpoint store: %w", err)
 	}
 	sum.Write(raw)
 	if _, err := io.ReadFull(r, u4[:]); err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint checksum: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: reading checkpoint checksum: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(u4[:]); got != sum.Sum32() {
-		return nil, nil, fmt.Errorf("wal: checkpoint checksum mismatch (%#x on disk, %#x computed): file is corrupt", got, sum.Sum32())
+		return nil, 0, nil, fmt.Errorf("wal: checkpoint checksum mismatch (%#x on disk, %#x computed): file is corrupt", got, sum.Sum32())
 	}
 	store, err := trajectory.ReadStore(bytes.NewReader(raw))
 	if err != nil {
-		return nil, nil, fmt.Errorf("wal: decoding checkpoint store: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: decoding checkpoint store: %w", err)
 	}
 	for i := 0; i < store.Len(); i++ {
 		for _, v := range store.Get(trajectory.ID(i)).Nodes {
 			if v < 0 || int(v) >= g.NumNodes() {
-				return nil, nil, fmt.Errorf("wal: checkpoint trajectory %d references node %d outside graph", i, v)
+				return nil, 0, nil, fmt.Errorf("wal: checkpoint trajectory %d references node %d outside graph", i, v)
 			}
 		}
 	}
 	// Assemble the instance directly: tops.NewInstance insists on non-empty
 	// site and trajectory sets, but a checkpoint legitimately captures a
 	// dataset whose updates deleted every site.
-	return &tops.Instance{G: g, Trajs: store, Sites: sites}, bufio.NewReader(r), nil
+	return &tops.Instance{G: g, Trajs: store, Sites: sites}, epoch, bufio.NewReader(r), nil
 }
 
 // AtomicWriteFile streams fill into a temp sibling of path, fsyncs, opens

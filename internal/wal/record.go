@@ -40,6 +40,11 @@ const (
 	KindAddTrajectories Kind = 6
 	// KindDeleteTrajectories is the batch frame of DeleteTrajectories.
 	KindDeleteTrajectories Kind = 7
+	// KindEpoch opens a primary term: the body is the u64 epoch (fencing
+	// token). It flows through disk frames, the /v1/log stream, and replay
+	// like any mutation, so every replica observes term changes in log
+	// order and a checkpoint taken after it captures the epoch.
+	KindEpoch Kind = 8
 )
 
 // String names the record kind for error messages and logs.
@@ -59,12 +64,14 @@ func (k Kind) String() string {
 		return "add_trajectories"
 	case KindDeleteTrajectories:
 		return "delete_trajectories"
+	case KindEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
-func (k Kind) valid() bool { return k >= KindAddSite && k <= KindDeleteTrajectories }
+func (k Kind) valid() bool { return k >= KindAddSite && k <= KindEpoch }
 
 // Record is one logged mutation: its sequence number, kind, and the
 // kind-specific body (see the Body constructors below).
@@ -81,6 +88,13 @@ type Record struct {
 func NodeBody(v int64) []byte {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// EpochBody encodes a KindEpoch record's fencing token.
+func EpochBody(epoch uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], epoch)
 	return b[:]
 }
 
@@ -186,6 +200,8 @@ type Mutation struct {
 	// Traj carries add_trajectory's data; Trajs carries add_trajectories'.
 	Traj  TrajData
 	Trajs []TrajData
+	// Epoch carries a KindEpoch record's fencing token.
+	Epoch uint64
 }
 
 type bodyReader struct {
@@ -274,6 +290,11 @@ func (r Record) Mutation() (Mutation, error) {
 		m.Nodes, err = br.i64List()
 	case KindAddTrajectory:
 		m.Traj, err = br.traj()
+	case KindEpoch:
+		var v int64
+		if v, err = br.i64(); err == nil {
+			m.Epoch = uint64(v)
+		}
 	case KindAddTrajectories:
 		var n uint32
 		if n, err = br.u32(); err == nil {

@@ -1,9 +1,15 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 )
+
+// ErrFenced reports a record or request carrying a fencing token from a
+// stale primary term: the epoch it claims is older than one this node has
+// already observed.
+var ErrFenced = errors.New("wal: fenced (stale epoch)")
 
 // Sink is the engine-side committer both engine.Engine and shard.Sharded
 // embed: it owns the attached log, the engine's LSN, and the broken latch,
@@ -13,6 +19,10 @@ type Sink struct {
 	log    *Log
 	broken bool
 	lsn    atomic.Uint64
+	// epoch is the fencing token of the primary term this engine last
+	// observed — via BeginEpoch (local promotion/boot), ApplyEpoch (replayed
+	// KindEpoch record), or RestoreEpoch (checkpoint load).
+	epoch atomic.Uint64
 }
 
 // LSN reports the last committed (or replayed) sequence number; safe
@@ -71,6 +81,44 @@ func (s *Sink) Commit(kind Kind, body []byte) (uint64, error) {
 	}
 	s.lsn.Store(lsn)
 	return lsn, nil
+}
+
+// Epoch reports the current fencing token; safe without the engine lock.
+func (s *Sink) Epoch() uint64 { return s.epoch.Load() }
+
+// RestoreEpoch stamps the epoch recovered from a checkpoint container
+// (load path, before any replay).
+func (s *Sink) RestoreEpoch(epoch uint64) { s.epoch.Store(epoch) }
+
+// BeginEpoch opens a new primary term: it logs a KindEpoch record (when a
+// log is attached) and advances the fencing token. The epoch must be
+// strictly newer than the current one.
+func (s *Sink) BeginEpoch(epoch uint64) (uint64, error) {
+	if cur := s.epoch.Load(); epoch <= cur {
+		return 0, fmt.Errorf("%w: epoch %d not newer than %d", ErrFenced, epoch, cur)
+	}
+	lsn, err := s.Commit(KindEpoch, EpochBody(epoch))
+	if err != nil {
+		return 0, err
+	}
+	s.epoch.Store(epoch)
+	return lsn, nil
+}
+
+// ApplyEpoch applies a replayed KindEpoch record (the caller has already
+// run CheckReplay): the token must not move backwards — a lower epoch
+// means the stream comes from a deposed primary.
+func (s *Sink) ApplyEpoch(rec Record) error {
+	m, err := rec.Mutation()
+	if err != nil {
+		return err
+	}
+	if cur := s.epoch.Load(); m.Epoch < cur {
+		return fmt.Errorf("%w: epoch record %d below current %d", ErrFenced, m.Epoch, cur)
+	}
+	s.epoch.Store(m.Epoch)
+	s.lsn.Store(rec.LSN)
+	return nil
 }
 
 // CheckReplay validates a record arriving on the replay surface: in-order

@@ -156,6 +156,11 @@ type Log struct {
 	// returns it, so group-commit cannot silently drop durability.
 	syncErr error
 
+	// commit is the commit-notification hook: closed and replaced whenever
+	// head advances (and on Close), so long-poll log tails wake off the
+	// append path instead of polling.
+	commit chan struct{}
+
 	appends       atomic.Uint64
 	syncs         atomic.Uint64
 	appendedBytes atomic.Int64
@@ -178,7 +183,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, commit: make(chan struct{})}
 	prevLast := uint64(0)
 	for i, name := range names {
 		final := i == len(names)-1
@@ -455,6 +460,7 @@ func (l *Log) appendLocked(rec Record) error {
 	seg.size += int64(len(frame))
 	l.head = rec.LSN
 	l.dirty = true
+	l.notifyCommitLocked()
 	l.appends.Add(1)
 	l.appendedBytes.Add(int64(len(frame)))
 	if l.opts.Policy == SyncAlways {
@@ -511,6 +517,23 @@ func (l *Log) syncLocked() error {
 	return nil
 }
 
+// notifyCommitLocked wakes every CommitSignal waiter by closing the
+// current notification channel and installing a fresh one.
+func (l *Log) notifyCommitLocked() {
+	close(l.commit)
+	l.commit = make(chan struct{})
+}
+
+// CommitSignal returns a channel closed on the next head advance (or on
+// Close). It is a level-triggered wakeup, not a queue: grab the channel,
+// re-check HeadLSN (an append may have landed in between), then park.
+// After each wake, call CommitSignal again for a fresh channel.
+func (l *Log) CommitSignal() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commit
+}
+
 // Sync forces the active segment to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
@@ -543,6 +566,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.notifyCommitLocked() // wake parked tailers so they observe the close
 	l.mu.Unlock()
 	if l.flushStop != nil {
 		close(l.flushStop)

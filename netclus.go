@@ -290,6 +290,13 @@ type DurableEngine interface {
 	AttachWAL(l *WAL) error
 	// LSN reports the last applied log sequence number.
 	LSN() uint64
+	// Epoch reports the fencing token of the primary term this engine last
+	// observed (0 before any term has opened).
+	Epoch() uint64
+	// BeginEpoch opens a strictly newer primary term, logging the fencing
+	// token so followers and recovery observe it; a stale epoch fails with
+	// a wal.ErrFenced-wrapped error.
+	BeginEpoch(epoch uint64) error
 }
 
 // ReplayWAL applies every record after eng.LSN() — the recovery tail after
@@ -313,7 +320,7 @@ func SaveCheckpointFile(eng ServerEngine, path string) error {
 // engine — single-index or sharded, as the checkpoint dictates — at the
 // checkpoint's LSN. Replay the log tail with ReplayWAL, then AttachWAL.
 func LoadCheckpoint(r io.Reader, g *Graph, eopts EngineOptions) (DurableEngine, error) {
-	inst, br, err := wal.ReadCheckpoint(r, g)
+	inst, epoch, br, err := wal.ReadCheckpoint(r, g)
 	if err != nil {
 		return nil, err
 	}
@@ -327,9 +334,19 @@ func LoadCheckpoint(r io.Reader, g *Graph, eopts EngineOptions) (DurableEngine, 
 		if err != nil {
 			return nil, err
 		}
-		return engine.New(idx, eopts)
+		eng, err := engine.New(idx, eopts)
+		if err != nil {
+			return nil, err
+		}
+		eng.RestoreEpoch(epoch)
+		return eng, nil
 	case "NCSM":
-		return shard.LoadSharded(br, inst, shard.Options{Engine: eopts})
+		eng, err := shard.LoadSharded(br, inst, shard.Options{Engine: eopts})
+		if err != nil {
+			return nil, err
+		}
+		eng.RestoreEpoch(epoch)
+		return eng, nil
 	default:
 		return nil, fmt.Errorf("netclus: checkpoint payload has unknown magic %q", magic)
 	}
