@@ -1,0 +1,133 @@
+// Command topsrouter fronts a shard-per-process NETCLUS topology: each
+// shard is its own topsserve process started with -shard-index, and the
+// router scatter-gathers the distributed-greedy round protocol across
+// them over HTTP, so /v1/query answers are bit-exact against a
+// single-process engine over the same dataset.
+//
+// The router is stateless (no index, no WAL): it holds only the shard
+// map, a dense site-id mirror, and cached cluster-ownership tables it can
+// rebuild from the members at any time — kill it and restart it freely.
+//
+// -shard lists one shard's member URLs, primary first, followers after;
+// repeat the flag once per shard, in shard order:
+//
+//	topsserve -preset beijing-small -shards 2 -shard-index 0 -addr :8081 &
+//	topsserve -preset beijing-small -shards 2 -shard-index 1 -addr :8082 &
+//	topsrouter -addr :8080 -shard http://localhost:8081 -shard http://localhost:8082
+//
+// With per-shard replication, list the followers too; a member failure
+// mid-query fails over to the next URL (the round protocol is read-only,
+// so an un-promoted follower can serve it):
+//
+//	topsrouter -addr :8080 \
+//	  -shard http://localhost:8081,http://localhost:9081 \
+//	  -shard http://localhost:8082,http://localhost:9082
+//
+// Query and mutate it exactly like a topsserve primary:
+//
+//	curl -s -X POST localhost:8080/v1/query -d '{"k":5,"tau":0.8}'
+//	curl -s -X POST localhost:8080/v1/update -d '{"op":"delete_site","node":17}'
+//	curl -s localhost:8080/v1/topology
+//
+// After a shard primary dies and its follower is promoted
+// (POST /v1/promote on the follower), re-point the router:
+//
+//	curl -s -X POST localhost:8080/v1/topology \
+//	  -d '{"shard":1,"primary":"http://localhost:9082"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"netclus"
+)
+
+// shardList collects repeated -shard flags, each a comma-separated member
+// URL list (primary first).
+type shardList [][]string
+
+func (s *shardList) String() string {
+	parts := make([]string, len(*s))
+	for i, urls := range *s {
+		parts[i] = strings.Join(urls, ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+func (s *shardList) Set(v string) error {
+	var urls []string
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(u), "/"))
+		if u == "" {
+			continue
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-shard needs at least one member URL")
+	}
+	*s = append(*s, urls)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	var shards shardList
+	var (
+		addr          string
+		shardTimeout  time.Duration
+		queryAttempts int
+		drainTimeout  time.Duration
+	)
+	flag.StringVar(&addr, "addr", ":8080", "listen address")
+	flag.Var(&shards, "shard", "one shard's member URLs, comma-separated, primary first; repeat per shard in shard order")
+	flag.DurationVar(&shardTimeout, "shard-timeout", 10*time.Second, "per-member call timeout")
+	flag.IntVar(&queryAttempts, "query-attempts", 3, "how many times a query restarts after a member failure before answering 503")
+	flag.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	flag.Parse()
+
+	if len(shards) == 0 {
+		fatal(fmt.Errorf("at least one -shard is required (topsserve processes started with -shard-index)"))
+	}
+	t0 := time.Now()
+	r, err := netclus.NewRouter(netclus.RouterOptions{
+		Shards:        shards,
+		ShardTimeout:  shardTimeout,
+		QueryAttempts: queryAttempts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("routing %d shards on %s (validated topology in %.3fs)\n", r.Shards(), addr, time.Since(t0).Seconds())
+
+	httpSrv := &http.Server{Addr: addr, Handler: r}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Printf("\n%s: draining (up to %v)…\n", sig, drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	}
+	fmt.Println("drained; bye")
+}

@@ -105,6 +105,7 @@ type config struct {
 	exitSnapshot string
 	shards       int
 	partitioner  string
+	shardIndex   int
 
 	walDir          string
 	fsync           netclus.SyncPolicy
@@ -146,6 +147,7 @@ func main() {
 	flag.StringVar(&c.exitSnapshot, "snapshot-on-exit", "", "write a final index checkpoint here after draining")
 	flag.IntVar(&c.shards, "shards", 1, "number of engine shards; queries scatter-gather across them and site updates invalidate only the owning shard")
 	flag.StringVar(&c.partitioner, "partitioner", netclus.ShardByHash, "site partitioner for -shards > 1: hash or grid")
+	flag.IntVar(&c.shardIndex, "shard-index", -1, "serve as shard member N of a -shards-wide cross-process topology behind topsrouter (exposes /v1/shard/); -1 disables")
 	flag.StringVar(&c.walDir, "wal-dir", "", "write-ahead-log directory: log every update, recover on boot (checkpoint + tail replay)")
 	flag.StringVar(&fsyncName, "fsync", string(netclus.FsyncEveryInterval), "WAL fsync policy: always (durable acks), interval (group commit), none")
 	flag.DurationVar(&c.fsyncInterval, "fsync-interval", 100*time.Millisecond, "group-commit period for -fsync interval")
@@ -178,16 +180,34 @@ func main() {
 	if c.walDir != "" && c.loadPath != "" {
 		fatal(fmt.Errorf("-load and -wal-dir are mutually exclusive: with a WAL, the checkpoint in the log directory decides the starting state"))
 	}
-	nShards, shardWarn, err := netclus.ValidateShardCount(c.shards)
-	if err != nil {
-		fatal(err)
-	}
-	if shardWarn != "" {
-		fmt.Fprintln(os.Stderr, shardWarn)
-	}
-	c.shards = nShards
-	if c.shards > 1 && c.loadPath != "" {
-		fatal(fmt.Errorf("-load reads a single-index snapshot; with -shards > 1 use -cache, which stores a sharded manifest"))
+	if c.shardIndex >= 0 {
+		// Member mode: -shards is the TOPOLOGY-wide shard count, not this
+		// host's in-process fan-out, so the NumCPU cap does not apply — a
+		// 16-shard topology boots fine on 4-core members.
+		if c.shards < 1 {
+			fatal(fmt.Errorf("-shard-index needs -shards >= 1 (the topology-wide shard count)"))
+		}
+		if c.shardIndex >= c.shards {
+			fatal(fmt.Errorf("-shard-index %d outside [0, %d)", c.shardIndex, c.shards))
+		}
+		if c.cacheDir != "" {
+			fatal(fmt.Errorf("-cache does not apply to -shard-index member mode (the cache stores whole-topology manifests); use -wal-dir checkpoints for fast member boots"))
+		}
+		if c.loadPath != "" {
+			fatal(fmt.Errorf("-load reads a whole-dataset snapshot; a shard member rebuilds its partition or recovers from its -wal-dir checkpoint"))
+		}
+	} else {
+		nShards, shardWarn, err := netclus.ValidateShardCount(c.shards)
+		if err != nil {
+			fatal(err)
+		}
+		if shardWarn != "" {
+			fmt.Fprintln(os.Stderr, shardWarn)
+		}
+		c.shards = nShards
+		if c.shards > 1 && c.loadPath != "" {
+			fatal(fmt.Errorf("-load reads a single-index snapshot; with -shards > 1 use -cache, which stores a sharded manifest"))
+		}
 	}
 
 	if c.follow != "" {
@@ -225,7 +245,11 @@ func primaryMain(c *config) {
 		if err != nil {
 			fatal(fmt.Errorf("recovering from %s: %w", c.checkpointPath(), err))
 		}
-		if c.shards > 1 {
+		if c.shardIndex >= 0 {
+			if eng, err = memberize(c, eng); err != nil {
+				fatal(err)
+			}
+		} else if c.shards > 1 {
 			fmt.Fprintln(os.Stderr, "note: -shards/-partitioner are ignored when recovering from a checkpoint (its topology applies)")
 		}
 		fmt.Printf("recovered checkpoint %s at LSN %d in %.3fs\n", c.checkpointPath(), eng.LSN(), time.Since(t0).Seconds())
@@ -260,6 +284,23 @@ func primaryMain(c *config) {
 	startServer(eng, inst, c, log, nil)
 }
 
+// memberize wraps a checkpoint-recovered engine as a shard member. The
+// checkpoint holds one shard's partition (a member's WAL only ever logged
+// its own mutations); the topology parameters come from the flags, which
+// must match what the rest of the topology runs.
+func memberize(c *config, eng netclus.DurableEngine) (netclus.DurableEngine, error) {
+	se, ok := eng.(*netclus.Engine)
+	if !ok {
+		return nil, fmt.Errorf("-shard-index needs a single-index checkpoint; this checkpoint holds an in-process sharded topology")
+	}
+	member, err := netclus.NewShardMember(se, c.shards, c.shardIndex, c.partitioner)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("serving as shard member %d of %d (partitioner %s)\n", c.shardIndex, c.shards, c.partitioner)
+	return member, nil
+}
+
 // reconcileLog handles a checkpoint stamped ahead of the log: under
 // group-commit fsync a crash can lose the log's acknowledged tail from the
 // page cache while the (always-fsynced) checkpoint survives. Everything
@@ -282,6 +323,25 @@ func reconcileLog(eng netclus.DurableEngine, log *netclus.WAL, dir string) {
 // preset — warm from the snapshot cache when possible — exactly as a
 // WAL-less boot always has.
 func buildEngine(c *config, t0 time.Time) (netclus.DurableEngine, *netclus.Instance, error) {
+	if c.shardIndex >= 0 {
+		d, err := netclus.LoadDataset(dataset.Preset(c.preset), netclus.DatasetConfig{Scale: c.scale, Seed: c.seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Println(d.Summary())
+		member, err := netclus.BuildShardMember(d.Instance, c.shardIndex, netclus.ShardedOptions{
+			Shards:      c.shards,
+			Partitioner: c.partitioner,
+			Build:       netclus.BuildOptions{Workers: c.workers},
+			Engine:      c.engineOpts(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("built shard member %d of %d (partitioner %s) in %.1fs\n",
+			c.shardIndex, c.shards, c.partitioner, time.Since(t0).Seconds())
+		return member, d.Instance, nil
+	}
 	if c.shards > 1 {
 		d, err := netclus.LoadDataset(dataset.Preset(c.preset), netclus.DatasetConfig{Scale: c.scale, Seed: c.seed})
 		if err != nil {
@@ -412,6 +472,11 @@ func followerMain(c *config) {
 		if err != nil {
 			fatal(fmt.Errorf("recovering local checkpoint: %w", err))
 		}
+		if c.shardIndex >= 0 {
+			if eng, err = memberize(c, eng); err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Printf("recovered local checkpoint at LSN %d in %.3fs\n", eng.LSN(), time.Since(t0).Seconds())
 	}
 	if eng == nil {
@@ -441,7 +506,7 @@ func followerMain(c *config) {
 		} else {
 			fmt.Printf("replay from LSN 1 unavailable (primary serves from %d: %v, local log covers [%d,%d]); bootstrapping from the primary's checkpoint\n",
 				probeFrom, ok, localFirst, localHead)
-			if c.shards > 1 {
+			if c.shards > 1 && c.shardIndex < 0 {
 				fmt.Fprintln(os.Stderr, "note: -shards is ignored when bootstrapping from a primary checkpoint (its topology applies)")
 			}
 			body, err := netclus.FetchCheckpoint(ctx, nil, c.follow)
@@ -452,6 +517,11 @@ func followerMain(c *config) {
 			body.Close()
 			if err != nil {
 				fatal(fmt.Errorf("loading primary checkpoint: %w", err))
+			}
+			if c.shardIndex >= 0 {
+				if eng, err = memberize(c, eng); err != nil {
+					fatal(err)
+				}
 			}
 			fmt.Printf("bootstrapped from primary checkpoint at LSN %d in %.3fs\n", eng.LSN(), time.Since(t0).Seconds())
 			// A stale local log that does not end exactly at the
@@ -503,6 +573,9 @@ func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, l
 		Quorum:         c.quorum,
 		QuorumTimeout:  c.quorumTimeout,
 	}
+	if m, ok := eng.(*netclus.ShardMember); ok {
+		sopts.Member = m
+	}
 
 	bg, stopBg := context.WithCancel(context.Background())
 	defer stopBg()
@@ -512,6 +585,9 @@ func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, l
 	if fol != nil {
 		sopts.ReadOnly = true
 		sopts.Replication = fol.Status
+		// POST /v1/follow re-points the tail loop at a promoted primary
+		// without a restart (the surviving-follower half of a failover).
+		sopts.Retarget = fol.Retarget
 		folCtx, folCancel = context.WithCancel(bg)
 		folDone = make(chan struct{})
 		// Promotion: stop tailing the deposed primary, replay whatever the

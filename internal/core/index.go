@@ -473,15 +473,23 @@ func (idx *Index) buildNeighborLists(ins *Instance, workers int) {
 // InstanceFor returns the ladder position p serving coverage threshold τ
 // (§5: p = ⌊log_{1+γ}(τ/τmin)⌋, clamped to the ladder).
 func (idx *Index) InstanceFor(tau float64) int {
-	if tau <= idx.opts.TauMin {
+	return InstanceForTau(idx.opts.TauMin, idx.opts.Gamma, len(idx.Instances), tau)
+}
+
+// InstanceForTau is the pure ladder-position rule behind InstanceFor,
+// exported so a remote tier (the shard router) holding only the ladder
+// parameters (τmin, γ, rung count) selects the same instance — the same
+// float ops, so the choice is bit-identical to the index's own.
+func InstanceForTau(tauMin, gamma float64, rungs int, tau float64) int {
+	if tau <= tauMin {
 		return 0
 	}
-	p := int(math.Floor(math.Log(tau/idx.opts.TauMin) / math.Log(1+idx.opts.Gamma)))
+	p := int(math.Floor(math.Log(tau/tauMin) / math.Log(1+gamma)))
 	if p < 0 {
 		p = 0
 	}
-	if p >= len(idx.Instances) {
-		p = len(idx.Instances) - 1
+	if p >= rungs {
+		p = rungs - 1
 	}
 	return p
 }

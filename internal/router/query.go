@@ -1,0 +1,273 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/shard"
+	"netclus/internal/tops"
+)
+
+// wireQuery mirrors the serving tier's /v1/query body. The router accepts
+// the same shape so clients are oblivious to which tier they talk to;
+// sketch-mode (fm) queries are rejected — the router speaks only the
+// exact distributed-greedy protocol.
+type wireQuery struct {
+	K         int     `json:"k"`
+	Tau       float64 `json:"tau"`
+	Pref      string  `json:"pref"`
+	Lambda    float64 `json:"lambda,omitempty"`
+	FM        bool    `json:"fm,omitempty"`
+	F         int     `json:"f,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	TimeoutMs int64   `json:"timeout_ms,omitempty"`
+}
+
+// validate applies the serving tier's structural checks plus the router's
+// own restrictions, and lowers the preference once to fail fast (members
+// re-derive it from the wire form).
+func (q wireQuery) validate(maxK int) (shard.WirePref, error) {
+	var zero shard.WirePref
+	if q.K <= 0 {
+		return zero, fmt.Errorf("k = %d must be positive", q.K)
+	}
+	if q.K > maxK {
+		return zero, fmt.Errorf("k = %d exceeds limit %d", q.K, maxK)
+	}
+	if q.FM || q.F != 0 || q.Seed != 0 {
+		return zero, fmt.Errorf("fm queries are not supported by the router tier (exact greedy only)")
+	}
+	if q.Lambda != 0 && q.Pref != "exp" {
+		return zero, fmt.Errorf("lambda applies only to the exp preference")
+	}
+	if q.TimeoutMs < 0 {
+		return zero, fmt.Errorf("timeout_ms = %d must be non-negative", q.TimeoutMs)
+	}
+	wp := shard.WirePref{Name: q.Pref, Tau: q.Tau, Lambda: q.Lambda}
+	pref, err := wp.Preference()
+	if err != nil {
+		return zero, err
+	}
+	if err := pref.Validate(); err != nil {
+		return zero, err
+	}
+	return wp, nil
+}
+
+// retryable reports whether a member failure is worth failing over and
+// restarting the query: transport errors, 5xx, timeouts, and session
+// conflicts (409: the member restarted, or a failover moved the session's
+// shard to a process that never saw the start) are; other 4xx answers are
+// the member telling us the request itself is bad — relayed, not retried.
+func retryable(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status >= 500 ||
+			he.status == http.StatusRequestTimeout ||
+			he.status == http.StatusConflict ||
+			he.status == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// shardConn is one active shard's per-query state: its index and the
+// last round's reply.
+type shardConn struct {
+	j     int
+	reply *shard.RoundReply
+}
+
+// runQuery executes one query against the topology: derive the ladder
+// instance and cluster ownership, open a session on every shard that owns
+// clusters, then run synchronized rounds — reduce the per-shard argmax
+// candidates under tops.GreaterSite in ascending shard order (the exact
+// in-process reduce), absorb the winner's TC list into the global utility
+// vector via shard.ApplyWinner (the exact in-process float ops), and
+// broadcast the deltas. Holds the read lock so router-routed updates
+// serialize against it.
+func (r *Router) runQuery(ctx context.Context, q wireQuery, pref shard.WirePref) (*queryResult, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	p := core.InstanceForTau(r.tauMin, r.gamma, r.rungs, q.Tau)
+	own, err := r.ownership(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &queryResult{InstanceUsed: p, NumRepresentatives: len(own.winners), Sites: []int64{}, SiteIDs: []int32{}}
+	if len(own.winners) == 0 {
+		return res, nil
+	}
+	k := q.K
+	if k > len(own.winners) {
+		k = len(own.winners)
+	}
+
+	qid := fmt.Sprintf("q%d-%d", os.Getpid(), r.qidSeq.Add(1))
+	var conns []*shardConn
+	for j := 0; j < r.n; j++ {
+		if len(own.masks[j]) > 0 {
+			conns = append(conns, &shardConn{j: j})
+		}
+	}
+
+	// Scatter the session starts; on any failure, close what opened and
+	// report the first failed shard for failover.
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, sc := range conns {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			req := &shard.StartRequest{QID: qid, P: p, Pref: pref, Mask: own.masks[sc.j], MaskGlobal: own.masksGI[sc.j]}
+			var reply shard.RoundReply
+			if err := r.call(ctx, http.MethodPost, r.activeURL(sc.j)+"/v1/shard/query/start", req, &reply); err != nil {
+				errs[i] = err
+				return
+			}
+			sc.reply = &reply
+		}(i, sc)
+	}
+	wg.Wait()
+	defer r.endSessions(qid, conns)
+	for i, err := range errs {
+		if err != nil {
+			return nil, r.classify(conns[i].j, err)
+		}
+	}
+
+	// The global utility vector spans the widest trajectory id any shard
+	// covers — identical to the in-process gather's m = max over shards.
+	m := 0
+	for _, sc := range conns {
+		if sc.reply.M > m {
+			m = sc.reply.M
+		}
+	}
+	util := make([]float64, m)
+	var deltas []shard.UtilDelta
+
+	for len(res.Sites) < k {
+		// Reduce this round's candidates in ascending shard order.
+		var wc *shard.WireCand
+		for _, sc := range conns {
+			c := sc.reply.Cand
+			if c == nil {
+				continue
+			}
+			if wc == nil || tops.GreaterSite(c.Marg, c.Weight, int(c.GI), wc.Marg, wc.Weight, int(wc.GI)) {
+				wc = c
+			}
+		}
+		if wc == nil {
+			break // every representative selected
+		}
+		w := own.winners[wc.GI]
+		res.Sites = append(res.Sites, w.node)
+		if id, ok := r.siteID[w.node]; ok {
+			res.SiteIDs = append(res.SiteIDs, id)
+		} else {
+			res.SiteIDs = append(res.SiteIDs, int32(tops.InvalidSiteID))
+		}
+		res.EstimatedUtility += wc.Marg
+		var nc int
+		deltas, nc = shard.ApplyWinner(util, wc.Trajs, wc.Scores, deltas[:0])
+		res.EstimatedCovered += nc
+		if len(res.Sites) == k {
+			break // the in-process greedy also skips the final round's bookkeeping
+		}
+
+		// Broadcast the winner and gather next-round candidates. The winner
+		// shard recognizes its own candidate by global index and marks it
+		// selected; global indices partition across shards, so nobody else
+		// matches.
+		step := &shard.StepRequest{QID: qid, WinnerGI: wc.GI, Deltas: deltas}
+		for i := range errs {
+			errs[i] = nil
+		}
+		for i, sc := range conns {
+			wg.Add(1)
+			go func(i int, sc *shardConn) {
+				defer wg.Done()
+				var reply shard.RoundReply
+				if err := r.call(ctx, http.MethodPost, r.activeURL(sc.j)+"/v1/shard/query/step", step, &reply); err != nil {
+					errs[i] = err
+					return
+				}
+				sc.reply = &reply
+			}(i, sc)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, r.classify(conns[i].j, err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// classify wraps a member failure for the retry loop when failing over
+// could help, and passes terminal (client-resolvable) answers through.
+func (r *Router) classify(j int, err error) error {
+	if retryable(err) {
+		return &memberError{shard: j, err: err}
+	}
+	return err
+}
+
+// endSessions releases the query's sessions best-effort: sessions also
+// expire by TTL, so a lost End costs memory only briefly.
+func (r *Router) endSessions(qid string, conns []*shardConn) {
+	for _, sc := range conns {
+		// Resolve the URL while the caller still holds the read lock; the
+		// goroutine outlives it and must not race a failover's cursor write.
+		u := r.activeURL(sc.j)
+		go func(u string) {
+			_ = r.call(context.Background(), http.MethodPost, u+"/v1/shard/query/end", &shard.EndRequest{QID: qid}, nil)
+		}(u)
+	}
+}
+
+// queryResult accumulates one answer in the serving tier's wire shape.
+type queryResult struct {
+	Sites              []int64 `json:"sites"`
+	SiteIDs            []int32 `json:"site_ids"`
+	EstimatedUtility   float64 `json:"estimated_utility"`
+	EstimatedCovered   int     `json:"estimated_covered"`
+	InstanceUsed       int     `json:"instance_used"`
+	NumRepresentatives int     `json:"num_representatives"`
+	ElapsedMs          float64 `json:"elapsed_ms"`
+}
+
+// query runs the attempt loop: a retryable member failure advances that
+// shard's cursor (a follower can serve the read-only round protocol) and
+// restarts the query from scratch with a fresh session id.
+func (r *Router) query(ctx context.Context, q wireQuery, pref shard.WirePref) (*queryResult, error) {
+	t0 := time.Now()
+	var res *queryResult
+	var err error
+	for attempt := 0; attempt < r.opts.QueryAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+		}
+		res, err = r.runQuery(ctx, q, pref)
+		var me *memberError
+		if err != nil && errors.As(err, &me) && ctx.Err() == nil {
+			r.failover(me.shard, me.err)
+			continue
+		}
+		break
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.ElapsedMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	return res, nil
+}

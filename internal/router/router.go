@@ -1,0 +1,574 @@
+// Package router is the stateless front tier of a shard-per-process
+// NETCLUS topology: each shard runs as its own topsserve process (with its
+// own WAL, snapshots, and followers), and the router speaks the
+// distributed-greedy round protocol of internal/shard against them over
+// HTTP — per round, each member's local argmax is reduced under
+// tops.GreaterSite and the winner's trajectory-score deltas broadcast
+// back, the same float ops as the in-process gather, so answers stay
+// float-op-for-float-op identical to a single-process engine over the
+// same dataset (the cross-process differential oracle enforces it).
+//
+// The router owns the shard map: per shard an ordered list of member URLs
+// (primary first, then followers) with an active cursor. The round
+// protocol is read-only, so when a member fails mid-query the router
+// advances that shard's cursor to the next URL — a follower serves the
+// retry without any promotion — and restarts the query from scratch.
+// Updates require the shard's primary: site mutations route to the owning
+// shard (the partitioner evaluated locally when it is graph-free, or via
+// the members' /v1/shard/owner otherwise), trajectory mutations broadcast
+// to every shard. POST /v1/topology re-points a shard at a promoted
+// follower after a primary failure.
+//
+// Consistency: the router serializes its own queries against its own
+// updates (queries share a read lock, updates take the write lock —
+// the same discipline as shard.Sharded), but it cannot serialize against
+// mutations sent directly to a member. Each query's per-shard cover
+// snapshots are taken at round 0, so even then a query sees a consistent
+// per-shard view; route all updates through the router to get the
+// in-process engine's sequential semantics.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netclus/internal/roadnet"
+	"netclus/internal/shard"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Shards is the shard map: per shard, its member URLs in preference
+	// order (primary first, then followers). Every shard needs at least
+	// one URL.
+	Shards [][]string
+	// Client issues member requests. Nil selects a default client; the
+	// per-call timeout comes from ShardTimeout either way.
+	Client *http.Client
+	// ShardTimeout bounds each member call (default 10s).
+	ShardTimeout time.Duration
+	// QueryAttempts is how many times a query restarts after a member
+	// failure (advancing the failed shard's cursor between attempts)
+	// before giving up. Zero selects 3.
+	QueryAttempts int
+	// MaxK rejects queries asking for more sites than any deployment
+	// plausibly serves (default 10000, the serving-tier default).
+	MaxK int
+	// MaxBatch bounds /v1/query/batch (default 1024).
+	MaxBatch int
+	// Log receives topology events (boot, failover, re-point). Nil
+	// selects the standard logger.
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 10 * time.Second
+	}
+	if o.QueryAttempts <= 0 {
+		o.QueryAttempts = 3
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 10_000
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.Log == nil {
+		o.Log = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	return o
+}
+
+// slot is one shard's routing state: its candidate URLs and the cursor.
+type slot struct {
+	urls    []string
+	active  int
+	lastErr string
+}
+
+// ownTable caches one ladder instance's cluster ownership: the winners in
+// ascending cluster order (position i is global dense representative
+// index i) and, per shard, the owned clusters and their global indices —
+// the mask a StartRequest ships.
+type ownTable struct {
+	winners []ownWinner
+	masks   [][]int64
+	masksGI [][]int32
+}
+
+type ownWinner struct {
+	cluster int64
+	shard   int
+	node    int64
+}
+
+// Router fronts N shard-member processes. Create with New, mount as an
+// http.Handler.
+type Router struct {
+	opts   Options
+	client *http.Client
+
+	// mu serializes updates (write) against queries (read), covering the
+	// topology slots, the dense-id mirror, and — via ownMu under it — the
+	// ownership caches. The same discipline as shard.Sharded.
+	mu    sync.RWMutex
+	slots []*slot
+
+	n        int
+	partName string
+	// part evaluates the partitioner locally when it is graph-free (hash);
+	// nil means owner lookups go to the members (grid needs the graph).
+	part                  shard.Partitioner
+	tauMin, tauMax, gamma float64
+	rungs                 int
+
+	// Global dense site-id mirror, replicating the single-process index's
+	// bookkeeping (append on add, swap-remove on delete) so SiteIDs match.
+	sites    []int64
+	siteID   map[int64]int32
+	siteWarn string // non-empty when the mirror was seeded from concatenation
+
+	ownMu      sync.Mutex
+	own        map[int]*ownTable
+	ownerCache map[int64]int
+
+	qidSeq    atomic.Uint64
+	queries   atomic.Uint64
+	batches   atomic.Uint64
+	updates   atomic.Uint64
+	retries   atomic.Uint64
+	failovers atomic.Uint64
+	errs      atomic.Uint64
+
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// New validates the shard map against the members' own metadata (every
+// member must agree on shard count, index, partitioner, and ladder
+// parameters — a mixed topology would silently produce wrong answers),
+// seeds the dense-id mirror, and returns a serving router.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("router: empty shard map")
+	}
+	opts = opts.withDefaults()
+	r := &Router{
+		opts:       opts,
+		client:     opts.Client,
+		n:          len(opts.Shards),
+		own:        make(map[int]*ownTable),
+		ownerCache: make(map[int64]int),
+		siteID:     make(map[int64]int32),
+		start:      time.Now(),
+	}
+	for j, urls := range opts.Shards {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no member URLs", j)
+		}
+		for _, u := range urls {
+			p, err := url.Parse(u)
+			if err != nil || p.Scheme == "" || p.Host == "" {
+				return nil, fmt.Errorf("router: shard %d: %q is not an absolute URL", j, u)
+			}
+		}
+		r.slots = append(r.slots, &slot{urls: append([]string(nil), urls...)})
+	}
+
+	metas := make([]shard.MemberMeta, r.n)
+	for j := range r.slots {
+		meta, err := r.fetchMeta(j)
+		if err != nil {
+			return nil, err
+		}
+		metas[j] = meta
+	}
+	m0 := metas[0]
+	for j, m := range metas {
+		if m.Shards != r.n {
+			return nil, fmt.Errorf("router: shard %d reports a %d-shard topology, shard map has %d", j, m.Shards, r.n)
+		}
+		if m.Index != j {
+			return nil, fmt.Errorf("router: shard map position %d points at a member that is shard %d", j, m.Index)
+		}
+		if m.Partitioner != m0.Partitioner {
+			return nil, fmt.Errorf("router: shard %d partitioner %q differs from shard 0's %q", j, m.Partitioner, m0.Partitioner)
+		}
+		if m.TauMin != m0.TauMin || m.TauMax != m0.TauMax || m.Gamma != m0.Gamma || m.Rungs != m0.Rungs {
+			return nil, fmt.Errorf("router: shard %d ladder (γ=%v τ=[%v,%v) rungs=%d) differs from shard 0 (γ=%v τ=[%v,%v) rungs=%d)",
+				j, m.Gamma, m.TauMin, m.TauMax, m.Rungs, m0.Gamma, m0.TauMin, m0.TauMax, m0.Rungs)
+		}
+	}
+	r.partName = m0.Partitioner
+	r.tauMin, r.tauMax, r.gamma, r.rungs = m0.TauMin, m0.TauMax, m0.Gamma, m0.Rungs
+	if r.partName == shard.HashPartitioner {
+		part, err := shard.NewPartitioner(r.partName, r.n, nil)
+		if err != nil {
+			return nil, err
+		}
+		r.part = part
+	}
+	r.seedMirror(metas)
+	r.routes()
+	return r, nil
+}
+
+// seedMirror builds the global dense site-id mirror. When every member
+// still knows the full build-time site order and the live site sets have
+// not drifted from it, that order is exact — SiteIDs match a
+// single-process engine with the same history. Otherwise (members
+// recovered from checkpoints, or mutations applied before this router
+// booted) the mirror concatenates the live per-shard lists: the nodes are
+// right, but dense ids may differ from a single-process history, which is
+// recorded in siteWarn and surfaced on /statsz.
+func (r *Router) seedMirror(metas []shard.MemberMeta) {
+	liveCount := 0
+	liveSet := make(map[int64]bool)
+	for _, m := range metas {
+		liveCount += len(m.Sites)
+		for _, v := range m.Sites {
+			liveSet[v] = true
+		}
+	}
+	exact := len(metas[0].InitialSites) > 0
+	for _, m := range metas {
+		if len(m.InitialSites) != len(metas[0].InitialSites) {
+			exact = false
+			break
+		}
+	}
+	if exact && len(metas[0].InitialSites) == liveCount && len(liveSet) == liveCount {
+		for _, v := range metas[0].InitialSites {
+			if !liveSet[v] {
+				exact = false
+				break
+			}
+		}
+	} else {
+		exact = false
+	}
+	if exact {
+		r.sites = append([]int64(nil), metas[0].InitialSites...)
+	} else {
+		for _, m := range metas {
+			r.sites = append(r.sites, m.Sites...)
+		}
+		r.siteWarn = "dense site ids seeded from per-shard concatenation (members past their build-time site set); ids may differ from a single-process history"
+		r.opts.Log.Printf("router: %s", r.siteWarn)
+	}
+	for i, v := range r.sites {
+		r.siteID[v] = int32(i)
+	}
+}
+
+// activeURL returns shard j's current target.
+func (r *Router) activeURL(j int) string {
+	s := r.slots[j]
+	return s.urls[s.active]
+}
+
+// failover advances shard j's cursor past a failed member. Caller may
+// hold only the read lock during queries, so the cursor moves under the
+// slot-independent write lock; a single-URL shard just retries the same
+// target.
+func (r *Router) failover(j int, cause error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.slots[j]
+	s.lastErr = cause.Error()
+	if len(s.urls) == 1 {
+		return
+	}
+	was := s.urls[s.active]
+	s.active = (s.active + 1) % len(s.urls)
+	r.failovers.Add(1)
+	r.opts.Log.Printf("router: shard %d: %s failed (%v); trying %s", j, was, cause, s.urls[s.active])
+}
+
+// Repoint makes u shard j's active target (appending it to the shard's
+// URL list if new), after verifying the member there really serves shard
+// j of this topology. The failover path after POST /v1/promote on a
+// surviving follower.
+func (r *Router) Repoint(j int, u string) error {
+	if j < 0 || j >= r.n {
+		return fmt.Errorf("router: shard %d outside [0, %d)", j, r.n)
+	}
+	p, err := url.Parse(u)
+	if err != nil || p.Scheme == "" || p.Host == "" {
+		return fmt.Errorf("router: %q is not an absolute URL", u)
+	}
+	var meta shard.MemberMeta
+	if err := r.call(context.Background(), http.MethodGet, u+"/v1/shard/meta", nil, &meta); err != nil {
+		return fmt.Errorf("router: probing %s: %w", u, err)
+	}
+	if meta.Shards != r.n || meta.Index != j {
+		return fmt.Errorf("router: %s serves shard %d of %d, not shard %d of %d", u, meta.Index, meta.Shards, j, r.n)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.slots[j]
+	found := -1
+	for i, cand := range s.urls {
+		if cand == u {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		s.urls = append(s.urls, u)
+		found = len(s.urls) - 1
+	}
+	s.active = found
+	s.lastErr = ""
+	r.opts.Log.Printf("router: shard %d re-pointed at %s", j, u)
+	return nil
+}
+
+// fetchMeta loads shard j's metadata, failing over through its URL list.
+func (r *Router) fetchMeta(j int) (shard.MemberMeta, error) {
+	s := r.slots[j]
+	var lastErr error
+	for range s.urls {
+		var meta shard.MemberMeta
+		err := r.call(context.Background(), http.MethodGet, r.activeURL(j)+"/v1/shard/meta", nil, &meta)
+		if err == nil {
+			return meta, nil
+		}
+		lastErr = err
+		s.active = (s.active + 1) % len(s.urls)
+	}
+	return shard.MemberMeta{}, fmt.Errorf("router: no reachable member for shard %d: %w", j, lastErr)
+}
+
+// ownership derives (or returns the cached) cluster ownership of ladder
+// instance p: every shard's representatives are fetched and reduced per
+// cluster to the shard with minimal (dr, node) — the exact single-shard
+// representative tie-break, the same reduce shard.Sharded runs in
+// process. Dropped whole on any site mutation.
+func (r *Router) ownership(ctx context.Context, p int) (*ownTable, error) {
+	r.ownMu.Lock()
+	defer r.ownMu.Unlock()
+	if t := r.own[p]; t != nil {
+		return t, nil
+	}
+	type fetch struct {
+		reps []shard.WireRep
+		err  error
+	}
+	fetches := make([]fetch, r.n)
+	var wg sync.WaitGroup
+	for j := 0; j < r.n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			var resp struct {
+				P    int             `json:"p"`
+				Reps []shard.WireRep `json:"reps"`
+			}
+			fetches[j].err = r.call(ctx, http.MethodGet, fmt.Sprintf("%s/v1/shard/reps?p=%d", r.activeURL(j), p), nil, &resp)
+			fetches[j].reps = resp.Reps
+		}(j)
+	}
+	wg.Wait()
+	maxCi := int64(-1)
+	for j, f := range fetches {
+		if f.err != nil {
+			return nil, &memberError{shard: j, err: f.err}
+		}
+		for _, ri := range f.reps {
+			if int64(ri.Cluster) > maxCi {
+				maxCi = int64(ri.Cluster)
+			}
+		}
+	}
+	n := int(maxCi) + 1
+	bestShard := make([]int32, n)
+	bestNode := make([]int64, n)
+	bestDr := make([]float64, n)
+	for i := range bestShard {
+		bestShard[i] = -1
+	}
+	for j, f := range fetches {
+		for _, ri := range f.reps {
+			c := ri.Cluster
+			if bestShard[c] < 0 || ri.Dr < bestDr[c] || (ri.Dr == bestDr[c] && ri.Node < bestNode[c]) {
+				bestShard[c], bestNode[c], bestDr[c] = int32(j), ri.Node, ri.Dr
+			}
+		}
+	}
+	t := &ownTable{masks: make([][]int64, r.n), masksGI: make([][]int32, r.n)}
+	for c := 0; c < n; c++ {
+		if bestShard[c] < 0 {
+			continue
+		}
+		gi := int32(len(t.winners))
+		j := int(bestShard[c])
+		t.winners = append(t.winners, ownWinner{cluster: int64(c), shard: j, node: bestNode[c]})
+		t.masks[j] = append(t.masks[j], int64(c))
+		t.masksGI[j] = append(t.masksGI[j], gi)
+	}
+	r.own[p] = t
+	return t, nil
+}
+
+// dropOwnership invalidates the ownership and owner caches after a site
+// mutation (a site add/delete can move cluster representatives, and for
+// grid topologies the mutation may even have created the node's first
+// routing decision).
+func (r *Router) dropOwnership() {
+	r.ownMu.Lock()
+	r.own = make(map[int]*ownTable)
+	r.ownMu.Unlock()
+}
+
+// ownerOf resolves which shard owns node v: locally when the partitioner
+// is graph-free, otherwise via a (cached) member lookup.
+func (r *Router) ownerOf(ctx context.Context, v int64) (int, error) {
+	if r.part != nil {
+		return r.part.Shard(roadnet.NodeID(v)), nil
+	}
+	r.ownMu.Lock()
+	j, ok := r.ownerCache[v]
+	r.ownMu.Unlock()
+	if ok {
+		return j, nil
+	}
+	var resp struct {
+		Node  int64 `json:"node"`
+		Shard int   `json:"shard"`
+	}
+	if err := r.call(ctx, http.MethodGet, fmt.Sprintf("%s/v1/shard/owner?node=%d", r.activeURL(0), v), nil, &resp); err != nil {
+		return 0, &memberError{shard: 0, err: err}
+	}
+	if resp.Shard < 0 || resp.Shard >= r.n {
+		return 0, fmt.Errorf("router: member reports shard %d for node %d, outside [0, %d)", resp.Shard, v, r.n)
+	}
+	r.ownMu.Lock()
+	r.ownerCache[v] = resp.Shard
+	r.ownMu.Unlock()
+	return resp.Shard, nil
+}
+
+// memberError marks a failure attributable to one shard's current target;
+// the query path fails that shard over and retries.
+type memberError struct {
+	shard int
+	err   error
+}
+
+func (e *memberError) Error() string { return fmt.Sprintf("shard %d: %v", e.shard, e.err) }
+func (e *memberError) Unwrap() error { return e.err }
+
+// httpError carries a member's error envelope (status + code) upstream.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("member answered %d (%s): %s", e.status, e.code, e.msg)
+}
+
+// call issues one member request with the per-call timeout: JSON in (when
+// in is non-nil), JSON out (when out is non-nil). Non-2xx answers decode
+// the serving tier's error envelope into an httpError.
+func (r *Router) call(ctx context.Context, method, u string, in, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.ShardTimeout)
+	defer cancel()
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.Unmarshal(raw, &env)
+		if env.Error == "" {
+			env.Error = string(raw)
+		}
+		return &httpError{status: resp.StatusCode, code: env.Code, msg: env.Error}
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.n }
+
+// topologyShard is one row of GET /v1/topology.
+type topologyShard struct {
+	Shard     int      `json:"shard"`
+	URLs      []string `json:"urls"`
+	Active    int      `json:"active"`
+	ActiveURL string   `json:"active_url"`
+	LastError string   `json:"last_error,omitempty"`
+}
+
+// topology snapshots the shard map.
+func (r *Router) topology() []topologyShard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]topologyShard, r.n)
+	for j, s := range r.slots {
+		out[j] = topologyShard{
+			Shard:     j,
+			URLs:      append([]string(nil), s.urls...),
+			Active:    s.active,
+			ActiveURL: s.urls[s.active],
+			LastError: s.lastErr,
+		}
+	}
+	return out
+}
+
+// sortedInstances lists the cached ownership instances (statsz).
+func (r *Router) sortedInstances() []int {
+	r.ownMu.Lock()
+	defer r.ownMu.Unlock()
+	out := make([]int, 0, len(r.own))
+	for p := range r.own {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

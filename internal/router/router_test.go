@@ -1,0 +1,497 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/gen"
+	"netclus/internal/roadnet"
+	"netclus/internal/server"
+	"netclus/internal/shard"
+	"netclus/internal/tops"
+	"netclus/internal/trajectory"
+)
+
+// buildFixture mirrors the shard package's differential fixture: two calls
+// with the same seed yield independent but identical instances — one feeds
+// the in-process sharded twin, the others the HTTP members.
+func buildFixture(t testing.TB, seed int64) (*tops.Instance, *gen.City) {
+	t.Helper()
+	city, err := gen.GenerateCity(gen.CityConfig{
+		Topology: gen.GridMesh, Nodes: 500, SpanKm: 10, Jitter: 0.2,
+		OneWayFrac: 0.1, RemoveFrac: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 60, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := gen.SampleSites(city.Graph, gen.SiteConfig{Count: 120, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := tops.NewInstance(city.Graph, store, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, city
+}
+
+var fixtureBuild = core.Options{Gamma: 0.75, TauMin: 0.4, TauMax: 6.4}
+
+// memberServer builds shard j of an n-shard topology over inst and serves
+// it (round protocol mounted) from an httptest server.
+func memberServer(t testing.TB, inst *tops.Instance, j, n int) (*httptest.Server, *shard.Member) {
+	t.Helper()
+	m, err := shard.BuildMember(inst, j, shard.Options{Shards: n, Partitioner: shard.HashPartitioner, Build: fixtureBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(m, server.Options{BatchWindow: -1, Member: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts, m
+}
+
+func postJSON(t testing.TB, client *http.Client, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// wireAnswer is the /v1/query response shape under test.
+type wireAnswer struct {
+	Sites              []int64 `json:"sites"`
+	SiteIDs            []int32 `json:"site_ids"`
+	EstimatedUtility   float64 `json:"estimated_utility"`
+	EstimatedCovered   int     `json:"estimated_covered"`
+	InstanceUsed       int     `json:"instance_used"`
+	NumRepresentatives int     `json:"num_representatives"`
+}
+
+// sameAnswer asserts BIT-exact equality between a router HTTP answer and
+// the in-process twin's — Go's JSON float64 encoding round-trips exactly,
+// so equality here is equality of the underlying float bits.
+func sameAnswer(t *testing.T, label string, got wireAnswer, want *core.QueryResult) {
+	t.Helper()
+	if got.EstimatedUtility != want.EstimatedUtility {
+		t.Fatalf("%s: utility %v != %v (diff %g)", label, got.EstimatedUtility, want.EstimatedUtility, got.EstimatedUtility-want.EstimatedUtility)
+	}
+	if got.EstimatedCovered != want.EstimatedCovered {
+		t.Fatalf("%s: covered %d != %d", label, got.EstimatedCovered, want.EstimatedCovered)
+	}
+	if got.InstanceUsed != want.InstanceUsed {
+		t.Fatalf("%s: instance %d != %d", label, got.InstanceUsed, want.InstanceUsed)
+	}
+	if got.NumRepresentatives != want.NumRepresentatives {
+		t.Fatalf("%s: representatives %d != %d", label, got.NumRepresentatives, want.NumRepresentatives)
+	}
+	if len(got.Sites) != len(want.Sites) {
+		t.Fatalf("%s: %d sites != %d", label, len(got.Sites), len(want.Sites))
+	}
+	for i := range got.Sites {
+		if got.Sites[i] != int64(want.Sites[i]) {
+			t.Fatalf("%s: site %d: node %d != %d", label, i, got.Sites[i], want.Sites[i])
+		}
+		if got.SiteIDs[i] != int32(want.SiteIDs[i]) {
+			t.Fatalf("%s: site %d: dense id %d != %d", label, i, got.SiteIDs[i], want.SiteIDs[i])
+		}
+	}
+}
+
+// drawQuery picks a random preference and its wire form plus the
+// in-process options for the twin.
+func drawQuery(rng *rand.Rand) (string, core.QueryOptions) {
+	k := 1 + rng.Intn(12)
+	tau := 0.3 + rng.Float64()*6.0
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf(`{"k":%d,"tau":%v}`, k, tau),
+			core.QueryOptions{K: k, Pref: tops.Binary(tau)}
+	case 1:
+		return fmt.Sprintf(`{"k":%d,"tau":%v,"pref":"linear"}`, k, tau),
+			core.QueryOptions{K: k, Pref: tops.Linear(tau)}
+	case 2:
+		return fmt.Sprintf(`{"k":%d,"tau":%v,"pref":"convex"}`, k, tau),
+			core.QueryOptions{K: k, Pref: tops.ConvexQuadratic(tau)}
+	default:
+		lambda := 0.5 + rng.Float64()*1.5
+		return fmt.Sprintf(`{"k":%d,"tau":%v,"pref":"exp","lambda":%v}`, k, tau, lambda),
+			core.QueryOptions{K: k, Pref: tops.ExpDecay(tau, lambda)}
+	}
+}
+
+// TestRouterDifferentialOracle is the cross-process gate run in-process:
+// an interleaved random workload of queries and §6 mutations through the
+// router tier (real HTTP members speaking the round protocol) must answer
+// bit-exactly what the in-process sharded engine answers over the same
+// history.
+func TestRouterDifferentialOracle(t *testing.T) {
+	const seed, n = 1201, 3
+	twinInst, city := buildFixture(t, seed)
+	twin, err := shard.Build(twinInst, shard.Options{Shards: n, Partitioner: shard.HashPartitioner, Build: fixtureBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shards := make([][]string, n)
+	for j := 0; j < n; j++ {
+		memInst, _ := buildFixture(t, seed)
+		ts, _ := memberServer(t, memInst, j, n)
+		shards[j] = []string{ts.URL}
+	}
+	r, err := New(Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(r)
+	defer rts.Close()
+	client := rts.Client()
+
+	// Live bookkeeping for drawing valid mutations.
+	g := city.Graph
+	siteSet := make(map[int64]bool)
+	var siteList []int64
+	for _, v := range twinInst.Sites {
+		siteSet[int64(v)] = true
+		siteList = append(siteList, int64(v))
+	}
+	liveTrajs := make([]int32, twinInst.M())
+	for i := range liveTrajs {
+		liveTrajs[i] = int32(i)
+	}
+	extraStore, err := gen.GenerateTrajectories(city, gen.TrajConfig{Count: 20, Seed: seed + 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extras []*trajectory.Trajectory
+	extraStore.ForEach(func(_ trajectory.ID, tr *trajectory.Trajectory) { extras = append(extras, tr) })
+
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	mutations, queries := 0, 0
+	for round := 0; round < 60; round++ {
+		if round > 4 && rng.Float64() < 0.35 {
+			mutations++
+			switch op := rng.Intn(4); {
+			case op == 0: // add_site
+				v := int64(rng.Intn(g.NumNodes()))
+				for siteSet[v] {
+					v = (v + 1) % int64(g.NumNodes())
+				}
+				status, body := postJSON(t, client, rts.URL+"/v1/update", fmt.Sprintf(`{"op":"add_site","node":%d}`, v))
+				if status != http.StatusOK {
+					t.Fatalf("round %d add_site(%d): %d %s", round, v, status, body)
+				}
+				if err := twin.AddSite(roadnet.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+				siteSet[v] = true
+				siteList = append(siteList, v)
+			case op == 1 && len(siteList) > 10: // delete_site
+				i := rng.Intn(len(siteList))
+				v := siteList[i]
+				status, body := postJSON(t, client, rts.URL+"/v1/update", fmt.Sprintf(`{"op":"delete_site","node":%d}`, v))
+				if status != http.StatusOK {
+					t.Fatalf("round %d delete_site(%d): %d %s", round, v, status, body)
+				}
+				if err := twin.DeleteSite(roadnet.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+				delete(siteSet, v)
+				siteList[i] = siteList[len(siteList)-1]
+				siteList = siteList[:len(siteList)-1]
+			case op == 2 && len(extras) > 0: // add_trajectory
+				tr := extras[len(extras)-1]
+				extras = extras[:len(extras)-1]
+				nodes, _ := json.Marshal(tr.Nodes)
+				status, body := postJSON(t, client, rts.URL+"/v1/update", fmt.Sprintf(`{"op":"add_trajectory","nodes":%s}`, nodes))
+				if status != http.StatusOK {
+					t.Fatalf("round %d add_trajectory: %d %s", round, status, body)
+				}
+				var ack struct {
+					TrajectoryID *int32 `json:"trajectory_id"`
+				}
+				if err := json.Unmarshal(body, &ack); err != nil || ack.TrajectoryID == nil {
+					t.Fatalf("round %d add_trajectory ack: %s (%v)", round, body, err)
+				}
+				ttr, err := trajectory.New(twin.Graph(), tr.Nodes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tid, err := twin.AddTrajectory(ttr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int32(tid) != *ack.TrajectoryID {
+					t.Fatalf("round %d: router assigned trajectory id %d, twin %d", round, *ack.TrajectoryID, tid)
+				}
+				liveTrajs = append(liveTrajs, int32(tid))
+			case len(liveTrajs) > 5: // delete_trajectory
+				i := rng.Intn(len(liveTrajs))
+				tid := liveTrajs[i]
+				status, body := postJSON(t, client, rts.URL+"/v1/update", fmt.Sprintf(`{"op":"delete_trajectory","id":%d}`, tid))
+				if status != http.StatusOK {
+					t.Fatalf("round %d delete_trajectory(%d): %d %s", round, tid, status, body)
+				}
+				if err := twin.DeleteTrajectory(trajectory.ID(tid)); err != nil {
+					t.Fatal(err)
+				}
+				liveTrajs[i] = liveTrajs[len(liveTrajs)-1]
+				liveTrajs = liveTrajs[:len(liveTrajs)-1]
+			}
+			continue
+		}
+		queries++
+		wire, opts := drawQuery(rng)
+		status, body := postJSON(t, client, rts.URL+"/v1/query", wire)
+		if status != http.StatusOK {
+			t.Fatalf("round %d query %s: %d %s", round, wire, status, body)
+		}
+		var got wireAnswer
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		want, err := twin.Query(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAnswer(t, fmt.Sprintf("round %d (%s)", round, wire), got, want)
+		want.Release()
+	}
+	if mutations < 5 || queries < 20 {
+		t.Fatalf("workload drift: %d mutations, %d queries", mutations, queries)
+	}
+}
+
+// TestRouterFailoverToReplicaMidWorkload pins the read-path failover: a
+// shard's primary dies, and the router retries the query against that
+// shard's next URL (a replica member) with answers still bit-exact.
+func TestRouterFailoverToReplicaMidWorkload(t *testing.T) {
+	const seed, n = 1301, 2
+	twinInst, _ := buildFixture(t, seed)
+	twin, err := shard.Build(twinInst, shard.Options{Shards: n, Partitioner: shard.HashPartitioner, Build: fixtureBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shards := make([][]string, n)
+	var shard1Primary *httptest.Server
+	for j := 0; j < n; j++ {
+		memInst, _ := buildFixture(t, seed)
+		ts, _ := memberServer(t, memInst, j, n)
+		shards[j] = []string{ts.URL}
+		if j == 1 {
+			shard1Primary = ts
+			repInst, _ := buildFixture(t, seed)
+			rts, _ := memberServer(t, repInst, j, n)
+			shards[j] = append(shards[j], rts.URL)
+		}
+	}
+	r, err := New(Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(r)
+	defer rts.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	check := func(label string) {
+		t.Helper()
+		wire, opts := drawQuery(rng)
+		status, body := postJSON(t, rts.Client(), rts.URL+"/v1/query", wire)
+		if status != http.StatusOK {
+			t.Fatalf("%s query %s: %d %s", label, wire, status, body)
+		}
+		var got wireAnswer
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		want, err := twin.Query(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAnswer(t, label+" "+wire, got, want)
+		want.Release()
+	}
+	for i := 0; i < 5; i++ {
+		check(fmt.Sprintf("pre-failover %d", i))
+	}
+	shard1Primary.Close() // shard 1's primary dies mid-workload
+	for i := 0; i < 5; i++ {
+		check(fmt.Sprintf("post-failover %d", i))
+	}
+
+	var stats struct {
+		Failovers uint64 `json:"failovers"`
+	}
+	resp, err := rts.Client().Get(rts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Failovers == 0 {
+		t.Fatal("router reported no failovers after its shard-1 primary died")
+	}
+}
+
+// TestRouterValidation pins the boot and request validation: mixed-up
+// shard maps are rejected, fm queries are refused, topology re-points are
+// verified against the member's own metadata.
+func TestRouterValidation(t *testing.T) {
+	const seed, n = 1401, 2
+	var urls []string
+	for j := 0; j < n; j++ {
+		memInst, _ := buildFixture(t, seed)
+		ts, _ := memberServer(t, memInst, j, n)
+		urls = append(urls, ts.URL)
+	}
+
+	// Swapped shard map: member metadata exposes the mismatch at boot.
+	if _, err := New(Options{Shards: [][]string{{urls[1]}, {urls[0]}}}); err == nil {
+		t.Fatal("router accepted a shard map pointing position 0 at shard 1")
+	}
+	// Truncated topology: a 2-shard member behind a 1-shard map.
+	if _, err := New(Options{Shards: [][]string{{urls[0]}}}); err == nil {
+		t.Fatal("router accepted a 1-entry map over a 2-shard topology")
+	}
+
+	r, err := New(Options{Shards: [][]string{{urls[0]}, {urls[1]}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(r)
+	defer rts.Close()
+
+	status, body := postJSON(t, rts.Client(), rts.URL+"/v1/query", `{"k":3,"tau":1.0,"fm":true}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("fm query status %d (%s), want 400", status, body)
+	}
+	status, _ = postJSON(t, rts.Client(), rts.URL+"/v1/query", `{"k":0,"tau":1.0}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("k=0 status %d, want 400", status)
+	}
+	status, _ = postJSON(t, rts.Client(), rts.URL+"/v1/query", `{"k":3,"tau":1.0,"bogus":1}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d, want 400", status)
+	}
+
+	// Re-point validation: shard 0 cannot be re-pointed at a member that
+	// serves shard 1.
+	status, _ = postJSON(t, rts.Client(), rts.URL+"/v1/topology", fmt.Sprintf(`{"shard":0,"primary":%q}`, urls[1]))
+	if status != http.StatusBadRequest {
+		t.Fatalf("mismatched re-point status %d, want 400", status)
+	}
+	// A correct re-point is accepted and reflected in GET /v1/topology.
+	status, body = postJSON(t, rts.Client(), rts.URL+"/v1/topology", fmt.Sprintf(`{"shard":1,"primary":%q}`, urls[1]))
+	if status != http.StatusOK {
+		t.Fatalf("valid re-point status %d: %s", status, body)
+	}
+	resp, err := rts.Client().Get(rts.URL + "/v1/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topo struct {
+		Shards []struct {
+			Shard     int    `json:"shard"`
+			ActiveURL string `json:"active_url"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(topo.Shards) != 2 || topo.Shards[1].ActiveURL != urls[1] {
+		t.Fatalf("topology after re-point: %+v", topo)
+	}
+}
+
+// TestRouterBatch pins /v1/query/batch: per-item isolation and the same
+// bit-exact answers as the in-process twin.
+func TestRouterBatch(t *testing.T) {
+	const seed, n = 1501, 2
+	twinInst, _ := buildFixture(t, seed)
+	twin, err := shard.Build(twinInst, shard.Options{Shards: n, Partitioner: shard.HashPartitioner, Build: fixtureBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]string, n)
+	for j := 0; j < n; j++ {
+		memInst, _ := buildFixture(t, seed)
+		ts, _ := memberServer(t, memInst, j, n)
+		shards[j] = []string{ts.URL}
+	}
+	r, err := New(Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(r)
+	defer rts.Close()
+
+	status, body := postJSON(t, rts.Client(), rts.URL+"/v1/query/batch",
+		`{"queries":[{"k":4,"tau":0.9},{"k":0,"tau":1.0},{"k":6,"tau":2.5,"pref":"linear"}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d: %s", status, body)
+	}
+	var out struct {
+		Results []struct {
+			Result *wireAnswer `json:"result"`
+			Error  string      `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d batch results, want 3", len(out.Results))
+	}
+	if out.Results[1].Error == "" || out.Results[1].Result != nil {
+		t.Fatalf("bad item not isolated: %+v", out.Results[1])
+	}
+	ctx := context.Background()
+	for i, opts := range []core.QueryOptions{
+		{K: 4, Pref: tops.Binary(0.9)},
+		{},
+		{K: 6, Pref: tops.Linear(2.5)},
+	} {
+		if i == 1 {
+			continue
+		}
+		if out.Results[i].Result == nil {
+			t.Fatalf("batch item %d failed: %s", i, out.Results[i].Error)
+		}
+		want, err := twin.Query(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAnswer(t, fmt.Sprintf("batch item %d", i), *out.Results[i].Result, want)
+		want.Release()
+	}
+}

@@ -32,16 +32,19 @@ import (
 // primary's /v1/replication shows this replica and a promoted follower's
 // higher epoch fences a deposed primary.
 type Follower struct {
-	primary string
-	eng     wal.Applier
+	eng wal.Applier
 	// local, when non-nil, persists the primary's stream so a follower
 	// restart resumes from disk instead of re-tailing from scratch.
 	local *wal.Log
 	opts  FollowerOptions
 
-	mu     sync.Mutex
-	status ReplicationStatus
-	lastOK time.Time
+	mu      sync.Mutex
+	primary string // guarded by mu: Retarget swaps it mid-run
+	status  ReplicationStatus
+	lastOK  time.Time
+	// retargetCh is closed (and replaced) by Retarget, waking a Run loop
+	// parked on an error that only a re-point can fix.
+	retargetCh chan struct{}
 }
 
 // FollowerOptions configures the tailing loop.
@@ -65,10 +68,23 @@ type FollowerOptions struct {
 	// leaves rotation instead of serving ever-staler reads). Zero selects
 	// 5; negative disables the latch.
 	UnhealthyAfter int
-	// Client issues the HTTP requests. Nil selects a client with a 30s
-	// timeout.
+	// MaxBackoff caps the exponential retry backoff Run applies after
+	// consecutive poll failures (first retry after Poll, then doubling).
+	// Zero selects 30s.
+	MaxBackoff time.Duration
+	// Client issues the HTTP requests. Nil selects a client whose timeout
+	// covers a full long-poll park (Wait plus tailTimeoutHeadroom). A
+	// caller-supplied client whose Timeout is shorter than Wait would make
+	// every parked tail request die on the client side before the primary
+	// answers, so Wait is clamped below that timeout instead.
 	Client *http.Client
 }
+
+// tailTimeoutHeadroom is how much longer than the long-poll window the
+// default HTTP client waits before giving up on a parked /v1/log request:
+// the primary holds the request for up to Wait, and the response still
+// needs to stream back and apply.
+const tailTimeoutHeadroom = 10 * time.Second
 
 func (o FollowerOptions) withDefaults() FollowerOptions {
 	if o.Poll <= 0 {
@@ -93,8 +109,26 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 	if o.UnhealthyAfter == 0 {
 		o.UnhealthyAfter = 5
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 30 * time.Second
+	}
 	if o.Client == nil {
-		o.Client = &http.Client{Timeout: 30 * time.Second}
+		// The client timeout must outlast a full long-poll park: a fixed
+		// timeout below Wait would kill every parked request, count it as
+		// a poll failure, and latch a healthy replica into tail_stalled.
+		t := 30 * time.Second
+		if o.Wait > 0 && o.Wait+tailTimeoutHeadroom > t {
+			t = o.Wait + tailTimeoutHeadroom
+		}
+		o.Client = &http.Client{Timeout: t}
+	} else if ct := o.Client.Timeout; ct > 0 && o.Wait > 0 && ct <= o.Wait {
+		// The caller's client cannot ride out the requested park; clamp the
+		// park below the client timeout rather than guaranteeing failures.
+		w := ct - tailTimeoutHeadroom
+		if w <= 0 {
+			w = ct / 2
+		}
+		o.Wait = w
 	}
 	return o
 }
@@ -109,7 +143,7 @@ func NewFollower(primary string, eng wal.Applier, local *wal.Log, opts FollowerO
 	if eng == nil {
 		return nil, fmt.Errorf("server: follower needs an engine")
 	}
-	f := &Follower{primary: primary, eng: eng, local: local, opts: opts.withDefaults()}
+	f := &Follower{primary: primary, eng: eng, local: local, opts: opts.withDefaults(), retargetCh: make(chan struct{})}
 	f.status = ReplicationStatus{
 		Role:            "follower",
 		Primary:         primary,
@@ -124,15 +158,72 @@ func (f *Follower) Status() ReplicationStatus {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := f.status
+	st.Primary = f.primary
 	st.LSN = f.eng.LSN()
 	st.Epoch = f.epoch()
-	if st.PrimaryLSN >= st.LSN {
+	switch {
+	case st.PrimaryLSN >= st.LSN:
 		st.Lag = st.PrimaryLSN - st.LSN
+	case st.PrimaryLSN > 0:
+		// The replica is ahead of the reported primary head — the
+		// lost-acknowledged-history case fetchOnce detects. There is no
+		// meaningful lag to report (the stale last-computed value would
+		// masquerade as catch-up work); flag the divergence instead. The
+		// PrimaryLSN > 0 guard keeps a recovered follower that has not yet
+		// completed a poll from reporting divergence against nothing.
+		st.Lag = 0
+		st.Diverged = true
 	}
 	if !f.lastOK.IsZero() {
 		st.LastPollSeconds = time.Since(f.lastOK).Seconds()
 	}
 	return st
+}
+
+// Retarget re-points the follower at a new primary URL without a restart —
+// the failover path after POST /v1/promote on a surviving replica: the
+// router (or an operator, via POST /v1/follow) re-points the remaining
+// followers at the promoted node. The next poll round tails the new
+// primary; transient failure counters reset so the replica does not carry
+// the dead primary's unhealthy latch, and a Run loop parked on an
+// unrecoverable error (fenced, needs-bootstrap) wakes immediately.
+func (f *Follower) Retarget(primary string) error {
+	if primary == "" {
+		return fmt.Errorf("server: retarget needs a primary URL")
+	}
+	u, err := url.Parse(primary)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("server: retarget needs an absolute primary URL (http://host:port), got %q", primary)
+	}
+	f.mu.Lock()
+	f.primary = primary
+	f.status.Primary = primary
+	// The new primary's head is unknown until the first poll against it.
+	f.status.PrimaryLSN = 0
+	f.status.PrimaryEpoch = 0
+	f.status.ConsecutiveFailures = 0
+	f.status.Unhealthy = false
+	f.status.NeedsBootstrap = false
+	f.status.Diverged = false
+	f.status.LastError = ""
+	close(f.retargetCh)
+	f.retargetCh = make(chan struct{})
+	f.mu.Unlock()
+	return nil
+}
+
+// primaryURL reads the tail target under the lock (Retarget swaps it).
+func (f *Follower) primaryURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primary
+}
+
+// retargetSignal returns the channel closed by the next Retarget call.
+func (f *Follower) retargetSignal() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retargetCh
 }
 
 // epoch reads the replay engine's fencing token when it exposes one.
@@ -143,30 +234,83 @@ func (f *Follower) epoch() uint64 {
 	return 0
 }
 
-// Run tails the primary until ctx is done. Poll failures are recorded in
-// Status and retried after the poll period — a follower outlives primary
-// restarts and transient network trouble. With long-polling enabled a
-// successful round loops immediately: the primary parks the caught-up
-// request server-side, so the loop adds no lag of its own.
+// Run tails the primary until ctx is done. Transient poll failures are
+// recorded in Status and retried with exponential backoff (Poll doubling
+// up to MaxBackoff) — a follower outlives primary restarts and network
+// trouble without hammering a struggling primary at full cadence.
+// Errors re-polling can never fix (the primary compacted past us, or
+// reports an epoch below ours) park the loop entirely: it wakes only on
+// Retarget or ctx cancellation. With long-polling enabled a successful
+// round loops immediately: the primary parks the caught-up request
+// server-side, so the loop adds no lag of its own.
 func (f *Follower) Run(ctx context.Context) {
+	consecutive := 0
 	for {
+		retarget := f.retargetSignal()
 		t0 := time.Now()
 		n, err := f.Poll(ctx) // failures are recorded in Status and retried
 		if ctx.Err() != nil {
 			return
 		}
-		// Fall back to the poll period on errors, and when a primary that
-		// ignores ?wait= answers a caught-up request instantly (otherwise
-		// this loop would spin hot against it).
-		if f.opts.Wait > 0 && err == nil && (n > 0 || time.Since(t0) >= f.opts.Wait/2) {
+		if err == nil {
+			consecutive = 0
+			// Loop immediately after a productive long-poll round; fall back
+			// to the poll period when a primary that ignores ?wait= answers a
+			// caught-up request instantly (otherwise this loop would spin hot
+			// against it).
+			if f.opts.Wait > 0 && (n > 0 || time.Since(t0) >= f.opts.Wait/2) {
+				continue
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(f.opts.Poll):
+			}
 			continue
 		}
+		if unrecoverablePollError(err) {
+			// Re-polling cannot succeed: only a re-point (or operator
+			// rebuild) changes the outcome, so park instead of spinning.
+			select {
+			case <-ctx.Done():
+				return
+			case <-retarget:
+				consecutive = 0
+			}
+			continue
+		}
+		consecutive++
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(f.opts.Poll):
+		case <-retarget:
+			consecutive = 0
+		case <-time.After(backoffDelay(f.opts.Poll, consecutive, f.opts.MaxBackoff)):
 		}
 	}
+}
+
+// unrecoverablePollError reports whether a poll failure can never succeed
+// by re-polling the same primary: the primary compacted past this
+// replica's position, or runs an epoch below ours.
+func unrecoverablePollError(err error) bool {
+	return errors.Is(err, ErrNeedBootstrap) || errors.Is(err, wal.ErrFenced)
+}
+
+// backoffDelay returns the retry delay after n consecutive failures
+// (n ≥ 1): poll, 2·poll, 4·poll, ... capped at max.
+func backoffDelay(poll time.Duration, n int, max time.Duration) time.Duration {
+	d := poll
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
 }
 
 // ErrNeedBootstrap reports that the primary's log no longer reaches the
@@ -229,9 +373,10 @@ func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
 	own := f.epoch()
 	f.mu.Lock()
 	acked := f.status.AckedLSN
+	primary := f.primary
 	f.mu.Unlock()
 	u := fmt.Sprintf("%s/v1/log?from=%d&max=%d&id=%s&acked=%d&peer_epoch=%d",
-		f.primary, from, f.opts.MaxBatch, url.QueryEscape(f.opts.ID), acked, own)
+		primary, from, f.opts.MaxBatch, url.QueryEscape(f.opts.ID), acked, own)
 	if f.opts.Wait > 0 {
 		u += "&wait=" + url.QueryEscape(f.opts.Wait.String())
 	}
@@ -254,7 +399,7 @@ func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
 				// The "primary" is running a term we have already moved past
 				// (this replica was promoted, or follows a newer primary):
 				// applying its stream would corrupt the replica.
-				return 0, head, fmt.Errorf("%w: primary %s reports epoch %d below ours (%d); refusing its stream", wal.ErrFenced, f.primary, pe, own)
+				return 0, head, fmt.Errorf("%w: primary %s reports epoch %d below ours (%d); refusing its stream", wal.ErrFenced, primary, pe, own)
 			}
 		}
 	}

@@ -251,6 +251,46 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// followRequest is POST /v1/follow: re-point this follower at a new
+// primary without a restart.
+type followRequest struct {
+	Primary string `json:"primary"`
+}
+
+// followResponse acknowledges POST /v1/follow.
+type followResponse struct {
+	OK      bool   `json:"ok"`
+	Primary string `json:"primary"`
+}
+
+// handleFollow re-points a running follower's tail loop at a new primary
+// (Options.Retarget, typically Follower.Retarget) — the failover path
+// after a peer's promotion: the surviving followers re-point at the
+// promoted node instead of restarting with a new -follow. Only a node
+// still in the follower role re-points; a promoted primary answers 409.
+func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
+	if !s.readOnly.Load() {
+		writeError(w, http.StatusConflict, CodeConflict, errors.New("not a follower: this node is the primary"))
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req followRequest
+	err := strictUnmarshal(body.Bytes(), &req)
+	putBuf(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	if err := s.opts.Retarget(req.Primary); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	writeJSON(w, followResponse{OK: true, Primary: req.Primary})
+}
+
 // noteFencing latches the highest epoch any peer has presented on the
 // replication surface. Once it exceeds the engine's own epoch this node
 // has been deposed: /v1/update answers 409 fenced until (and unless) its

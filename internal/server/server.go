@@ -117,6 +117,16 @@ type Options struct {
 	// local log tail, attach the local log, and open a new epoch,
 	// returning it; the server then leaves read-only mode.
 	Promote func(ctx context.Context) (uint64, error)
+	// Retarget, when non-nil, enables POST /v1/follow on a read-only
+	// server: re-point this follower's tail loop at a new primary URL
+	// without a restart (typically Follower.Retarget). The failover path
+	// after a promotion: surviving followers re-point at the promoted
+	// node instead of being rebuilt.
+	Retarget func(primary string) error
+	// Member, when non-nil, serves the per-shard distributed-greedy round
+	// protocol under /v1/shard/ — this process is one shard of a
+	// router-fronted topology (see internal/router).
+	Member MemberEngine
 }
 
 func (o Options) withDefaults() Options {
@@ -217,6 +227,8 @@ type Server struct {
 	mLog         routeMetrics
 	mReplication routeMetrics
 	mPromote     routeMetrics
+	mFollow      routeMetrics
+	mShard       routeMetrics
 	mHealth      routeMetrics
 	mStats       routeMetrics
 
@@ -249,6 +261,17 @@ func New(eng Engine, opts Options) (*Server, error) {
 	mux.HandleFunc("/v1/replication", s.instrument(&s.mReplication, http.MethodGet, s.handleReplication))
 	if opts.Promote != nil {
 		mux.HandleFunc("/v1/promote", s.instrument(&s.mPromote, http.MethodPost, s.handlePromote))
+	}
+	if opts.Retarget != nil {
+		mux.HandleFunc("/v1/follow", s.instrument(&s.mFollow, http.MethodPost, s.handleFollow))
+	}
+	if opts.Member != nil {
+		mux.HandleFunc("/v1/shard/meta", s.instrument(&s.mShard, http.MethodGet, s.handleShardMeta))
+		mux.HandleFunc("/v1/shard/reps", s.instrument(&s.mShard, http.MethodGet, s.handleShardReps))
+		mux.HandleFunc("/v1/shard/owner", s.instrument(&s.mShard, http.MethodGet, s.handleShardOwner))
+		mux.HandleFunc("/v1/shard/query/start", s.instrument(&s.mShard, http.MethodPost, s.handleShardStart))
+		mux.HandleFunc("/v1/shard/query/step", s.instrument(&s.mShard, http.MethodPost, s.handleShardStep))
+		mux.HandleFunc("/v1/shard/query/end", s.instrument(&s.mShard, http.MethodPost, s.handleShardEnd))
 	}
 	mux.HandleFunc("/healthz", s.instrument(&s.mHealth, http.MethodGet, s.handleHealth))
 	mux.HandleFunc("/statsz", s.instrument(&s.mStats, http.MethodGet, s.handleStats))
@@ -796,6 +819,11 @@ type ReplicationStatus struct {
 	// ever-staler reads until it is re-bootstrapped. /healthz answers 503
 	// while this is set, so load balancers stop routing here.
 	NeedsBootstrap bool `json:"needs_bootstrap,omitempty"`
+	// Diverged reports that this replica's LSN is ahead of the primary's
+	// reported head: the primary lost acknowledged history (or this
+	// follower tails a fresh/behind primary after a re-point). Lag is
+	// meaningless in that state and reads 0.
+	Diverged bool `json:"diverged,omitempty"`
 }
 
 // healthResponse is the /healthz body.
@@ -926,6 +954,12 @@ func (s *Server) Stats() statszResponse {
 	}
 	if s.opts.Promote != nil {
 		resp.Routes["/v1/promote"] = s.mPromote.stats()
+	}
+	if s.opts.Retarget != nil {
+		resp.Routes["/v1/follow"] = s.mFollow.stats()
+	}
+	if s.opts.Member != nil {
+		resp.Routes["/v1/shard/"] = s.mShard.stats()
 	}
 	if s.opts.Replication != nil {
 		st := s.opts.Replication()

@@ -32,13 +32,6 @@ import (
 // pool, so the sharded hot path — memoized per-shard covers, pooled gather
 // state — runs its rounds without allocating.
 
-// utilDelta is one trajectory's utility improvement from a selection round,
-// broadcast from the gather to the shards.
-type utilDelta struct {
-	traj       int32
-	oldU, newU float64
-}
-
 // shardGreedy is one shard's per-query greedy state.
 type shardGreedy struct {
 	sc       *shardCover
@@ -62,7 +55,7 @@ type gatherCand struct {
 type greedyScratch struct {
 	util    []float64
 	states  []shardGreedy
-	deltas  []utilDelta
+	deltas  []UtilDelta
 	sel     []tops.SiteID
 	perIter []float64
 }
@@ -124,37 +117,7 @@ func (gs *gatherSet) greedy(k int, parallel bool, g *greedyScratch) tops.Result 
 	util := g.util
 	forEach(parallel, len(g.states), func(si int) {
 		st := &g.states[si]
-		sc := st.sc
-		if sc.cs.AllPositiveScores() {
-			// util is all zeros here, so the initial marginal of every
-			// local site is bit-identical to its weight (the same
-			// left-to-right sum) — one copy instead of an O(pairs) scan.
-			// Non-winner slots keep a junk marginal but are permanently
-			// selected, so the argmax and the delta loop never read them.
-			copy(st.marg, sc.cs.Weights)
-			for li := range sc.g2l {
-				if sc.g2l[li] < 0 {
-					st.selected[li] = true
-				}
-			}
-			return
-		}
-		for li := range sc.g2l {
-			if sc.g2l[li] < 0 {
-				// Not a current winner (possible only under concurrent
-				// mutation): never a candidate.
-				st.selected[li] = true
-				continue
-			}
-			var m float64
-			trajs, scores := sc.cs.TC(int32(li))
-			for i, tr := range trajs {
-				if g := scores[i] - util[tr]; g > 0 { // util is all zeros here
-					m += g
-				}
-			}
-			st.marg[li] = m
-		}
+		seedLocalMarginals(st.sc.cs, st.sc.g2l, st.marg, st.selected)
 	})
 
 	res := tops.Result{Selected: g.sel[:0], UtilityPerIter: g.perIter[:0]}
@@ -163,54 +126,16 @@ func (gs *gatherSet) greedy(k int, parallel bool, g *greedyScratch) tops.Result 
 	for len(res.Selected) < k {
 		forEach(parallel, len(g.states), func(si int) {
 			st := &g.states[si]
-			// Absorb the previous round's winner into this shard's
-			// marginals — the exact update loop of Algorithm 1 lines 11–17,
-			// restricted to the sites this shard owns.
-			// As in plainGreedy, the scatter writes stale deltas into
-			// selected (and non-winner) slots too: those marginals are
-			// never read again, and dropping the selected[li] load removes
-			// a random byte access per covering pair. Unselected slots see
-			// the exact float sequence of Algorithm 1 lines 11–17.
-			marg := st.marg
-			for _, d := range deltas {
-				if int(d.traj) >= st.sc.cs.M {
-					continue
-				}
-				sites, scores := st.sc.cs.SC(d.traj)
-				scores = scores[:len(sites)]
-				for i, li := range sites {
-					oldGain := scores[i] - d.oldU
-					if oldGain <= 0 {
-						continue
-					}
-					newGain := scores[i] - d.newU
-					if newGain < 0 {
-						newGain = 0
-					}
-					marg[li] -= oldGain - newGain
-				}
-			}
-			// Local argmax with the incumbent's key in locals; the order is
-			// GreaterSite's exact total order, so the reduce stays bit-equal.
-			weights, g2l := st.sc.cs.Weights, st.sc.g2l
-			best := -1
-			var bm, bw float64
-			var bg int
-			for li := range marg {
-				if st.selected[li] {
-					continue
-				}
-				m := marg[li]
-				if best >= 0 && !tops.GreaterSite(m, weights[li], int(g2l[li]), bm, bw, bg) {
-					continue
-				}
-				best, bm, bw, bg = li, m, weights[li], int(g2l[li])
-			}
+			// Absorb the previous round's winner, then re-take the local
+			// argmax — the shared per-round shard arithmetic (protocol.go),
+			// the same loops a cross-process shard member runs.
+			applyWinnerDeltas(st.sc.cs, st.marg, deltas)
+			best := argmaxLocal(st.sc.cs, st.sc.g2l, st.marg, st.selected)
 			if best < 0 {
 				st.cand = gatherCand{}
 				return
 			}
-			st.cand = gatherCand{ok: true, li: best, gi: g2l[best], marg: bm, weight: bw}
+			st.cand = gatherCand{ok: true, li: best, gi: st.sc.g2l[best], marg: st.marg[best], weight: st.sc.cs.Weights[best]}
 		})
 		// Reduce the candidates under the greedy's total order.
 		win := -1
@@ -232,19 +157,10 @@ func (gs *gatherSet) greedy(k int, parallel bool, g *greedyScratch) tops.Result 
 		st.selected[c.li] = true
 		res.Selected = append(res.Selected, tops.SiteID(c.gi))
 		res.Utility += c.marg
-		deltas = deltas[:0]
 		trajs, scores := st.sc.cs.TC(int32(c.li))
-		for i, tr := range trajs {
-			oldU := util[tr]
-			if scores[i] <= oldU {
-				continue
-			}
-			util[tr] = scores[i]
-			if oldU == 0 {
-				covered++
-			}
-			deltas = append(deltas, utilDelta{traj: tr, oldU: oldU, newU: scores[i]})
-		}
+		var nc int
+		deltas, nc = ApplyWinner(util, trajs, scores, deltas[:0])
+		covered += nc
 		res.UtilityPerIter = append(res.UtilityPerIter, res.Utility)
 	}
 	res.Covered = covered

@@ -1,0 +1,348 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/engine"
+	"netclus/internal/roadnet"
+	"netclus/internal/tops"
+)
+
+// Member is one shard of a router-fronted topology running in its own
+// process: a full engine.Engine (WAL, snapshots, followers, promotion all
+// unchanged) restricted to the sites its partitioner routes here, plus
+// the shard side of the distributed-greedy round protocol (protocol.go).
+// The serving layer exposes it under /v1/shard/ when Options.Member is
+// set; internal/router speaks the protocol against N of these.
+//
+// Site mutations are validated against ownership: a node another shard
+// owns is rejected, because applying it here would diverge this member's
+// partition from the topology the router derives from the partitioner.
+type Member struct {
+	*engine.Engine
+	part  Partitioner
+	index int
+
+	// initialSites is the full global site order at build time (nil on a
+	// member recovered from a checkpoint, which no longer knows it); the
+	// router seeds its dense-id mirror from it.
+	initialSites []roadnet.NodeID
+
+	sesMu     sync.Mutex
+	sessions  map[string]*memberSession
+	lastSweep time.Time
+}
+
+// memberSession is one query's per-shard round state: the immutable
+// masked-cover snapshot taken at start, the marginals and selection mask
+// the rounds evolve, and the last candidate reported (so a step naming it
+// as the winner can mark it selected).
+type memberSession struct {
+	mu       sync.Mutex
+	cs       *tops.CoverSets
+	g2l      []int32
+	marg     []float64
+	selected []bool
+	lastLI   int // local index of the last reported candidate; -1 none
+	lastGI   int32
+	touched  time.Time
+}
+
+// sessionTTL expires sessions a crashed or partitioned gather never ended.
+const sessionTTL = 2 * time.Minute
+
+// ErrUnknownSession reports a step or end against a session this member
+// does not hold (expired, never started here, or started on a different
+// process after a failover) — the gather aborts and restarts the query.
+var ErrUnknownSession = errors.New("shard: unknown query session")
+
+// NewMember wraps an engine as shard index of shards under the named
+// partitioner. initialSites, when known, is the full global site order
+// the topology was built from (reported in Meta for the router's dense-id
+// mirror).
+func NewMember(eng *engine.Engine, shards, index int, partitioner string, initialSites []roadnet.NodeID) (*Member, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("shard: member needs an engine")
+	}
+	if index < 0 || index >= shards {
+		return nil, fmt.Errorf("shard: member index %d outside [0, %d)", index, shards)
+	}
+	part, err := NewPartitioner(partitioner, shards, eng.Graph())
+	if err != nil {
+		return nil, err
+	}
+	return &Member{
+		Engine:       eng,
+		part:         part,
+		index:        index,
+		initialSites: initialSites,
+		sessions:     make(map[string]*memberSession),
+	}, nil
+}
+
+// BuildMember builds shard index of a shards-wide topology from the full
+// dataset: the ladder range derives from the FULL site set (exactly as
+// shard.Build does, so every member — and a single-process engine over the
+// same dataset — shares one ladder), then only this member's shard
+// instance is indexed.
+func BuildMember(inst *tops.Instance, index int, opts Options) (*Member, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("shard: nil instance")
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be >= 1", opts.Shards)
+	}
+	part, err := NewPartitioner(opts.Partitioner, opts.Shards, inst.G)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= opts.Shards {
+		return nil, fmt.Errorf("shard: member index %d outside [0, %d)", index, opts.Shards)
+	}
+	if opts.Build.TauMin <= 0 || opts.Build.TauMax <= 0 {
+		tmin, tmax := core.EstimateTauRange(inst)
+		if opts.Build.TauMin <= 0 {
+			opts.Build.TauMin = tmin
+		}
+		if opts.Build.TauMax <= 0 {
+			opts.Build.TauMax = tmax
+		}
+	}
+	if opts.Build.TauMin >= opts.Build.TauMax {
+		return nil, fmt.Errorf("shard: τmin %v >= τmax %v", opts.Build.TauMin, opts.Build.TauMax)
+	}
+	insts := shardInstances(part, inst)
+	bopts := opts.Build
+	if bopts.Workers <= 0 {
+		bopts.Workers = runtime.NumCPU()
+	}
+	idx, err := core.Build(insts[index], bopts)
+	if err != nil {
+		return nil, fmt.Errorf("shard: building member %d: %w", index, err)
+	}
+	eng, err := engine.New(idx, opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("shard: member %d engine: %w", index, err)
+	}
+	return &Member{
+		Engine:       eng,
+		part:         part,
+		index:        index,
+		initialSites: append([]roadnet.NodeID(nil), inst.Sites...),
+		sessions:     make(map[string]*memberSession),
+	}, nil
+}
+
+// ShardIndex returns which shard of the topology this member is.
+func (m *Member) ShardIndex() int { return m.index }
+
+// Meta assembles the /v1/shard/meta response.
+func (m *Member) Meta() MemberMeta {
+	idx := m.Engine.Index()
+	tmin, tmax := idx.TauRange()
+	live := idx.TopsInstance().Sites
+	meta := MemberMeta{
+		Shards:      m.part.Shards(),
+		Index:       m.index,
+		Partitioner: m.part.Name(),
+		TauMin:      tmin,
+		TauMax:      tmax,
+		Gamma:       idx.Gamma(),
+		Rungs:       len(idx.Instances),
+		Sites:       make([]int64, len(live)),
+		LSN:         m.LSN(),
+		Epoch:       m.Epoch(),
+	}
+	for i, v := range live {
+		meta.Sites[i] = int64(v)
+	}
+	if m.initialSites != nil {
+		meta.InitialSites = make([]int64, len(m.initialSites))
+		for i, v := range m.initialSites {
+			meta.InitialSites[i] = int64(v)
+		}
+	}
+	return meta
+}
+
+// Reps lists instance p's representatives for the router's ownership
+// reduce (GET /v1/shard/reps).
+func (m *Member) Reps(p int) ([]WireRep, error) {
+	idx := m.Engine.Index()
+	if p < 0 || p >= len(idx.Instances) {
+		return nil, fmt.Errorf("shard: instance %d outside ladder [0, %d)", p, len(idx.Instances))
+	}
+	ris := m.RepInfos(p)
+	out := make([]WireRep, len(ris))
+	for i, ri := range ris {
+		out[i] = WireRep{Cluster: int32(ri.Cluster), Node: int64(ri.Node), Dr: ri.Dr}
+	}
+	return out, nil
+}
+
+// Owner reports the shard the partitioner routes node v to — the router's
+// remote routing oracle for partitioners it cannot evaluate without the
+// graph (grid).
+func (m *Member) Owner(v int64) int { return m.part.Shard(roadnet.NodeID(v)) }
+
+// AddSite validates ownership before delegating: a misrouted site
+// mutation must fail loudly, not silently split one logical partition
+// across two shards.
+func (m *Member) AddSite(v roadnet.NodeID) error {
+	if j := m.part.Shard(v); j != m.index {
+		return fmt.Errorf("shard: node %d belongs to shard %d, not this member (%d)", v, j, m.index)
+	}
+	return m.Engine.AddSite(v)
+}
+
+// DeleteSite validates ownership before delegating (see AddSite).
+func (m *Member) DeleteSite(v roadnet.NodeID) error {
+	if j := m.part.Shard(v); j != m.index {
+		return fmt.Errorf("shard: node %d belongs to shard %d, not this member (%d)", v, j, m.index)
+	}
+	return m.Engine.DeleteSite(v)
+}
+
+// Start opens a query session: fill the masked cover for (p, ψ), seed the
+// marginals, and answer the round-0 candidate. The cover snapshot is
+// immutable (finalized CoverSets), so the session stays consistent even
+// if mutations land between rounds.
+func (m *Member) Start(ctx context.Context, req *StartRequest) (*RoundReply, error) {
+	if req.QID == "" {
+		return nil, fmt.Errorf("shard: start needs a qid")
+	}
+	if len(req.Mask) != len(req.MaskGlobal) {
+		return nil, fmt.Errorf("shard: mask (%d) and mask_global (%d) lengths differ", len(req.Mask), len(req.MaskGlobal))
+	}
+	pref, err := req.Pref.Preference()
+	if err != nil {
+		return nil, err
+	}
+	if err := pref.Validate(); err != nil {
+		return nil, err
+	}
+	mask := make([]core.ClusterID, len(req.Mask))
+	for i, c := range req.Mask {
+		mask[i] = core.ClusterID(c)
+		if i > 0 && mask[i] <= mask[i-1] {
+			return nil, fmt.Errorf("shard: mask must be strictly ascending")
+		}
+	}
+	cs, reps, err := m.CoverMasked(ctx, req.P, pref, mask)
+	if err != nil {
+		return nil, err
+	}
+	// Merge the returned reps against the mask (both ascending by cluster)
+	// into the local→global index map — the cross-process face of the
+	// in-process scatter's g2l construction. A returned cluster the mask
+	// no longer names (possible only under concurrent mutation) is not a
+	// winner: -1, permanently selected.
+	g2l := make([]int32, len(reps))
+	mi := 0
+	for li, ci := range reps {
+		g2l[li] = -1
+		for mi < len(mask) && mask[mi] < ci {
+			mi++
+		}
+		if mi < len(mask) && mask[mi] == ci {
+			g2l[li] = req.MaskGlobal[mi]
+			mi++
+		}
+	}
+	ses := &memberSession{
+		cs:       cs,
+		g2l:      g2l,
+		marg:     make([]float64, len(reps)),
+		selected: make([]bool, len(reps)),
+		lastLI:   -1,
+		touched:  time.Now(),
+	}
+	seedLocalMarginals(cs, g2l, ses.marg, ses.selected)
+	reply := &RoundReply{M: cs.M, Cand: ses.takeCandidate()}
+	m.sesMu.Lock()
+	m.sweepLocked()
+	m.sessions[req.QID] = ses
+	m.sesMu.Unlock()
+	return reply, nil
+}
+
+// Step advances a session one round: mark our candidate selected if it
+// won, absorb the winner's utility deltas, and answer the next candidate.
+func (m *Member) Step(req *StepRequest) (*RoundReply, error) {
+	m.sesMu.Lock()
+	ses := m.sessions[req.QID]
+	m.sesMu.Unlock()
+	if ses == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, req.QID)
+	}
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	ses.touched = time.Now()
+	if ses.lastLI >= 0 && ses.lastGI == req.WinnerGI {
+		ses.selected[ses.lastLI] = true
+	}
+	applyWinnerDeltas(ses.cs, ses.marg, req.Deltas)
+	return &RoundReply{Cand: ses.takeCandidate()}, nil
+}
+
+// End releases a session. Missing sessions are fine: End is best-effort
+// cleanup from the gather (expiry handles the rest).
+func (m *Member) End(qid string) {
+	m.sesMu.Lock()
+	delete(m.sessions, qid)
+	m.sesMu.Unlock()
+}
+
+// Sessions reports the live session count (expiring stale ones first).
+func (m *Member) Sessions() int {
+	m.sesMu.Lock()
+	defer m.sesMu.Unlock()
+	m.lastSweep = time.Time{} // force
+	m.sweepLocked()
+	return len(m.sessions)
+}
+
+// sweepLocked drops sessions idle past sessionTTL, at most once per 30s.
+func (m *Member) sweepLocked() {
+	now := time.Now()
+	if now.Sub(m.lastSweep) < 30*time.Second {
+		return
+	}
+	m.lastSweep = now
+	for qid, ses := range m.sessions {
+		ses.mu.Lock()
+		stale := now.Sub(ses.touched) > sessionTTL
+		ses.mu.Unlock()
+		if stale {
+			delete(m.sessions, qid)
+		}
+	}
+}
+
+// takeCandidate records and returns the session's current argmax (with
+// its TC list, so the gather can apply a win without another round trip),
+// or nil when every owned representative is selected. Caller holds ses.mu
+// (or exclusive access at start).
+func (ses *memberSession) takeCandidate() *WireCand {
+	best := argmaxLocal(ses.cs, ses.g2l, ses.marg, ses.selected)
+	if best < 0 {
+		ses.lastLI = -1
+		return nil
+	}
+	trajs, scores := ses.cs.TC(int32(best))
+	ses.lastLI = best
+	ses.lastGI = ses.g2l[best]
+	return &WireCand{
+		GI:     ses.g2l[best],
+		Marg:   ses.marg[best],
+		Weight: ses.cs.Weights[best],
+		Trajs:  trajs,
+		Scores: scores,
+	}
+}

@@ -1,0 +1,266 @@
+package shard
+
+import (
+	"fmt"
+
+	"netclus/internal/tops"
+)
+
+// The distributed-greedy round protocol, extracted into wire-codable
+// messages so the scatter/gather of shard.Sharded runs identically across
+// process boundaries (internal/router fronting N topsserve shard members).
+//
+// One query is a session: the gather side (in-process gatherSet, or the
+// router) sends each owning shard a StartRequest carrying the ladder
+// instance, the preference in wire form, and the shard's ownership mask;
+// the shard fills its masked cover, seeds its marginals, and answers with
+// its local argmax candidate plus that candidate's trajectory-score (TC)
+// list. The gather reduces the candidates under tops.GreaterSite, applies
+// the winner's TC list to its utility vector (ApplyWinner), and broadcasts
+// the resulting utility deltas in a StepRequest; each shard absorbs them,
+// re-takes its argmax, and answers again. Every float64 op on both sides
+// is shared with the in-process gather (the helpers below are called by
+// greedy.go too), and Go's encoding/json emits float64 with the shortest
+// round-trip representation, so all values — marginals, weights, scores,
+// deltas — survive the wire bit-for-bit. That is what keeps a router-tier
+// answer float-op-for-float-op identical to the single-process engine.
+
+// WirePref is a preference in wire form: the serving layer's (name, τ, λ)
+// triple, re-lowered to a tops.Preference on the receiving side with the
+// exact constructor the /v1/query decoder uses.
+type WirePref struct {
+	Name   string  `json:"name"`
+	Tau    float64 `json:"tau"`
+	Lambda float64 `json:"lambda,omitempty"`
+}
+
+// Preference lowers the wire form. The switch mirrors the /v1/query
+// decoder so a preference crossing the shard wire reconstructs the same
+// function the front door would have built.
+func (w WirePref) Preference() (tops.Preference, error) {
+	switch w.Name {
+	case "", "binary":
+		return tops.Binary(w.Tau), nil
+	case "linear":
+		return tops.Linear(w.Tau), nil
+	case "convex":
+		return tops.ConvexQuadratic(w.Tau), nil
+	case "exp":
+		lambda := w.Lambda
+		if lambda == 0 {
+			lambda = 1
+		}
+		return tops.ExpDecay(w.Tau, lambda), nil
+	default:
+		return tops.Preference{}, fmt.Errorf("shard: unknown preference %q", w.Name)
+	}
+}
+
+// UtilDelta is one trajectory's utility improvement from a selection
+// round, broadcast from the gather to the shards.
+type UtilDelta struct {
+	Traj int32   `json:"t"`
+	OldU float64 `json:"o"`
+	NewU float64 `json:"n"`
+}
+
+// WireRep is one representative row of GET /v1/shard/reps: the inputs of
+// the gather-side ownership reduce (per cluster, the shard with minimal
+// (dr, node) owns it — the single-shard representative tie-break).
+type WireRep struct {
+	Cluster int32   `json:"c"`
+	Node    int64   `json:"v"`
+	Dr      float64 `json:"dr"`
+}
+
+// StartRequest opens a query session on one shard member
+// (POST /v1/shard/query/start).
+type StartRequest struct {
+	// QID names the session; the gather side picks it unique per (query,
+	// attempt) so an aborted query's late rounds cannot touch a retry.
+	QID string `json:"qid"`
+	// P is the ladder instance serving the query's τ.
+	P    int      `json:"p"`
+	Pref WirePref `json:"pref"`
+	// Mask lists the clusters this shard owns (ascending), and MaskGlobal
+	// the global dense representative index of each — the positions the
+	// shard's candidates occupy in the single-shard representative space.
+	Mask       []int64 `json:"mask"`
+	MaskGlobal []int32 `json:"mask_global"`
+}
+
+// StepRequest advances a session one round (POST /v1/shard/query/step):
+// the previous round's winner and the utility deltas it caused.
+type StepRequest struct {
+	QID string `json:"qid"`
+	// WinnerGI is the winning candidate's global dense index; the shard
+	// whose last candidate carried it marks that representative selected.
+	WinnerGI int32       `json:"winner_gi"`
+	Deltas   []UtilDelta `json:"deltas"`
+}
+
+// EndRequest releases a session (POST /v1/shard/query/end). Sessions also
+// expire on their own, so a crashed gather cannot leak them.
+type EndRequest struct {
+	QID string `json:"qid"`
+}
+
+// RoundReply is a shard's answer to a start or step: its current local
+// argmax candidate (nil once every owned representative is selected) and,
+// on start, the shard cover's trajectory universe size.
+type RoundReply struct {
+	// M is the shard cover's trajectory count; the gather sizes its
+	// utility vector at the max over shards. Zero after the first round.
+	M    int       `json:"m,omitempty"`
+	Cand *WireCand `json:"cand,omitempty"`
+}
+
+// WireCand is one shard's per-round argmax candidate together with its TC
+// list, shipped eagerly so the gather can apply a winning candidate
+// without another round trip.
+type WireCand struct {
+	GI     int32   `json:"gi"`
+	Marg   float64 `json:"marg"`
+	Weight float64 `json:"w"`
+	// Trajs/Scores are the candidate's TC list (trajectory ids are global:
+	// every shard replicates the trajectory store).
+	Trajs  []int32   `json:"tc_t"`
+	Scores []float64 `json:"tc_s"`
+}
+
+// MemberMeta is GET /v1/shard/meta: everything the router needs to adopt
+// a shard process — topology parameters it must verify agree across
+// members, the ladder parameters that make instance selection local
+// (core.InstanceForTau), and the site lists that seed the router's global
+// dense-id mirror.
+type MemberMeta struct {
+	Shards      int     `json:"shards"`
+	Index       int     `json:"index"`
+	Partitioner string  `json:"partitioner"`
+	TauMin      float64 `json:"tau_min"`
+	TauMax      float64 `json:"tau_max"`
+	Gamma       float64 `json:"gamma"`
+	Rungs       int     `json:"rungs"`
+	// Sites is this shard's live site list in its own dense order.
+	Sites []int64 `json:"sites"`
+	// InitialSites is the full global site order the member was built
+	// from, when it still knows it (a member recovered from a checkpoint
+	// does not). All members of one build report the same list; the router
+	// seeds its dense-id mirror from it so SiteIDs match the single-process
+	// engine's.
+	InitialSites []int64 `json:"initial_sites,omitempty"`
+	LSN          uint64  `json:"lsn"`
+	Epoch        uint64  `json:"epoch"`
+}
+
+// The round arithmetic, shared between the in-process gather (greedy.go)
+// and the cross-process member/router pair. Keeping these loops in one
+// place is what makes "bit-exact across the wire" a structural property
+// instead of a copy-discipline one.
+
+// seedLocalMarginals fills one shard's round-0 marginals: each owned
+// representative's initial marginal is its TC scores summed left to right
+// (the utility vector is all zeros before the first selection, so each
+// positive score contributes exactly itself — the same float sequence as
+// Algorithm 1's first iteration). Non-winner slots (g2l < 0) are marked
+// permanently selected so the argmax and delta loops never read them.
+func seedLocalMarginals(cs *tops.CoverSets, g2l []int32, marg []float64, selected []bool) {
+	if cs.AllPositiveScores() {
+		// The initial marginal of every local site is bit-identical to its
+		// weight (the same left-to-right sum) — one copy instead of an
+		// O(pairs) scan. Non-winner slots keep a junk marginal but are
+		// permanently selected, so they are never read.
+		copy(marg, cs.Weights)
+		for li := range g2l {
+			if g2l[li] < 0 {
+				selected[li] = true
+			}
+		}
+		return
+	}
+	for li := range g2l {
+		if g2l[li] < 0 {
+			// Not a current winner (possible only under concurrent
+			// mutation): never a candidate.
+			selected[li] = true
+			continue
+		}
+		var m float64
+		trajs, scores := cs.TC(int32(li))
+		for i := range trajs {
+			if g := scores[i]; g > 0 { // scores[i] - util[tr] with util ≡ 0
+				m += g
+			}
+		}
+		marg[li] = m
+	}
+}
+
+// applyWinnerDeltas absorbs the previous round's winner into one shard's
+// marginals — the exact update loop of Algorithm 1 lines 11–17, restricted
+// to the sites this shard owns. Stale deltas also land in selected (and
+// non-winner) slots: those marginals are never read again, and dropping
+// the selected[li] load removes a random byte access per covering pair.
+func applyWinnerDeltas(cs *tops.CoverSets, marg []float64, deltas []UtilDelta) {
+	for _, d := range deltas {
+		if int(d.Traj) >= cs.M {
+			continue
+		}
+		sites, scores := cs.SC(d.Traj)
+		scores = scores[:len(sites)]
+		for i, li := range sites {
+			oldGain := scores[i] - d.OldU
+			if oldGain <= 0 {
+				continue
+			}
+			newGain := scores[i] - d.NewU
+			if newGain < 0 {
+				newGain = 0
+			}
+			marg[li] -= oldGain - newGain
+		}
+	}
+}
+
+// argmaxLocal returns the unselected local representative with the
+// greatest (marginal, weight, global index) key — tops.GreaterSite's exact
+// total order, so reducing per-shard winners stays bit-equal to a global
+// argmax — or -1 when every local representative is selected.
+func argmaxLocal(cs *tops.CoverSets, g2l []int32, marg []float64, selected []bool) int {
+	weights := cs.Weights
+	best := -1
+	var bm, bw float64
+	var bg int
+	for li := range marg {
+		if selected[li] {
+			continue
+		}
+		m := marg[li]
+		if best >= 0 && !tops.GreaterSite(m, weights[li], int(g2l[li]), bm, bw, bg) {
+			continue
+		}
+		best, bm, bw, bg = li, m, weights[li], int(g2l[li])
+	}
+	return best
+}
+
+// ApplyWinner applies a winning representative's TC list to the gather's
+// utility vector: trajectories whose score beats their current utility
+// move up, each improvement is recorded as a delta (appended into buf),
+// and newly covered trajectories are counted. The exact float sequence of
+// Algorithm 1's utility update, exported because the router is a gather.
+func ApplyWinner(util []float64, trajs []int32, scores []float64, buf []UtilDelta) ([]UtilDelta, int) {
+	covered := 0
+	for i, tr := range trajs {
+		oldU := util[tr]
+		if scores[i] <= oldU {
+			continue
+		}
+		util[tr] = scores[i]
+		if oldU == 0 {
+			covered++
+		}
+		buf = append(buf, UtilDelta{Traj: tr, OldU: oldU, NewU: scores[i]})
+	}
+	return buf, covered
+}

@@ -24,6 +24,7 @@ import (
 	"netclus/internal/engine"
 	"netclus/internal/gen"
 	"netclus/internal/roadnet"
+	"netclus/internal/router"
 	"netclus/internal/server"
 	"netclus/internal/shard"
 	"netclus/internal/tops"
@@ -203,6 +204,41 @@ func LoadShardedSnapshot(r io.Reader, inst *Instance, opts ShardedOptions) (*Sha
 // ValidateShardCount applies the serving-CLI policy for shard counts:
 // reject non-positive, cap at the core count with a warning.
 var ValidateShardCount = shard.ValidateShardCount
+
+// Cross-process sharding: each shard of a topology runs as its own
+// topsserve process (-shard-index) holding one Engine over its site
+// partition, and a stateless router tier (cmd/topsrouter) speaks the
+// distributed-greedy round protocol against them over HTTP — answers are
+// bit-exact against a single-process engine over the same dataset.
+type (
+	// ShardMember is one process-local shard: an Engine plus the member
+	// side of the round protocol, served under /v1/shard/ by setting
+	// ServeOptions.Member.
+	ShardMember = shard.Member
+	// Router is the scatter-gather front tier over N shard members; it
+	// implements http.Handler.
+	Router = router.Router
+	// RouterOptions configures the shard map and failure policy.
+	RouterOptions = router.Options
+)
+
+// BuildShardMember builds shard index of an opts.Shards-wide topology
+// from the full dataset (the ladder derives from the full site set, so
+// every member and the router agree on it).
+func BuildShardMember(inst *Instance, index int, opts ShardedOptions) (*ShardMember, error) {
+	return shard.BuildMember(inst, index, opts)
+}
+
+// NewShardMember wraps a recovered Engine as shard index of a
+// shards-wide topology (checkpoint recovery path; the build-time site
+// order is no longer known, so the router seeds dense ids per shard).
+func NewShardMember(eng *Engine, shards, index int, partitioner string) (*ShardMember, error) {
+	return shard.NewMember(eng, shards, index, partitioner, nil)
+}
+
+// NewRouter connects to every shard member, validates the topology, and
+// returns the serving router.
+func NewRouter(opts RouterOptions) (*Router, error) { return router.New(opts) }
 
 // ShardedManifestName is the manifest file inside a SaveShardedDir layout.
 const ShardedManifestName = shard.ManifestName
