@@ -11,9 +11,18 @@
 // the paper's Fig. 2: it emits noisy GPS traces from the generated
 // trajectories, map-matches them back onto the network, and reports the
 // recovery quality.
+//
+// With -ndjson it writes noisy GPS traces in the POST /v1/ingest wire
+// format (one {"id", "points": [{"x","y","t"}...]} object per line), so a
+// feed for a live topsserve can be generated from the same preset the
+// server booted with:
+//
+//	topsgen -preset beijing-small -scale 0.2 -ndjson feed.ndjson
+//	curl --data-binary @feed.ndjson 127.0.0.1:8080/v1/ingest
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +40,9 @@ func main() {
 		seed   = flag.Int64("seed", 42, "generation seed")
 		out    = flag.String("out", "", "output path prefix (writes <out>.graph and <out>.trajs)")
 		gps    = flag.Bool("gps", false, "also run the GPS-emission + map-matching pipeline and report recovery quality")
+
+		ndjson      = flag.String("ndjson", "", "write noisy GPS traces in the /v1/ingest NDJSON wire format to this path")
+		ndjsonCount = flag.Int("ndjson-count", 25, "number of traces to emit with -ndjson")
 	)
 	flag.Parse()
 
@@ -66,6 +78,40 @@ func main() {
 		}
 		tf.Close()
 		fmt.Printf("wrote %s.graph and %s.trajs\n", *out, *out)
+	}
+
+	if *ndjson != "" {
+		n := *ndjsonCount
+		if m := d.Instance.M(); n > m {
+			n = m
+		}
+		f, err := os.Create(*ndjson)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		for i := 0; i < n; i++ {
+			orig := d.Instance.Trajs.Get(trajectory.ID(i))
+			trace := gen.EmitGPS(d.Instance.G, orig, gen.GPSConfig{Seed: *seed + int64(i)})
+			fmt.Fprintf(w, `{"id":"t%d","points":[`, i)
+			for j, p := range trace.Points {
+				if j > 0 {
+					w.WriteByte(',')
+				}
+				fmt.Fprintf(w, `{"x":%g,"y":%g,"t":%g}`, p.Pos.X, p.Pos.Y, p.Time)
+			}
+			fmt.Fprintln(w, "]}")
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d NDJSON GPS traces to %s\n", n, *ndjson)
 	}
 
 	if *gps {

@@ -117,6 +117,16 @@ type config struct {
 	quorum          int
 	quorumTimeout   time.Duration
 	pprofAddr       string
+
+	ingestWorkers    int
+	ingestBatch      int
+	ingestRadius     float64
+	ingestSigma      float64
+	ingestBeta       float64
+	ingestMaxCand    int
+	ingestMinSpacing float64
+	ingestOriginLat  float64
+	ingestOriginLon  float64
 }
 
 func (c *config) engineOpts() netclus.EngineOptions {
@@ -125,6 +135,26 @@ func (c *config) engineOpts() netclus.EngineOptions {
 
 func (c *config) walOptions() netclus.WALOptions {
 	return netclus.WALOptions{Policy: c.fsync, Interval: c.fsyncInterval}
+}
+
+// ingestOptions lowers the -ingest-* flags; nil disables POST /v1/ingest.
+func (c *config) ingestOptions() *netclus.IngestOptions {
+	if c.ingestWorkers < 0 {
+		return nil
+	}
+	return &netclus.IngestOptions{
+		Workers:  c.ingestWorkers,
+		MaxBatch: c.ingestBatch,
+		Match: netclus.MatchConfig{
+			CandidateRadiusKm: c.ingestRadius,
+			MaxCandidates:     c.ingestMaxCand,
+			SigmaKm:           c.ingestSigma,
+			BetaKm:            c.ingestBeta,
+			MinPointSpacingKm: c.ingestMinSpacing,
+		},
+		OriginLat: c.ingestOriginLat,
+		OriginLon: c.ingestOriginLon,
+	}
 }
 
 func (c *config) checkpointPath() string { return filepath.Join(c.walDir, checkpointName) }
@@ -158,6 +188,15 @@ func main() {
 	flag.IntVar(&c.quorum, "quorum", 0, "semi-sync replication: acknowledge an update only after this many followers durably persisted it (requires -wal-dir); 0 disables")
 	flag.DurationVar(&c.quorumTimeout, "quorum-timeout", 5*time.Second, "how long an update waits for the -quorum before answering 503 quorum_timeout")
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
+	flag.IntVar(&c.ingestWorkers, "ingest-workers", 0, "map-matching worker pool for POST /v1/ingest (0 = all cores capped at 8, -1 disables the endpoint)")
+	flag.IntVar(&c.ingestBatch, "ingest-batch", 0, "traces per ingest AddTrajectories mutation (0 = default 64)")
+	flag.Float64Var(&c.ingestRadius, "ingest-radius", 0, "matcher candidate radius in km (0 = default 0.3)")
+	flag.Float64Var(&c.ingestSigma, "ingest-sigma", 0, "matcher GPS noise sigma in km (0 = default 0.05)")
+	flag.Float64Var(&c.ingestBeta, "ingest-beta", 0, "matcher transition tolerance in km (0 = default 0.3)")
+	flag.IntVar(&c.ingestMaxCand, "ingest-max-candidates", 0, "matcher candidates per GPS point (0 = default 6)")
+	flag.Float64Var(&c.ingestMinSpacing, "ingest-min-spacing", 0, "drop GPS points closer than this many km to their predecessor (0 = keep all)")
+	flag.Float64Var(&c.ingestOriginLat, "ingest-origin-lat", 0, "projection origin latitude for lat/lon ingest points")
+	flag.Float64Var(&c.ingestOriginLon, "ingest-origin-lon", 0, "projection origin longitude for lat/lon ingest points")
 	flag.Parse()
 
 	pol, err := netclus.ParseFsyncPolicy(fsyncName)
@@ -572,9 +611,14 @@ func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, l
 		Log:            log,
 		Quorum:         c.quorum,
 		QuorumTimeout:  c.quorumTimeout,
+		Ingest:         c.ingestOptions(),
 	}
 	if m, ok := eng.(*netclus.ShardMember); ok {
 		sopts.Member = m
+	}
+	if sopts.Ingest != nil {
+		fmt.Printf("ingest: POST /v1/ingest enabled (workers %d, batch %d)\n",
+			sopts.Ingest.Workers, sopts.Ingest.MaxBatch)
 	}
 
 	bg, stopBg := context.WithCancel(context.Background())

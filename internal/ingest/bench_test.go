@@ -1,0 +1,51 @@
+package ingest
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"netclus/internal/trajectory"
+)
+
+// BenchmarkIngest streams a pre-rendered NDJSON feed through the full
+// pipeline — decode, pooled map-matching, windowed AddTrajectories — into
+// a live engine, and reports traces/s and points/s plus the match/apply
+// split (the EXPERIMENTS.md ingest throughput row).
+func BenchmarkIngest(b *testing.B) {
+	city := testCity(b)
+	traces := genTraces(b, city, 64, 407)
+	feed := ndjsonPlanar(traces)
+	nPoints := 0
+	for _, tr := range traces {
+		nPoints += len(tr.Points)
+	}
+	eng := buildEngine(b, city)
+	in := New(city.Graph, Options{Workers: 4, MaxBatch: 64})
+	sink := SinkFunc(func(_ context.Context, trs []*trajectory.Trajectory) ([]trajectory.ID, error) {
+		return eng.AddTrajectories(trs)
+	})
+	drop := func(Verdict) error { return nil }
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := in.Run(context.Background(), strings.NewReader(feed), sink, drop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(len(traces)*b.N)/elapsed, "traces/s")
+		b.ReportMetric(float64(nPoints*b.N)/elapsed, "points/s")
+	}
+	st := in.Stats()
+	if st.Matched == 0 {
+		b.Fatal("benchmark matched zero traces")
+	}
+	total := float64(st.MatchMillis + st.ApplyMillis)
+	if total > 0 {
+		b.ReportMetric(float64(st.MatchMillis)/total, "match-frac")
+	}
+}

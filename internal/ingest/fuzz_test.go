@@ -1,0 +1,50 @@
+package ingest
+
+import (
+	"testing"
+)
+
+// FuzzIngestDecode hammers the per-line decoder with adversarial NDJSON.
+// The property is total safety: decodeLine never panics, and every
+// accepted line yields finite, non-empty points within the cap.
+func FuzzIngestDecode(f *testing.F) {
+	f.Add([]byte(`{"id":"a","points":[{"x":1,"y":2,"t":3}]}`))
+	f.Add([]byte(`{"points":[{"lat":39.9,"lon":116.4}]}`))
+	f.Add([]byte(`{"points":[]}`))
+	f.Add([]byte(`{"points":[{"x":1}]}`))
+	f.Add([]byte(`{"points":[{"x":1,"y":2,"lat":3,"lon":4}]}`))
+	f.Add([]byte(`{"points":[{"x":1e999,"y":0}]}`))
+	f.Add([]byte(`{"points":[{"lat":91,"lon":0}]}`))
+	f.Add([]byte(`{"points":[{"x":1,"y":2}]}{"points":[]}`)) // trailing garbage
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"unknown":true,"points":[{"x":1,"y":2}]}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"points":null}`))
+	f.Add([]byte(`{"points":[{"t":5}]}`))
+
+	opts := Options{MaxPointsPerTrace: 32}.withDefaults()
+	f.Fuzz(func(t *testing.T, line []byte) {
+		dec := decodeLine(line, opts)
+		if dec.code != "" {
+			if dec.err == "" {
+				t.Fatalf("rejection %q without detail", dec.code)
+			}
+			return
+		}
+		if len(dec.trace.Points) == 0 {
+			t.Fatal("accepted line decoded to zero points")
+		}
+		if len(dec.trace.Points) > opts.MaxPointsPerTrace {
+			t.Fatalf("accepted line exceeds point cap: %d", len(dec.trace.Points))
+		}
+		if dec.points != len(dec.trace.Points) {
+			t.Fatalf("point accounting mismatch: %d vs %d", dec.points, len(dec.trace.Points))
+		}
+		for i, p := range dec.trace.Points {
+			if !finite(p.Pos.X) || !finite(p.Pos.Y) || !finite(p.Time) {
+				t.Fatalf("accepted line has non-finite point %d: %+v", i, p)
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@
 package mapmatch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -71,9 +72,17 @@ type Matcher struct {
 // NewMatcher builds a matcher over g. The grid index is constructed once
 // and reused across traces.
 func NewMatcher(g *roadnet.Graph, cfg Config) *Matcher {
+	return NewMatcherWithIndex(g, spatial.NewGrid(g, 0), cfg)
+}
+
+// NewMatcherWithIndex builds a matcher over g reusing a prebuilt grid
+// index. The grid is read-only during matching, so a worker pool shares
+// one index while each worker keeps its own matcher (the Dijkstra scratch
+// is mutable — a Matcher must not be used concurrently).
+func NewMatcherWithIndex(g *roadnet.Graph, grid *spatial.Grid, cfg Config) *Matcher {
 	return &Matcher{
 		g:       g,
-		grid:    spatial.NewGrid(g, 0),
+		grid:    grid,
 		cfg:     cfg.withDefaults(),
 		scratch: roadnet.NewScratch(g),
 	}
@@ -89,9 +98,22 @@ type candidate struct {
 }
 
 // Match converts a GPS trace into a map-matched trajectory. It returns an
-// error when the trace is empty or no candidate lattice path exists (e.g.
-// the trace lies outside the network).
+// error when the trace is empty, contains non-finite coordinates, or no
+// candidate lattice path exists (e.g. the trace lies outside the network).
 func (m *Matcher) Match(trace trajectory.GPSTrace) (*trajectory.Trajectory, error) {
+	return m.MatchCtx(context.Background(), trace)
+}
+
+// MatchCtx is Match with cancellation: the decoding checks ctx between
+// lattice layers and returns ctx.Err() once it is done. Matching is
+// CPU-bound, so this is the knob streaming callers (the ingest pipeline)
+// use to abandon work when the client hangs up.
+func (m *Matcher) MatchCtx(ctx context.Context, trace trajectory.GPSTrace) (*trajectory.Trajectory, error) {
+	for i, p := range trace.Points {
+		if !finite(p.Pos.X) || !finite(p.Pos.Y) {
+			return nil, fmt.Errorf("mapmatch: point %d has non-finite coordinates", i)
+		}
+	}
 	pts := m.thin(trace)
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("mapmatch: empty trace")
@@ -100,23 +122,33 @@ func (m *Matcher) Match(trace trajectory.GPSTrace) (*trajectory.Trajectory, erro
 	if err != nil {
 		return nil, err
 	}
-	best := m.viterbi(pts, layers)
+	best, err := m.viterbi(ctx, pts, layers)
+	if err != nil {
+		return nil, err
+	}
 	if best == nil {
 		return nil, fmt.Errorf("mapmatch: no feasible path through candidate lattice")
 	}
-	nodes := m.stitch(best)
+	nodes := longestSegment(m.stitch(best))
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("mapmatch: stitching produced empty walk")
 	}
 	return trajectory.New(m.g, nodes)
 }
 
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
 // thin drops points closer than MinPointSpacingKm to their predecessor.
+// The result never aliases trace.Points: callers retain the raw trace and
+// must not see it mutated by later lattice work.
 func (m *Matcher) thin(trace trajectory.GPSTrace) []trajectory.GPSPoint {
 	if m.cfg.MinPointSpacingKm == 0 || len(trace.Points) == 0 {
 		return trace.Points
 	}
-	out := trace.Points[:1]
+	out := make([]trajectory.GPSPoint, 1, len(trace.Points))
+	out[0] = trace.Points[0]
 	for _, p := range trace.Points[1:] {
 		if p.Pos.Dist(out[len(out)-1].Pos) >= m.cfg.MinPointSpacingKm {
 			out = append(out, p)
@@ -169,8 +201,9 @@ func (m *Matcher) closestK(p trajectory.GPSPoint, ids []roadnet.NodeID, k int) [
 }
 
 // viterbi decodes the maximum-score candidate path and returns the chosen
-// node of each layer.
-func (m *Matcher) viterbi(pts []trajectory.GPSPoint, layers [][]candidate) []roadnet.NodeID {
+// node of each layer. It checks ctx once per layer — each layer runs one
+// bounded Dijkstra per previous candidate, so that is the natural grain.
+func (m *Matcher) viterbi(ctx context.Context, pts []trajectory.GPSPoint, layers [][]candidate) ([]roadnet.NodeID, error) {
 	first := layers[0]
 	for i := range first {
 		first[i].score = first[i].emitLog
@@ -178,6 +211,9 @@ func (m *Matcher) viterbi(pts []trajectory.GPSPoint, layers [][]candidate) []roa
 	}
 	const negInf = math.MaxFloat64 * -1
 	for li := 1; li < len(layers); li++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		prevLayer := layers[li-1]
 		gpsDist := pts[li].Pos.Dist(pts[li-1].Pos)
 		searchRadius := gpsDist*3 + m.cfg.CandidateRadiusKm*4
@@ -234,7 +270,7 @@ func (m *Matcher) viterbi(pts []trajectory.GPSPoint, layers [][]candidate) []roa
 		}
 	}
 	if bestIdx < 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]roadnet.NodeID, len(layers))
 	idx := bestIdx
@@ -253,34 +289,54 @@ func (m *Matcher) viterbi(pts []trajectory.GPSPoint, layers [][]candidate) []roa
 			idx = prevBest
 		}
 	}
-	return out
+	return out, nil
 }
 
-// stitch expands the matched node-per-point sequence into a connected node
-// walk by inserting shortest paths between consecutive distinct nodes.
-// Unbridgeable gaps are skipped (the walk continues from the far side),
-// mirroring how production matchers handle tunnels and data holes.
-func (m *Matcher) stitch(matched []roadnet.NodeID) []roadnet.NodeID {
-	var out []roadnet.NodeID
+// stitch expands the matched node-per-point sequence into connected node
+// walks by inserting shortest paths between consecutive distinct nodes.
+// Unbridgeable gaps split the walk — each returned segment is internally
+// connected, mirroring how production matchers handle tunnels and data
+// holes. Match keeps the longest segment.
+func (m *Matcher) stitch(matched []roadnet.NodeID) [][]roadnet.NodeID {
+	var segs [][]roadnet.NodeID
+	var cur []roadnet.NodeID
 	for _, v := range matched {
-		if len(out) == 0 {
-			out = append(out, v)
+		if len(cur) == 0 {
+			cur = append(cur, v)
 			continue
 		}
-		prev := out[len(out)-1]
+		prev := cur[len(cur)-1]
 		if v == prev {
 			continue
 		}
 		if m.g.HasEdge(prev, v) {
-			out = append(out, v)
+			cur = append(cur, v)
 			continue
 		}
 		path, d := roadnet.AStar(m.g, prev, v)
 		if math.IsInf(d, 1) {
-			out = append(out, v) // unbridgeable: jump (trajectory.New prices by shortest path; caller sees error if truly disconnected)
+			// Unbridgeable: close the walk here and continue from the far
+			// side. trajectory.New would reject the disconnected pair.
+			segs = append(segs, cur)
+			cur = []roadnet.NodeID{v}
 			continue
 		}
-		out = append(out, path[1:]...)
+		cur = append(cur, path[1:]...)
 	}
-	return out
+	if len(cur) > 0 {
+		segs = append(segs, cur)
+	}
+	return segs
+}
+
+// longestSegment picks the segment with the most nodes (earliest wins a
+// tie) — the best-supported connected piece of the matched walk.
+func longestSegment(segs [][]roadnet.NodeID) []roadnet.NodeID {
+	var best []roadnet.NodeID
+	for _, s := range segs {
+		if len(s) > len(best) {
+			best = s
+		}
+	}
+	return best
 }

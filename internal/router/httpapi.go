@@ -19,6 +19,9 @@ const (
 	// codeShardUnavailable: a shard had no reachable member within the
 	// attempt budget; retryable after failover/promotion.
 	codeShardUnavailable = "shard_unavailable"
+	// codeNotImplemented: the endpoint exists in the single-process
+	// topologies but not behind the router.
+	codeNotImplemented = "not_implemented"
 	// codeTopologyDiverged: a broadcast mutation applied on some shards
 	// and failed on another — the topology needs repair (replay from the
 	// failed shard's WAL position) before it is trustworthy.
@@ -67,6 +70,7 @@ func (r *Router) routes() {
 	mux.HandleFunc("/v1/query", r.methodGate(http.MethodPost, r.handleQuery))
 	mux.HandleFunc("/v1/query/batch", r.methodGate(http.MethodPost, r.handleBatch))
 	mux.HandleFunc("/v1/update", r.methodGate(http.MethodPost, r.handleUpdate))
+	mux.HandleFunc("/v1/ingest", r.methodGate(http.MethodPost, r.handleIngest))
 	mux.HandleFunc("/v1/topology", r.handleTopology)
 	mux.HandleFunc("/healthz", r.methodGate(http.MethodGet, r.handleHealth))
 	mux.HandleFunc("/statsz", r.methodGate(http.MethodGet, r.handleStats))
@@ -229,6 +233,21 @@ type wireUpdate struct {
 // validates the request before the others commit). The write lock
 // serializes against in-flight queries, so a router-routed history has the
 // in-process engine's sequential semantics.
+// handleIngest: the router deliberately does not serve live GPS
+// ingestion. Map-matching needs the road network and its spatial index,
+// which the stateless router tier does not load — and shipping raw traces
+// to one shard would ingest into that shard only, diverging the
+// replicated trajectory store. The supported story is single-process:
+// stream to a topsserve primary (engine or in-process sharded topology),
+// whose /v1/ingest matches locally and broadcasts the resulting
+// AddTrajectories mutations through the usual write path. Behind a
+// router, run the matcher client-side (netclus.Matcher) and POST the
+// matched walks as add_trajectory updates, which the router broadcasts.
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	writeError(w, http.StatusNotImplemented, codeNotImplemented,
+		fmt.Errorf("the router tier does not map-match: stream raw traces to a single-process topsserve /v1/ingest, or match client-side and broadcast add_trajectory updates via /v1/update"))
+}
+
 func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	raw, err := io.ReadAll(io.LimitReader(req.Body, 8<<20))
 	if err != nil {

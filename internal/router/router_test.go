@@ -431,6 +431,20 @@ func TestRouterValidation(t *testing.T) {
 	if len(topo.Shards) != 2 || topo.Shards[1].ActiveURL != urls[1] {
 		t.Fatalf("topology after re-point: %+v", topo)
 	}
+
+	// /v1/ingest is a documented non-feature of the router tier: the
+	// stateless router cannot map-match, so it answers 501 with a stable
+	// code instead of silently ingesting into one shard.
+	status, body = postJSON(t, rts.Client(), rts.URL+"/v1/ingest", `{"points":[{"x":1,"y":2}]}`)
+	if status != http.StatusNotImplemented {
+		t.Fatalf("router ingest status %d (%s), want 501", status, body)
+	}
+	var e struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != "not_implemented" {
+		t.Fatalf("router ingest error body %s (err %v), want code not_implemented", body, err)
+	}
 }
 
 // TestRouterBatch pins /v1/query/batch: per-item isolation and the same

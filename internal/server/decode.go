@@ -28,6 +28,10 @@ type Limits struct {
 	MaxBatch int
 	// MaxBodyBytes bounds any request body.
 	MaxBodyBytes int64
+	// MaxIngestBytes bounds one /v1/ingest request body. Streams are
+	// consumed incrementally (never buffered whole), so the cap is a
+	// defence against runaway connections, not a memory bound.
+	MaxIngestBytes int64
 	// MaxTimeout caps the per-request deadline a client may ask for.
 	MaxTimeout time.Duration
 }
@@ -44,6 +48,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxBodyBytes <= 0 {
 		l.MaxBodyBytes = 1 << 20
+	}
+	if l.MaxIngestBytes <= 0 {
+		l.MaxIngestBytes = 1 << 30
 	}
 	if l.MaxTimeout <= 0 {
 		l.MaxTimeout = time.Minute

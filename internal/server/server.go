@@ -42,6 +42,7 @@ import (
 
 	"netclus/internal/core"
 	"netclus/internal/engine"
+	"netclus/internal/ingest"
 	"netclus/internal/roadnet"
 	"netclus/internal/shard"
 	"netclus/internal/trajectory"
@@ -65,6 +66,9 @@ type Engine interface {
 	AddSite(v roadnet.NodeID) error
 	DeleteSite(v roadnet.NodeID) error
 	AddTrajectory(tr *trajectory.Trajectory) (trajectory.ID, error)
+	// AddTrajectories applies a batch atomically under one WAL record —
+	// the ingest pipeline's write path.
+	AddTrajectories(trs []*trajectory.Trajectory) ([]trajectory.ID, error)
 	DeleteTrajectory(tid trajectory.ID) error
 }
 
@@ -127,6 +131,12 @@ type Options struct {
 	// protocol under /v1/shard/ — this process is one shard of a
 	// router-fronted topology (see internal/router).
 	Member MemberEngine
+	// Ingest, when non-nil, enables POST /v1/ingest: raw GPS traces are
+	// decoded from NDJSON, map-matched onto the engine's graph across a
+	// worker pool, and applied as AddTrajectories mutations — WAL-logged,
+	// quorum-ackable, and replicated like hand-posted updates. See
+	// internal/ingest for the pipeline and wire format.
+	Ingest *ingest.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -219,9 +229,14 @@ type Server struct {
 	promoteMu sync.Mutex
 	acks      *ackTracker
 
+	// ing is the ingestion pipeline behind POST /v1/ingest (nil when
+	// Options.Ingest is nil).
+	ing *ingest.Ingestor
+
 	mQuery       routeMetrics
 	mBatch       routeMetrics
 	mUpdate      routeMetrics
+	mIngest      routeMetrics
 	mSnapshot    routeMetrics
 	mCheckpoint  routeMetrics
 	mLog         routeMetrics
@@ -253,6 +268,12 @@ func New(eng Engine, opts Options) (*Server, error) {
 	mux.HandleFunc("/v1/query", s.instrument(&s.mQuery, http.MethodPost, s.handleQuery))
 	mux.HandleFunc("/v1/query/batch", s.instrument(&s.mBatch, http.MethodPost, s.handleBatch))
 	mux.HandleFunc("/v1/update", s.instrument(&s.mUpdate, http.MethodPost, s.handleUpdate))
+	if opts.Ingest != nil {
+		s.ing = ingest.New(eng.Graph(), *opts.Ingest)
+		// Streams get their own (much larger) body cap: the pipeline
+		// consumes the NDJSON incrementally, never buffering it whole.
+		mux.HandleFunc("/v1/ingest", s.instrumentBody(&s.mIngest, http.MethodPost, opts.Limits.MaxIngestBytes, s.handleIngest))
+	}
 	mux.HandleFunc("/v1/snapshot", s.instrument(&s.mSnapshot, http.MethodPost, s.handleSnapshot))
 	mux.HandleFunc("/v1/checkpoint", s.instrument(&s.mCheckpoint, http.MethodPost, s.handleCheckpoint))
 	if opts.Log != nil {
@@ -324,9 +345,19 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush — the ingest stream flushes verdicts as they are produced.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps a handler with method filtering, body limiting and the
 // endpoint's metrics block.
 func (s *Server) instrument(m *routeMetrics, method string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumentBody(m, method, s.opts.Limits.MaxBodyBytes, h)
+}
+
+// instrumentBody is instrument with an explicit body cap, for routes
+// (the ingest stream) whose bodies legitimately exceed MaxBodyBytes.
+func (s *Server) instrumentBody(m *routeMetrics, method string, maxBody int64, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -338,7 +369,7 @@ func (s *Server) instrument(m *routeMetrics, method string, h http.HandlerFunc) 
 			writeError(sw, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("%s requires %s", r.URL.Path, method))
 			return
 		}
-		r.Body = http.MaxBytesReader(sw, r.Body, s.opts.Limits.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(sw, r.Body, maxBody)
 		h(sw, r)
 	}
 }
@@ -879,10 +910,14 @@ type statszResponse struct {
 	Engine        engine.Stats `json:"engine"`
 	// Shards carries the per-shard counter blocks (scatter calls, queue
 	// depths, cover-cache effectiveness) when the served engine is sharded.
-	Shards        []shard.Stat          `json:"shards,omitempty"`
-	Routes        map[string]routeStats `json:"routes"`
-	Batching      *batcherStats         `json:"batching,omitempty"`
-	SnapshotBytes int64                 `json:"snapshot_bytes"`
+	Shards   []shard.Stat          `json:"shards,omitempty"`
+	Routes   map[string]routeStats `json:"routes"`
+	Batching *batcherStats         `json:"batching,omitempty"`
+	// Ingest reports the live-ingestion pipeline (traces in, matched,
+	// rejected, raw points, batches, match vs apply time) when POST
+	// /v1/ingest is enabled.
+	Ingest        *ingest.Stats `json:"ingest,omitempty"`
+	SnapshotBytes int64         `json:"snapshot_bytes"`
 	// WAL reports the primary's log (head/first LSN, segments, fsync
 	// policy); Replication reports follower lag. LogRecordsServed counts
 	// records streamed to followers over /v1/log.
@@ -945,6 +980,11 @@ func (s *Server) Stats() statszResponse {
 	if s.bat != nil {
 		st := s.bat.stats()
 		resp.Batching = &st
+	}
+	if s.ing != nil {
+		st := s.ing.Stats()
+		resp.Ingest = &st
+		resp.Routes["/v1/ingest"] = s.mIngest.stats()
 	}
 	if s.opts.Log != nil {
 		st := s.opts.Log.Stats()

@@ -23,6 +23,8 @@ import (
 	"netclus/internal/dataset"
 	"netclus/internal/engine"
 	"netclus/internal/gen"
+	"netclus/internal/ingest"
+	"netclus/internal/mapmatch"
 	"netclus/internal/roadnet"
 	"netclus/internal/router"
 	"netclus/internal/server"
@@ -455,6 +457,46 @@ var (
 	// SampleSites samples candidate sites from a graph (empty config means
 	// every node, the paper's default).
 	SampleSites = gen.SampleSites
+)
+
+// Live ingestion and map-matching: the paper's Fig. 2 front end. Raw GPS
+// traces (trajectory.GPSTrace, or NDJSON over POST /v1/ingest) are HMM
+// map-matched onto the road network and applied as §6 mutations.
+type (
+	// GPSTrace is a raw GPS trace (timestamped planar points).
+	GPSTrace = trajectory.GPSTrace
+	// GPSPoint is one raw GPS sample.
+	GPSPoint = trajectory.GPSPoint
+	// GPSConfig configures synthetic GPS emission (sampling + noise).
+	GPSConfig = gen.GPSConfig
+	// Matcher map-matches GPS traces onto a fixed road network (Lou et
+	// al.'s low-sampling-rate HMM matcher). Not safe for concurrent use —
+	// pool one per worker.
+	Matcher = mapmatch.Matcher
+	// MatchConfig tunes the HMM matcher.
+	MatchConfig = mapmatch.Config
+	// IngestOptions configures the streaming ingestion pipeline behind
+	// POST /v1/ingest (set ServeOptions.Ingest to enable the endpoint).
+	IngestOptions = ingest.Options
+	// IngestVerdict is the per-line outcome streamed back by /v1/ingest.
+	IngestVerdict = ingest.Verdict
+	// IngestStats is the /statsz ingest counter block.
+	IngestStats = ingest.Stats
+	// Ingestor runs the decode → match → apply pipeline over any Sink.
+	Ingestor = ingest.Ingestor
+	// IngestSink receives matched trajectory batches (usually the
+	// engine's AddTrajectories write path).
+	IngestSink = ingest.Sink
+)
+
+var (
+	// EmitGPS degrades a trajectory into a noisy GPS trace.
+	EmitGPS = gen.EmitGPS
+	// NewMatcher builds an HMM matcher over a graph.
+	NewMatcher = mapmatch.NewMatcher
+	// NewIngestor builds a standalone ingestion pipeline over a graph
+	// (the server builds its own when ServeOptions.Ingest is set).
+	NewIngestor = ingest.New
 )
 
 // Dataset presets mirroring Table 6 of the paper.
