@@ -1,0 +1,30 @@
+// Command promcheck validates a Prometheus text-format exposition read
+// from stdin against the same strict grammar checker the /metrics golden
+// tests use, so CI can assert a live scrape parses:
+//
+//	curl -s localhost:8080/metrics | go run ./cmd/promcheck
+//
+// Exit status 0 means the exposition parses; anything else prints the
+// first grammar violation and exits 1.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"netclus/internal/obs"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(string(data)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d bytes of valid exposition\n", len(data))
+}

@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -90,27 +91,48 @@ func main() {
 		shardTimeout  time.Duration
 		queryAttempts int
 		drainTimeout  time.Duration
+		pprofAddr     string
+		logLevel      string
+		logFormat     string
+		slowQuery     time.Duration
 	)
 	flag.StringVar(&addr, "addr", ":8080", "listen address")
 	flag.Var(&shards, "shard", "one shard's member URLs, comma-separated, primary first; repeat per shard in shard order")
 	flag.DurationVar(&shardTimeout, "shard-timeout", 10*time.Second, "per-member call timeout")
 	flag.IntVar(&queryAttempts, "query-attempts", 3, "how many times a query restarts after a member failure before answering 503")
 	flag.DurationVar(&drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	flag.StringVar(&pprofAddr, "pprof", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6061); empty disables")
+	flag.StringVar(&logLevel, "log-level", "info", "structured log level: debug, info, warn, or error")
+	flag.StringVar(&logFormat, "log-format", "text", "structured log encoding: text or json")
+	flag.DurationVar(&slowQuery, "slow-query", 0, "log a structured record for routed queries slower than this (e.g. 250ms); 0 disables")
 	flag.Parse()
 
 	if len(shards) == 0 {
 		fatal(fmt.Errorf("at least one -shard is required (topsserve processes started with -shard-index)"))
+	}
+	lvl, err := netclus.ParseLogLevel(logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger, err := netclus.NewLogger(os.Stderr, lvl, logFormat)
+	if err != nil {
+		fatal(err)
 	}
 	t0 := time.Now()
 	r, err := netclus.NewRouter(netclus.RouterOptions{
 		Shards:        shards,
 		ShardTimeout:  shardTimeout,
 		QueryAttempts: queryAttempts,
+		Logger:        logger,
+		SlowQuery:     slowQuery,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("routing %d shards on %s (validated topology in %.3fs)\n", r.Shards(), addr, time.Since(t0).Seconds())
+	if pprofAddr != "" {
+		go servePprof(pprofAddr)
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: r}
 	errc := make(chan error, 1)
@@ -130,4 +152,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
 	}
 	fmt.Println("drained; bye")
+}
+
+// servePprof exposes the runtime profiling endpoints on their own listener,
+// mirroring topsserve: the debug surface never shares the query API's
+// address (which may be public).
+//
+//	go tool pprof http://localhost:6061/debug/pprof/profile?seconds=10
+//	curl -s localhost:6061/debug/pprof/heap -o heap.pb.gz
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("pprof on %s\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+	}
 }

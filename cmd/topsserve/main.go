@@ -53,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -117,6 +118,9 @@ type config struct {
 	quorum          int
 	quorumTimeout   time.Duration
 	pprofAddr       string
+	logLevel        string
+	logFormat       string
+	slowQuery       time.Duration
 
 	ingestWorkers    int
 	ingestBatch      int
@@ -159,6 +163,21 @@ func (c *config) ingestOptions() *netclus.IngestOptions {
 
 func (c *config) checkpointPath() string { return filepath.Join(c.walDir, checkpointName) }
 
+// logger lowers the -log-level/-log-format flags to the process root
+// structured logger (stderr, so it never interleaves with stdout status
+// lines); fatal on an unknown level or format name.
+func (c *config) logger() *slog.Logger {
+	lvl, err := netclus.ParseLogLevel(c.logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	lg, err := netclus.NewLogger(os.Stderr, lvl, c.logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	return lg
+}
+
 func main() {
 	var c config
 	var fsyncName string
@@ -188,6 +207,9 @@ func main() {
 	flag.IntVar(&c.quorum, "quorum", 0, "semi-sync replication: acknowledge an update only after this many followers durably persisted it (requires -wal-dir); 0 disables")
 	flag.DurationVar(&c.quorumTimeout, "quorum-timeout", 5*time.Second, "how long an update waits for the -quorum before answering 503 quorum_timeout")
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060); empty disables")
+	flag.StringVar(&c.logLevel, "log-level", "info", "structured log level: debug, info, warn, or error")
+	flag.StringVar(&c.logFormat, "log-format", "text", "structured log encoding: text or json")
+	flag.DurationVar(&c.slowQuery, "slow-query", 0, "log a structured record for queries slower than this (e.g. 250ms); 0 disables")
 	flag.IntVar(&c.ingestWorkers, "ingest-workers", 0, "map-matching worker pool for POST /v1/ingest (0 = all cores capped at 8, -1 disables the endpoint)")
 	flag.IntVar(&c.ingestBatch, "ingest-batch", 0, "traces per ingest AddTrajectories mutation (0 = default 64)")
 	flag.Float64Var(&c.ingestRadius, "ingest-radius", 0, "matcher candidate radius in km (0 = default 0.3)")
@@ -612,6 +634,8 @@ func startServer(eng netclus.DurableEngine, inst *netclus.Instance, c *config, l
 		Quorum:         c.quorum,
 		QuorumTimeout:  c.quorumTimeout,
 		Ingest:         c.ingestOptions(),
+		Logger:         c.logger(),
+		SlowQuery:      c.slowQuery,
 	}
 	if m, ok := eng.(*netclus.ShardMember); ok {
 		sopts.Member = m

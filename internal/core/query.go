@@ -49,6 +49,11 @@ type QueryResult struct {
 	InstanceUsed int
 	// NumRepresentatives is |Ŝ|, the candidate pool size (η_p bound).
 	NumRepresentatives int
+	// CoverHit reports whether the covering structure came from the
+	// memoized cover cache (false on a fresh fill, on uncached engines,
+	// and on paths that bypass the cache). Set by the engine layer; the
+	// serving tier's slow-query log and latency histograms key on it.
+	CoverHit bool
 
 	// scratch, when non-nil, ties this result to the pooled QueryScratch
 	// whose buffers back Sites/SiteIDs (the result struct itself lives

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"netclus/internal/core"
+	"netclus/internal/obs"
 	"netclus/internal/roadnet"
 	"netclus/internal/tops"
 	"netclus/internal/trajectory"
@@ -173,20 +174,22 @@ func (e *Engine) Stats() Stats {
 }
 
 // cover fetches (or builds) the covering structure for instance p under the
-// engine's caching policy, accounting the time to the cover phase. The
-// context cancels the sweep between representatives (see core.RepCoverCtx).
-func (e *Engine) cover(ctx context.Context, p int, pref tops.Preference) (*tops.CoverSets, []core.ClusterID, error) {
+// engine's caching policy, accounting the time to the cover phase and
+// reporting whether the memoized cache served it. The context cancels the
+// sweep between representatives (see core.RepCoverCtx).
+func (e *Engine) cover(ctx context.Context, p int, pref tops.Preference) (*tops.CoverSets, []core.ClusterID, bool, error) {
 	t0 := time.Now()
 	var cs *tops.CoverSets
 	var reps []core.ClusterID
+	var hit bool
 	var err error
 	if e.opts.DisableCoverCache {
 		cs, reps, err = e.idx.RepCoverCtx(ctx, p, pref)
 	} else {
-		cs, reps, _, err = e.idx.CoverForCtx(ctx, p, pref)
+		cs, reps, hit, err = e.idx.CoverForCtx(ctx, p, pref)
 	}
 	e.coverNanos.Add(time.Since(t0).Nanoseconds())
-	return cs, reps, err
+	return cs, reps, hit, err
 }
 
 // accountErr classifies a query failure into the Errors / Canceled
@@ -218,6 +221,7 @@ func (e *Engine) Query(ctx context.Context, opts core.QueryOptions) (*core.Query
 }
 
 func (e *Engine) serve(ctx context.Context, opts core.QueryOptions) (*core.QueryResult, error) {
+	tServe := time.Now()
 	if err := opts.Pref.Validate(); err != nil {
 		return nil, err
 	}
@@ -228,13 +232,25 @@ func (e *Engine) serve(ctx context.Context, opts core.QueryOptions) (*core.Query
 		return nil, err
 	}
 	p := e.idx.InstanceFor(opts.Pref.Tau)
-	cs, reps, err := e.cover(ctx, p, opts.Pref)
+	cs, reps, hit, err := e.cover(ctx, p, opts.Pref)
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
 	res, err := e.queryOnCover(ctx, p, cs, reps, opts)
 	e.greedyNanos.Add(time.Since(t0).Nanoseconds())
+	if err == nil {
+		// The latency split keys on the cover source: a memoized cover is
+		// the steady-state cached path, a fresh fill the cold one. Record
+		// and the CoverHit stamp are allocation-free — the zero-alloc
+		// cached-query gate runs with this instrumentation live.
+		res.CoverHit = hit
+		if hit {
+			obs.QueryCached.RecordSince(tServe)
+		} else {
+			obs.QueryUncached.RecordSince(tServe)
+		}
+	}
 	return res, err
 }
 
@@ -367,7 +383,7 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []core.QueryOptions) []Batch
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for key, members := range groups {
-		cs, reps, err := e.cover(ctx, key.p, qs[members[0]].Pref)
+		cs, reps, hit, err := e.cover(ctx, key.p, qs[members[0]].Pref)
 		if err != nil {
 			for _, i := range members {
 				out[i].Err = e.accountErr(err)
@@ -384,6 +400,14 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []core.QueryOptions) []Batch
 				out[i].Result, out[i].Err = e.queryOnCover(ctx, key.p, cs, reps, qs[i])
 				e.greedyNanos.Add(time.Since(t0).Nanoseconds())
 				if out[i].Err == nil {
+					out[i].Result.CoverHit = hit
+					// Per-item latency: batch items ride a shared cover, so the
+					// greedy phase is the whole per-query cost here.
+					if hit {
+						obs.QueryCached.RecordSince(t0)
+					} else {
+						obs.QueryUncached.RecordSince(t0)
+					}
 					e.batchQueries.Add(1)
 				} else {
 					e.accountErr(out[i].Err)

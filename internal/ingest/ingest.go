@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"netclus/internal/mapmatch"
+	"netclus/internal/obs"
 	"netclus/internal/roadnet"
 	"netclus/internal/spatial"
 	"netclus/internal/trajectory"
@@ -198,7 +199,9 @@ func (in *Ingestor) Run(ctx context.Context, r io.Reader, sink Sink, emit func(V
 		}
 		in.tracesIn.Add(1)
 		it := item{line: line}
+		tDec := time.Now()
 		dec := decodeLine(raw, in.opts)
+		obs.IngestDecode.RecordSince(tDec)
 		it.id, it.trace, it.code, it.err = dec.id, dec.trace, dec.code, dec.err
 		in.points.Add(uint64(dec.points))
 		window = append(window, it)
@@ -259,6 +262,7 @@ func (in *Ingestor) flush(ctx context.Context, window []item, sink Sink, emit fu
 				t0 := time.Now()
 				tr, err := m.MatchCtx(ctx, it.trace)
 				in.matchNanos.Add(uint64(time.Since(t0)))
+				obs.IngestMatch.RecordSince(t0)
 				if err != nil {
 					it.code, it.err = CodeNoMatch, err.Error()
 					continue
@@ -285,6 +289,7 @@ func (in *Ingestor) flush(ctx context.Context, window []item, sink Sink, emit fu
 		t0 := time.Now()
 		ids, err := sink.AddTrajectories(ctx, trs)
 		in.applyNanos.Add(uint64(time.Since(t0)))
+		obs.IngestApply.RecordSince(t0)
 		if err != nil {
 			applyErr = err
 			for _, i := range matchedIdx {

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfo identifies the running binary: the /statsz build_info block
+// and the netclus_build_info metric.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	// Version is the module version ("(devel)" for a source build).
+	Version string `json:"version"`
+	// Revision and Modified come from the VCS stamping of `go build`
+	// (empty/false when the build had no VCS metadata).
+	Revision string `json:"vcs_revision,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// ReadBuildInfo returns the binary's build identity, derived once from
+// debug.ReadBuildInfo.
+func ReadBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: "unknown", Module: "netclus", Version: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		if bi.Main.Path != "" {
+			buildInfo.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				buildInfo.Revision = kv.Value
+			case "vcs.modified":
+				buildInfo.Modified = kv.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// processStart anchors the uptime_seconds gauge.
+var processStart = time.Now()
+
+// Uptime returns how long this process has been up.
+func Uptime() time.Duration { return time.Since(processStart) }

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpoWriter emits Prometheus text exposition format (version 0.0.4) —
+// the hand-rolled writer behind GET /metrics, so the module stays
+// dependency-free. Usage: one Family call per metric family, then one
+// Sample (or Histogram) call per labeled series. Errors latch: the
+// first write failure is kept and later calls are no-ops.
+//
+// Base labels (e.g. `role="primary",shard="0"`) are merged into every
+// sample, giving all of a process's series the same identity labels
+// without threading them through each call site.
+type ExpoWriter struct {
+	w    io.Writer
+	base string
+	err  error
+}
+
+// NewExpoWriter returns a writer emitting to w. base is a pre-formatted
+// label list (`name="value",...`, no braces) added to every sample; it
+// may be empty.
+func NewExpoWriter(w io.Writer, base string) *ExpoWriter {
+	return &ExpoWriter{w: w, base: base}
+}
+
+// Err returns the first write error, if any.
+func (e *ExpoWriter) Err() error { return e.err }
+
+func (e *ExpoWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// escapeHelp escapes a HELP string per the exposition grammar.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// EscapeLabel escapes a label value per the exposition grammar (callers
+// quote it themselves).
+func EscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// FormatValue renders a sample value: Prometheus accepts Go's shortest
+// float form plus the spec's spellings of the non-finite values.
+func FormatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Family begins a metric family: one HELP and one TYPE line. typ is
+// "counter", "gauge", or "histogram".
+func (e *ExpoWriter) Family(name, help, typ string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// joinLabels merges the base labels with extra (either may be empty).
+func (e *ExpoWriter) joinLabels(extra string) string {
+	switch {
+	case e.base == "":
+		return extra
+	case extra == "":
+		return e.base
+	default:
+		return e.base + "," + extra
+	}
+}
+
+// Sample emits one series sample. extra is a pre-formatted label list
+// (`name="value",...`) merged after the base labels; pass "" for none.
+func (e *ExpoWriter) Sample(name, extra string, v float64) {
+	if ls := e.joinLabels(extra); ls != "" {
+		e.printf("%s{%s} %s\n", name, ls, FormatValue(v))
+		return
+	}
+	e.printf("%s %s\n", name, FormatValue(v))
+}
+
+// Uint emits one series sample from an integer counter.
+func (e *ExpoWriter) Uint(name, extra string, v uint64) {
+	if ls := e.joinLabels(extra); ls != "" {
+		e.printf("%s{%s} %d\n", name, ls, v)
+		return
+	}
+	e.printf("%s %d\n", name, v)
+}
+
+// Histogram emits one histogram series: the cumulative `_bucket` ladder
+// (including the mandatory le="+Inf"), `_sum`, and `_count`. The caller
+// has already emitted the family header with type "histogram". extra is
+// merged after the base labels on every line.
+func (e *ExpoWriter) Histogram(name, extra string, s Snapshot) {
+	ls := e.joinLabels(extra)
+	sep := ""
+	if ls != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		e.printf("%s_bucket{%s%sle=%q} %d\n", name, ls, sep, FormatValue(bucketUpperSeconds[i]), cum)
+	}
+	if ls != "" {
+		e.printf("%s_sum{%s} %s\n", name, ls, FormatValue(s.Sum))
+		e.printf("%s_count{%s} %d\n", name, ls, s.Count)
+		return
+	}
+	e.printf("%s_sum %s\n", name, FormatValue(s.Sum))
+	e.printf("%s_count %d\n", name, s.Count)
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpoWriterGrammar renders a representative exposition — counters,
+// gauges, labeled series, and a populated histogram — and runs it
+// through the strict validator.
+func TestExpoWriterGrammar(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * 17 * time.Microsecond)
+	}
+	h.Record(100 * time.Second) // overflow bucket
+
+	var sb strings.Builder
+	w := NewExpoWriter(&sb, `role="primary",shard="0"`)
+	w.Family("netclus_requests_total", "Requests served.", "counter")
+	w.Uint("netclus_requests_total", `route="/v1/query"`, 12345)
+	w.Uint("netclus_requests_total", `route="/v1/update"`, 7)
+	w.Family("netclus_uptime_seconds", "Process uptime.", "gauge")
+	w.Sample("netclus_uptime_seconds", "", 12.5)
+	w.Family("netclus_build_info", `Build identity ("value" is 1).`, "gauge")
+	w.Sample("netclus_build_info", `go_version="go1.25",revision="abc\\def"`, 1)
+	w.Family("netclus_query_seconds", "Query latency.", "histogram")
+	w.Histogram("netclus_query_seconds", `cache="hit"`, h.Snapshot())
+	w.Histogram("netclus_query_seconds", `cache="miss"`, Snapshot{})
+	if err := w.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	out := sb.String()
+	if err := ValidateExposition(out); err != nil {
+		t.Fatalf("exposition failed validation: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`netclus_requests_total{role="primary",shard="0",route="/v1/query"} 12345`,
+		`netclus_query_seconds_bucket{role="primary",shard="0",cache="hit",le="+Inf"} 1001`,
+		`netclus_query_seconds_count{role="primary",shard="0",cache="hit"} 1001`,
+		"# TYPE netclus_query_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestValidatorRejects feeds the validator known-bad expositions; a
+// validator that passes garbage guards nothing.
+func TestValidatorRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":     "netclus_x 1\n",
+		"bad metric name":         "# TYPE 9bad counter\n9bad 1\n",
+		"unknown type":            "# TYPE netclus_x metrics\nnetclus_x 1\n",
+		"unquoted label":          "# TYPE netclus_x counter\nnetclus_x{a=b} 1\n",
+		"bad value":               "# TYPE netclus_x counter\nnetclus_x one\n",
+		"negative counter":        "# TYPE netclus_x counter\nnetclus_x -4\n",
+		"unterminated labels":     "# TYPE netclus_x counter\nnetclus_x{a=\"b\" 1\n",
+		"histogram without +Inf":  "# TYPE netclus_h histogram\nnetclus_h_bucket{le=\"1\"} 3\nnetclus_h_count 3\n",
+		"non-cumulative buckets":  "# TYPE netclus_h histogram\nnetclus_h_bucket{le=\"1\"} 3\nnetclus_h_bucket{le=\"+Inf\"} 2\n",
+		"count mismatch":          "# TYPE netclus_h histogram\nnetclus_h_bucket{le=\"+Inf\"} 2\nnetclus_h_count 3\n",
+		"bare histogram sample":   "# TYPE netclus_h histogram\nnetclus_h 2\n",
+		"bucket without le":       "# TYPE netclus_h histogram\nnetclus_h_bucket{a=\"b\"} 2\n",
+		"duplicate TYPE":          "# TYPE netclus_x counter\n# TYPE netclus_x counter\nnetclus_x 1\n",
+		"bad escape":              "# TYPE netclus_x counter\nnetclus_x{a=\"b\\q\"} 1\n",
+		"decreasing bucket bound": "# TYPE netclus_h histogram\nnetclus_h_bucket{le=\"2\"} 1\nnetclus_h_bucket{le=\"1\"} 1\nnetclus_h_bucket{le=\"+Inf\"} 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: validator accepted %q", name, text)
+		}
+	}
+}
+
+// TestValidatorAccepts checks grammar corners that are legal and must
+// not be rejected: timestamps, escapes, +Inf/NaN values, comments.
+func TestValidatorAccepts(t *testing.T) {
+	good := "# arbitrary comment\n" +
+		"# TYPE netclus_x counter\n" +
+		"netclus_x{a=\"with \\\"quotes\\\" and \\\\slash\\\\ and \\n\"} 1 1700000000000\n" +
+		"# TYPE netclus_g gauge\n" +
+		"netclus_g -12.5e3\n" +
+		"netclus_g{z=\"\"} NaN\n"
+	if err := ValidateExposition(good); err != nil {
+		t.Fatalf("validator rejected legal exposition: %v", err)
+	}
+}
+
+func TestBuildInfoAndUptime(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" || bi.Module == "" {
+		t.Fatalf("empty build info: %+v", bi)
+	}
+	if Uptime() <= 0 {
+		t.Fatal("uptime not positive")
+	}
+}
+
+func TestLoggerConstruction(t *testing.T) {
+	if _, err := ParseLevel("debug"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseLevel("nope"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+	var sb strings.Builder
+	lg, err := NewLogger(&sb, 0, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "component", "test")
+	if !strings.Contains(sb.String(), `"component":"test"`) {
+		t.Fatalf("json logger output %q", sb.String())
+	}
+	if _, err := NewLogger(&sb, 0, "yaml"); err == nil {
+		t.Fatal("NewLogger accepted unknown format")
+	}
+	NopLogger().Error("dropped")
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is a strict line-shape validator for the
+// Prometheus text exposition format, used by the /metrics golden tests
+// and the CI metrics-smoke job. It checks, line by line:
+//
+//   - HELP/TYPE comment shape and that TYPE names a known metric type;
+//   - metric and label name grammar ([a-zA-Z_:][a-zA-Z0-9_:]*,
+//     labels without the colon);
+//   - label value quoting and escaping;
+//   - that sample values parse as Prometheus floats (+Inf/-Inf/NaN
+//     included) and optional timestamps as integers;
+//   - that samples appear under a preceding TYPE for their family
+//     (histograms owning their _bucket/_sum/_count suffixes);
+//   - histogram shape: every _bucket carries le, the ladder is
+//     cumulative non-decreasing and ends with le="+Inf", and _count
+//     equals the +Inf bucket.
+//
+// It returns the first violation found, nil for a valid exposition.
+func ValidateExposition(text string) error {
+	typeOf := map[string]string{} // family -> type
+	// Per histogram series (family + non-le labels): the running ladder.
+	type ladder struct {
+		last    float64
+		lastCum uint64
+		sawInf  bool
+		infCum  uint64
+	}
+	ladders := map[string]*ladder{}
+	counts := map[string]uint64{} // histogram series -> _count value
+
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			if !strings.HasPrefix(rest, " ") {
+				return fmt.Errorf("line %d: comment must start with %q", lineNo, "# ")
+			}
+			fields := strings.SplitN(rest[1:], " ", 3)
+			if len(fields) < 2 {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[0] {
+			case "HELP":
+				if !validMetricName(fields[1]) {
+					return fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, fields[1])
+				}
+			case "TYPE":
+				if !validMetricName(fields[1]) {
+					return fmt.Errorf("line %d: TYPE for invalid metric name %q", lineNo, fields[1])
+				}
+				if len(fields) != 3 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[2] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[2])
+				}
+				if _, dup := typeOf[fields[1]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[1])
+				}
+				typeOf[fields[1]] = fields[2]
+			default:
+				// Other comments are legal and ignored.
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := name
+		var suffix string
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typeOf[base] == "histogram" {
+				family, suffix = base, suf
+				break
+			}
+		}
+		typ, ok := typeOf[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q without a preceding TYPE", lineNo, name)
+		}
+		if typ == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %q for histogram family", lineNo, name)
+		}
+		if typ == "counter" && value < 0 {
+			return fmt.Errorf("line %d: negative counter %q", lineNo, name)
+		}
+
+		if typ != "histogram" {
+			continue
+		}
+		le, rest := splitLE(labels)
+		seriesKey := family + "{" + rest + "}"
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			bound, err := parseFloat(le)
+			if err != nil {
+				return fmt.Errorf("line %d: unparseable le %q", lineNo, le)
+			}
+			l := ladders[seriesKey]
+			if l == nil {
+				l = &ladder{last: minusInf()}
+				ladders[seriesKey] = l
+			}
+			if bound <= l.last {
+				return fmt.Errorf("line %d: bucket bounds not increasing (%v after %v)", lineNo, bound, l.last)
+			}
+			cum := uint64(value)
+			if float64(cum) != value {
+				return fmt.Errorf("line %d: non-integer bucket count %v", lineNo, value)
+			}
+			if cum < l.lastCum {
+				return fmt.Errorf("line %d: bucket counts not cumulative (%d after %d)", lineNo, cum, l.lastCum)
+			}
+			l.last, l.lastCum = bound, cum
+			if le == "+Inf" {
+				l.sawInf, l.infCum = true, cum
+			}
+		case "_count":
+			cum := uint64(value)
+			if float64(cum) != value {
+				return fmt.Errorf("line %d: non-integer histogram count %v", lineNo, value)
+			}
+			counts[seriesKey] = cum
+		}
+	}
+
+	for series, l := range ladders {
+		if !l.sawInf {
+			return fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", series)
+		}
+		if c, ok := counts[series]; ok && c != l.infCum {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", series, c, l.infCum)
+		}
+	}
+	return nil
+}
+
+func minusInf() float64 { return math.Inf(-1) }
+
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// parseSample splits a sample line into metric name, raw label list
+// (without braces, "" when absent), and value. A trailing integer
+// timestamp is accepted per the grammar.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.IndexByte(rest[brace:], '}')
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label list in %q", line)
+		}
+		labels = rest[brace+1 : brace+end]
+		rest = strings.TrimPrefix(rest[brace+end+1:], " ")
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("sample without value in %q", line)
+		}
+		name, rest = rest[:sp], rest[sp+1:]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("want value [timestamp] after name, got %q", rest)
+	}
+	value, err = parseFloat(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", "", 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// validateLabels checks a brace-less label list: name="value" pairs,
+// comma-separated, values quoted with only \\, \" and \n escapes.
+func validateLabels(labels string) error {
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", labels)
+		}
+		lname := rest[:eq]
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", labels)
+		}
+		rest = rest[1:]
+		for {
+			i := strings.IndexAny(rest, `"\`)
+			if i < 0 {
+				return fmt.Errorf("unterminated label value in %q", labels)
+			}
+			if rest[i] == '"' {
+				rest = rest[i+1:]
+				break
+			}
+			// Escape: exactly \\, \" or \n.
+			if i+1 >= len(rest) || (rest[i+1] != '\\' && rest[i+1] != '"' && rest[i+1] != 'n') {
+				return fmt.Errorf("invalid escape in label value in %q", labels)
+			}
+			rest = rest[i+2:]
+		}
+		if rest == "" {
+			return nil
+		}
+		if rest[0] != ',' {
+			return fmt.Errorf("expected comma between labels in %q", labels)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// splitLE extracts the le label from a raw label list, returning its
+// value and the list with le removed (series identity for ladder
+// checks). le values produced by this package never contain commas.
+func splitLE(labels string) (le, rest string) {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ",")
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sortQuantile is the reference: the q-quantile of a sorted sample by
+// the nearest-rank method.
+func sortQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// TestBucketBoundaries pins the bucket map: exact edges land in the
+// bucket whose lower edge they are, one-below lands one bucket down,
+// and the under/overflow buckets catch the extremes.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{minNanos - 1, 0},                     // just under the ladder
+		{minNanos, 1},                         // first ladder bucket's lower edge
+		{minNanos + minNanos/subCount - 1, 1}, // still sub-bucket 0
+		{minNanos + minNanos/subCount, 2},     // sub-bucket 1 lower edge
+		{2 * minNanos, 1 + subCount},          // next octave
+		{maxNanos - 1, NumBuckets - 2},        // top of the ladder
+		{maxNanos, NumBuckets - 1},            // overflow
+		{math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+
+	// Every bucket's recorded value must fall at or under its upper edge
+	// and over the previous bucket's: record one value per bucket and
+	// check the edges are consistent with the mapping.
+	for b := 1; b < NumBuckets-1; b++ {
+		oct := minShift + (b-1)/subCount
+		sub := int64((b - 1) % subCount)
+		lower := int64(1)<<uint(oct) + sub*(int64(1)<<uint(oct))/subCount
+		if got := bucketOf(lower); got != b {
+			t.Fatalf("lower edge %d maps to bucket %d, want %d", lower, got, b)
+		}
+		lowerSec := float64(lower) / 1e9
+		if prev := bucketUpperSeconds[b-1]; lowerSec < prev-1e-15 {
+			t.Fatalf("bucket %d lower edge %g below previous upper %g", b, lowerSec, prev)
+		}
+		if up := bucketUpperSeconds[b]; lowerSec >= up {
+			t.Fatalf("bucket %d lower edge %g not under upper %g", b, lowerSec, up)
+		}
+	}
+	if !math.IsInf(bucketUpperSeconds[NumBuckets-1], 1) {
+		t.Fatal("last bucket upper edge must be +Inf")
+	}
+}
+
+// TestQuantileVsSortedReference bounds the histogram quantile estimate
+// against the exact sorted-sample quantile: the relative error must stay
+// within one bucket's relative width (2^(1/subCount)-1, ~19%).
+func TestQuantileVsSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	var h Histogram
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~5µs .. ~500ms, the realistic latency range.
+		ns := math.Exp(rng.Float64()*math.Log(1e8/5e3)) * 5e3
+		h.Record(time.Duration(int64(ns)))
+		samples = append(samples, ns/1e9)
+	}
+	sort.Float64s(samples)
+	s := h.Snapshot()
+	if s.Count != 20000 {
+		t.Fatalf("snapshot count %d, want 20000", s.Count)
+	}
+	maxRel := math.Pow(2, 1.0/subCount) - 1 + 0.01
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		want := sortQuantile(samples, q)
+		rel := math.Abs(got-want) / want
+		if rel > maxRel {
+			t.Errorf("q=%v: histogram %g vs reference %g (rel err %.3f > %.3f)", q, got, want, rel, maxRel)
+		}
+	}
+	// Sum should match the sample sum closely (it is exact modulo float
+	// accumulation order).
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	if math.Abs(s.Sum-sum)/sum > 1e-6 {
+		t.Errorf("sum %g vs %g", s.Sum, sum)
+	}
+}
+
+// TestQuantileEdgeCases covers empty histograms, out-of-range q, and
+// the overflow bucket's lower-edge report.
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Record(time.Duration(maxNanos) * 4) // overflow
+	s = h.Snapshot()
+	wantLower := bucketUpperSeconds[NumBuckets-2]
+	if got := s.Quantile(0.5); got != wantLower {
+		t.Errorf("overflow-only quantile = %g, want lower edge %g", got, wantLower)
+	}
+	h.Record(-time.Second) // clamps to zero, lands in underflow
+	s = h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Errorf("negative duration did not clamp into underflow bucket")
+	}
+}
+
+// TestConcurrentRecord drives many goroutines through Record (run under
+// -race in CI): the total count and sum must come out exact.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration((g+1)*(i+1)) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*perG)
+	}
+	var wantSum float64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			wantSum += float64((g+1)*(i+1)) * 1e3 / 1e9
+		}
+	}
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum %g, want %g", s.Sum, wantSum)
+	}
+}
+
+// TestRecordAllocs pins the hot-path contract: Record must not allocate.
+func TestRecordAllocs(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Record allocates %v/op, want 0", n)
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatal("two fresh trace ids collided")
+	}
+	if !ValidTraceID(a) || len(a) != 32 {
+		t.Fatalf("generated id %q invalid", a)
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", string(make([]byte, 200))} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true", bad)
+		}
+	}
+	ctx := WithTrace(context.Background(), a)
+	if got := TraceID(ctx); got != a {
+		t.Fatalf("TraceID round-trip = %q, want %q", got, a)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"net/http"
 	"time"
+
+	"netclus/internal/obs"
 )
 
 // Error codes mirror the serving tier's envelope so clients see one
@@ -31,15 +33,30 @@ const (
 type errorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// TraceID echoes the request's trace id (client-supplied or minted at
+	// the router edge) so a failed call joins with router and member logs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
+// traceWriter carries the request's trace id to writeError.
+type traceWriter struct {
+	http.ResponseWriter
+	trace string
+}
+
+func (w *traceWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 func writeError(w http.ResponseWriter, status int, code string, err error) {
+	resp := errorResponse{Error: err.Error(), Code: code}
+	if tw, ok := w.(*traceWriter); ok {
+		resp.TraceID = tw.trace
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Code: code})
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -74,12 +91,23 @@ func (r *Router) routes() {
 	mux.HandleFunc("/v1/topology", r.handleTopology)
 	mux.HandleFunc("/healthz", r.methodGate(http.MethodGet, r.handleHealth))
 	mux.HandleFunc("/statsz", r.methodGate(http.MethodGet, r.handleStats))
+	mux.HandleFunc("/metrics", r.methodGate(http.MethodGet, r.handleMetrics))
 	r.mux = mux
 }
 
-// ServeHTTP makes the Router an http.Handler.
+// ServeHTTP makes the Router an http.Handler. Every request enters with a
+// trace id — the client's when well-formed, a fresh one otherwise — echoed
+// on the response, stamped into error envelopes, and forwarded on every
+// member call the request fans out to.
 func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	r.mux.ServeHTTP(w, req)
+	trace := req.Header.Get(obs.TraceHeader)
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
+	tw := &traceWriter{ResponseWriter: w, trace: trace}
+	tw.Header().Set(obs.TraceHeader, trace)
+	req = req.WithContext(obs.WithTrace(req.Context(), trace))
+	r.mux.ServeHTTP(tw, req)
 }
 
 func (r *Router) methodGate(method string, h http.HandlerFunc) http.HandlerFunc {
@@ -337,6 +365,9 @@ func (r *Router) relay(ctx context.Context, j int, body []byte) (int, []byte, er
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tr := obs.TraceID(ctx); tr != "" {
+		req.Header.Set(obs.TraceHeader, tr)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return 0, nil, err

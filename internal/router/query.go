@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
 	"time"
 
 	"netclus/internal/core"
+	"netclus/internal/obs"
 	"netclus/internal/shard"
 	"netclus/internal/tops"
 )
@@ -76,11 +78,14 @@ func retryable(err error) bool {
 	return true
 }
 
-// shardConn is one active shard's per-query state: its index and the
-// last round's reply.
+// shardConn is one active shard's per-query state: its index, the last
+// round's reply, and its accumulated member-call time (written only by
+// this shard's round goroutine, rounds are sequential — no atomics
+// needed; read after the final round for the slow-query record).
 type shardConn struct {
 	j     int
 	reply *shard.RoundReply
+	nanos int64
 }
 
 // runQuery executes one query against the topology: derive the ladder
@@ -121,10 +126,13 @@ func (r *Router) runQuery(ctx context.Context, q wireQuery, pref shard.WirePref)
 	// report the first failed shard for failover.
 	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
+	tRound := time.Now()
 	for i, sc := range conns {
 		wg.Add(1)
 		go func(i int, sc *shardConn) {
 			defer wg.Done()
+			t0 := time.Now()
+			defer func() { sc.nanos += int64(time.Since(t0)) }()
 			req := &shard.StartRequest{QID: qid, P: p, Pref: pref, Mask: own.masks[sc.j], MaskGlobal: own.masksGI[sc.j]}
 			var reply shard.RoundReply
 			if err := r.call(ctx, http.MethodPost, r.activeURL(sc.j)+"/v1/shard/query/start", req, &reply); err != nil {
@@ -135,7 +143,14 @@ func (r *Router) runQuery(ctx context.Context, q wireQuery, pref shard.WirePref)
 		}(i, sc)
 	}
 	wg.Wait()
+	obs.RouterScatter.RecordSince(tRound)
+	res.rounds++
 	defer r.endSessions(qid, conns)
+	defer func() {
+		for _, sc := range conns {
+			res.shardMs = append(res.shardMs, shardTiming{Shard: sc.j, Ms: float64(sc.nanos) / 1e6})
+		}
+	}()
 	for i, err := range errs {
 		if err != nil {
 			return nil, r.classify(conns[i].j, err)
@@ -191,10 +206,13 @@ func (r *Router) runQuery(ctx context.Context, q wireQuery, pref shard.WirePref)
 		for i := range errs {
 			errs[i] = nil
 		}
+		tRound = time.Now()
 		for i, sc := range conns {
 			wg.Add(1)
 			go func(i int, sc *shardConn) {
 				defer wg.Done()
+				t0 := time.Now()
+				defer func() { sc.nanos += int64(time.Since(t0)) }()
 				var reply shard.RoundReply
 				if err := r.call(ctx, http.MethodPost, r.activeURL(sc.j)+"/v1/shard/query/step", step, &reply); err != nil {
 					errs[i] = err
@@ -204,6 +222,8 @@ func (r *Router) runQuery(ctx context.Context, q wireQuery, pref shard.WirePref)
 			}(i, sc)
 		}
 		wg.Wait()
+		obs.RouterScatter.RecordSince(tRound)
+		res.rounds++
 		for i, err := range errs {
 			if err != nil {
 				return nil, r.classify(conns[i].j, err)
@@ -236,6 +256,8 @@ func (r *Router) endSessions(qid string, conns []*shardConn) {
 }
 
 // queryResult accumulates one answer in the serving tier's wire shape.
+// rounds and shardMs stay off the wire (unexported): they feed only the
+// slow-query log record.
 type queryResult struct {
 	Sites              []int64 `json:"sites"`
 	SiteIDs            []int32 `json:"site_ids"`
@@ -244,6 +266,16 @@ type queryResult struct {
 	InstanceUsed       int     `json:"instance_used"`
 	NumRepresentatives int     `json:"num_representatives"`
 	ElapsedMs          float64 `json:"elapsed_ms"`
+
+	rounds  int
+	shardMs []shardTiming
+}
+
+// shardTiming is one shard's accumulated member-call time for one query,
+// as logged on the slow-query record.
+type shardTiming struct {
+	Shard int     `json:"shard"`
+	Ms    float64 `json:"ms"`
 }
 
 // query runs the attempt loop: a retryable member failure advances that
@@ -268,6 +300,18 @@ func (r *Router) query(ctx context.Context, q wireQuery, pref shard.WirePref) (*
 	if err != nil {
 		return nil, err
 	}
-	res.ElapsedMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	elapsed := time.Since(t0)
+	res.ElapsedMs = float64(elapsed.Nanoseconds()) / 1e6
+	if r.opts.SlowQuery > 0 && elapsed >= r.opts.SlowQuery {
+		r.log.Warn("slow query",
+			"trace_id", obs.TraceID(ctx),
+			"k", q.K,
+			"pref", q.Pref,
+			"tau_km", q.Tau,
+			"rounds", res.rounds,
+			"shard_ms", slog.AnyValue(res.shardMs),
+			"elapsed_ms", res.ElapsedMs,
+		)
+	}
 	return res, nil
 }

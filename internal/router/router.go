@@ -34,15 +34,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"netclus/internal/obs"
 	"netclus/internal/roadnet"
 	"netclus/internal/shard"
 )
@@ -67,9 +67,13 @@ type Options struct {
 	MaxK int
 	// MaxBatch bounds /v1/query/batch (default 1024).
 	MaxBatch int
-	// Log receives topology events (boot, failover, re-point). Nil
-	// selects the standard logger.
-	Log *log.Logger
+	// Logger receives topology events (boot, failover, re-point) and
+	// slow-query records as structured logs. Nil discards them.
+	Logger *slog.Logger
+	// SlowQuery, when > 0, emits one structured record for every query
+	// whose end-to-end handling (attempts included) exceeds it: trace id,
+	// k, τ, rounds, per-shard round time. Zero disables.
+	SlowQuery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -88,8 +92,8 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 1024
 	}
-	if o.Log == nil {
-		o.Log = log.New(os.Stderr, "", log.LstdFlags)
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -157,6 +161,7 @@ type Router struct {
 
 	start time.Time
 	mux   *http.ServeMux
+	log   *slog.Logger
 }
 
 // New validates the shard map against the members' own metadata (every
@@ -176,6 +181,7 @@ func New(opts Options) (*Router, error) {
 		ownerCache: make(map[int64]int),
 		siteID:     make(map[int64]int32),
 		start:      time.Now(),
+		log:        opts.Logger.With("component", "router"),
 	}
 	for j, urls := range opts.Shards {
 		if len(urls) == 0 {
@@ -269,7 +275,7 @@ func (r *Router) seedMirror(metas []shard.MemberMeta) {
 			r.sites = append(r.sites, m.Sites...)
 		}
 		r.siteWarn = "dense site ids seeded from per-shard concatenation (members past their build-time site set); ids may differ from a single-process history"
-		r.opts.Log.Printf("router: %s", r.siteWarn)
+		r.log.Warn("site-id mirror inexact", "detail", r.siteWarn)
 	}
 	for i, v := range r.sites {
 		r.siteID[v] = int32(i)
@@ -297,7 +303,7 @@ func (r *Router) failover(j int, cause error) {
 	was := s.urls[s.active]
 	s.active = (s.active + 1) % len(s.urls)
 	r.failovers.Add(1)
-	r.opts.Log.Printf("router: shard %d: %s failed (%v); trying %s", j, was, cause, s.urls[s.active])
+	r.log.Warn("shard failover", "shard", j, "failed_url", was, "error", cause.Error(), "next_url", s.urls[s.active])
 }
 
 // Repoint makes u shard j's active target (appending it to the shard's
@@ -335,7 +341,7 @@ func (r *Router) Repoint(j int, u string) error {
 	}
 	s.active = found
 	s.lastErr = ""
-	r.opts.Log.Printf("router: shard %d re-pointed at %s", j, u)
+	r.log.Info("shard re-pointed", "shard", j, "primary", u)
 	return nil
 }
 
@@ -505,6 +511,11 @@ func (r *Router) call(ctx context.Context, method, u string, in, out any) error 
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Forward the request's trace id so the member's logs and error
+	// envelopes join with the router's.
+	if tr := obs.TraceID(ctx); tr != "" {
+		req.Header.Set(obs.TraceHeader, tr)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {

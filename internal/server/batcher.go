@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"netclus/internal/core"
+	"netclus/internal/obs"
 )
 
 // ErrDraining is returned to queries admitted after the server began
@@ -157,7 +158,9 @@ func (b *batcher) flush(fb *flushBufs) {
 	for _, p := range fb.pend {
 		fb.qs = append(fb.qs, p.opts)
 	}
+	tFlush := time.Now()
 	items := b.eng.QueryBatch(context.Background(), fb.qs)
+	obs.BatchFlush.RecordSince(tFlush)
 	for i, p := range fb.pend {
 		p.done <- batchOutcome{res: items[i].Result, err: items[i].Err}
 	}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"netclus/internal/obs"
 	"netclus/internal/wal"
 )
 
@@ -369,6 +370,8 @@ func (f *Follower) poll(ctx context.Context) (int, error) {
 // epoch; with long-polling it also carries ?wait=, making a caught-up
 // round park on the primary until records arrive.
 func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
+	tRound := time.Now()
+	defer obs.FollowerTail.RecordSince(tRound)
 	from := f.eng.LSN() + 1
 	own := f.epoch()
 	f.mu.Lock()
@@ -384,6 +387,13 @@ func (f *Follower) fetchOnce(ctx context.Context) (int, uint64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	// Propagate (or mint) a trace id so one tail round is joinable across
+	// the follower's and the primary's structured logs.
+	trace := obs.TraceID(ctx)
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	req.Header.Set(obs.TraceHeader, trace)
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
 		return 0, 0, err

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"netclus/internal/obs"
 	"netclus/internal/shard"
 )
 
@@ -79,6 +80,11 @@ func (s *Server) handleShardStart(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
+	// The trace id minted (or forwarded) at the router edge arrives here on
+	// the scatter request: logging it is what makes one distributed query
+	// joinable across the router's and every member's logs.
+	s.log.Debug("shard query start",
+		"trace_id", obs.TraceID(ctx), "qid", req.QID, "p", req.P, "shard", s.opts.Member.Meta().Index)
 	reply, err := s.opts.Member.Start(ctx, &req)
 	if err != nil {
 		status, code := queryStatus(err)

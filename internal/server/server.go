@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -43,6 +44,7 @@ import (
 	"netclus/internal/core"
 	"netclus/internal/engine"
 	"netclus/internal/ingest"
+	"netclus/internal/obs"
 	"netclus/internal/roadnet"
 	"netclus/internal/shard"
 	"netclus/internal/trajectory"
@@ -137,6 +139,13 @@ type Options struct {
 	// quorum-ackable, and replicated like hand-posted updates. See
 	// internal/ingest for the pipeline and wire format.
 	Ingest *ingest.Options
+	// Logger receives the server's structured records (slow queries, shard
+	// round traces). Nil discards them.
+	Logger *slog.Logger
+	// SlowQuery, when > 0, emits one structured log record for every
+	// /v1/query whose end-to-end handling exceeds it: trace id, k, ψ
+	// fingerprint, τ, cache hit/miss, batching, elapsed. Zero disables.
+	SlowQuery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -212,6 +221,7 @@ type Server struct {
 	opts Options
 	bat  *batcher // nil when micro-batching is disabled
 	mux  *http.ServeMux
+	log  *slog.Logger
 
 	start    time.Time
 	draining atomic.Bool
@@ -246,6 +256,7 @@ type Server struct {
 	mShard       routeMetrics
 	mHealth      routeMetrics
 	mStats       routeMetrics
+	mMetrics     routeMetrics
 
 	snapshotBytes atomic.Int64
 	logRecords    atomic.Uint64
@@ -260,6 +271,11 @@ func New(eng Engine, opts Options) (*Server, error) {
 	batching := opts.BatchWindow >= 0
 	opts = opts.withDefaults()
 	s := &Server{eng: eng, opts: opts, start: time.Now(), drainCh: make(chan struct{}), acks: newAckTracker()}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
+	s.log = s.log.With("component", "server")
 	s.readOnly.Store(opts.ReadOnly)
 	if batching {
 		s.bat = newBatcher(eng, opts.BatchWindow, opts.BatchMaxSize)
@@ -296,6 +312,7 @@ func New(eng Engine, opts Options) (*Server, error) {
 	}
 	mux.HandleFunc("/healthz", s.instrument(&s.mHealth, http.MethodGet, s.handleHealth))
 	mux.HandleFunc("/statsz", s.instrument(&s.mStats, http.MethodGet, s.handleStats))
+	mux.HandleFunc("/metrics", s.instrument(&s.mMetrics, http.MethodGet, s.handleMetrics))
 	s.mux = mux
 	return s, nil
 }
@@ -334,10 +351,12 @@ func (s *Server) Close() {
 	}
 }
 
-// statusWriter captures the response code for metrics.
+// statusWriter captures the response code for metrics and carries the
+// request's trace id so writeError can stamp it into error envelopes.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	trace  string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -365,6 +384,17 @@ func (s *Server) instrumentBody(m *routeMetrics, method string, maxBody int64, h
 		// stream failure panics with http.ErrAbortHandler) is still
 		// counted; the panic continues unwinding afterwards.
 		defer func() { m.observe(sw.status, time.Since(t0)) }()
+		// Trace id: accept the client's (router, upstream service) when it
+		// is well-formed, mint one otherwise. It is echoed on the response,
+		// stamped into error envelopes, carried down the request context to
+		// shard/follower calls, and keyed on by the slow-query log.
+		trace := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(trace) {
+			trace = obs.NewTraceID()
+		}
+		sw.trace = trace
+		sw.Header().Set(obs.TraceHeader, trace)
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
 		if r.Method != method {
 			writeError(sw, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("%s requires %s", r.URL.Path, method))
 			return
@@ -381,15 +411,22 @@ func (s *Server) instrumentBody(m *routeMetrics, method string, maxBody int64, h
 type errorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// TraceID echoes the request's trace id (client-supplied or minted at
+	// the edge) so a failed call can be joined against server logs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
+	resp := errorResponse{Error: err.Error(), Code: code}
+	if sw, ok := w.(*statusWriter); ok {
+		resp.TraceID = sw.trace
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Code: code})
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // bufPool recycles the request-body and response-encode buffers across
@@ -518,8 +555,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err)
 		return
 	}
-	resp := toQueryResponse(res, batched, time.Since(t0))
+	elapsed := time.Since(t0)
+	resp := toQueryResponse(res, batched, elapsed)
+	coverHit := res.CoverHit
 	res.Release()
+	if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
+		s.log.Warn("slow query",
+			"trace_id", obs.TraceID(ctx),
+			"k", opts.K,
+			"psi", opts.Pref.Name,
+			"psi_fp", core.PrefFingerprint(opts.Pref),
+			"tau_km", opts.Pref.Tau,
+			"fm", opts.UseFM,
+			"cover_hit", coverHit,
+			"batched", batched,
+			"elapsed_ms", float64(elapsed.Nanoseconds())/1e6,
+		)
+	}
 	writeJSON(w, resp)
 }
 
@@ -612,6 +664,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp updateResponse
+	tApply := time.Now()
 	switch u.Op {
 	case "add_site":
 		err = s.eng.AddSite(roadnet.NodeID(u.Node))
@@ -635,6 +688,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	case "delete_trajectory":
 		err = s.eng.DeleteTrajectory(trajectory.ID(u.ID))
 	}
+	obs.UpdateApply.RecordSince(tApply)
 	if err != nil {
 		// A failed log append is the server's problem — the mutation
 		// applied but its durability did not — everything else is a state
@@ -905,9 +959,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // statszResponse is the /statsz body: transport-level counters plus the
 // engine's own Stats block.
 type statszResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Draining      bool         `json:"draining"`
-	Engine        engine.Stats `json:"engine"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Draining      bool          `json:"draining"`
+	Build         obs.BuildInfo `json:"build_info"`
+	Engine        engine.Stats  `json:"engine"`
 	// Shards carries the per-shard counter blocks (scatter calls, queue
 	// depths, cover-cache effectiveness) when the served engine is sharded.
 	Shards   []shard.Stat          `json:"shards,omitempty"`
@@ -960,6 +1015,7 @@ func (s *Server) Stats() statszResponse {
 	resp := statszResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
+		Build:         obs.ReadBuildInfo(),
 		Engine:        s.eng.Stats(),
 		Routes: map[string]routeStats{
 			"/v1/query":       s.mQuery.stats(),
@@ -970,6 +1026,7 @@ func (s *Server) Stats() statszResponse {
 			"/v1/replication": s.mReplication.stats(),
 			"/healthz":        s.mHealth.stats(),
 			"/statsz":         s.mStats.stats(),
+			"/metrics":        s.mMetrics.stats(),
 		},
 		SnapshotBytes: s.snapshotBytes.Load(),
 		Memory:        readMemStats(),

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netclus/internal/obs"
 )
 
 // On-disk layout. A log directory holds segment files named
@@ -430,6 +432,8 @@ func (l *Log) AppendRecord(rec Record) error {
 }
 
 func (l *Log) appendLocked(rec Record) error {
+	t0 := time.Now()
+	defer obs.WALAppend.RecordSince(t0)
 	if l.closed {
 		return fmt.Errorf("wal: log closed")
 	}
@@ -508,7 +512,10 @@ func (l *Log) syncLocked() error {
 	if l.f == nil || !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	t0 := time.Now()
+	err := l.f.Sync()
+	obs.WALFsync.RecordSince(t0)
+	if err != nil {
 		l.syncErr = err
 		return fmt.Errorf("wal: fsync: %w", err)
 	}

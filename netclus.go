@@ -25,6 +25,7 @@ import (
 	"netclus/internal/gen"
 	"netclus/internal/ingest"
 	"netclus/internal/mapmatch"
+	"netclus/internal/obs"
 	"netclus/internal/roadnet"
 	"netclus/internal/router"
 	"netclus/internal/server"
@@ -269,6 +270,23 @@ type (
 func NewServer(eng ServerEngine, opts ServeOptions) (*Server, error) {
 	return server.New(eng, opts)
 }
+
+// Observability. Both binaries expose GET /metrics (Prometheus text
+// format) and accept -log-level/-log-format flags built on these helpers;
+// request traces ride the TraceHeader header end to end (client → router →
+// shard member → error envelope).
+var (
+	// NewLogger builds a structured logger writing to w: format is "text"
+	// or "json", level from ParseLogLevel.
+	NewLogger = obs.NewLogger
+	// ParseLogLevel maps debug/info/warn/error (or "") to a slog level.
+	ParseLogLevel = obs.ParseLevel
+)
+
+// TraceHeader is the end-to-end request-trace header: supplied ids are
+// propagated through every tier and echoed on responses and error
+// envelopes; absent or malformed ids are replaced at the first edge.
+const TraceHeader = obs.TraceHeader
 
 // Durability & replication layer. A write-ahead log turns a served engine
 // into a system of record: every acknowledged §6 mutation is an LSN-
